@@ -1,0 +1,34 @@
+//! Criterion micro-version of Table 4: TD-bottomup vs TD-MR. The expected
+//! shape: the MapReduce pipeline loses by orders of magnitude even at tiny
+//! scale, because every peeling iteration is a six-job, full-data pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use truss_bench::datasets::{bench_graph, BenchScale};
+use truss_bench::tables::external_io_config;
+use truss_core::bottom_up::{bottom_up_decompose, BottomUpConfig};
+use truss_graph::generators::datasets::Dataset;
+use truss_mapreduce::twiddling::mr_truss_decompose;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_bottomup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for dataset in [Dataset::P2p, Dataset::Hep] {
+        let g = bench_graph(dataset, BenchScale::Tiny);
+        let io = external_io_config(&g);
+        let name = dataset.spec().name;
+        group.bench_with_input(BenchmarkId::new("TD-bottomup", name), &g, |b, g| {
+            let cfg = BottomUpConfig::new(io);
+            b.iter(|| black_box(bottom_up_decompose(g, &cfg).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("TD-MR", name), &g, |b, g| {
+            b.iter(|| black_box(mr_truss_decompose(g, io).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-version of Table 5: TD-topdown (top-t vs all classes)
+//! against TD-bottomup. The expected shape: top-t wins on large-k_max
+//! graphs; the full top-down run is slower than bottom-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use truss_bench::datasets::{bench_graph, BenchScale};
+use truss_bench::tables::external_io_config;
+use truss_core::bottom_up::{bottom_up_decompose, BottomUpConfig};
+use truss_core::top_down::{top_down_decompose, TopDownConfig};
+use truss_graph::generators::datasets::Dataset;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_topdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for dataset in [Dataset::Lj, Dataset::Web] {
+        let g = bench_graph(dataset, BenchScale::Tiny);
+        let io = external_io_config(&g);
+        let name = dataset.spec().name;
+        group.bench_with_input(BenchmarkId::new("topdown-top5", name), &g, |b, g| {
+            let cfg = TopDownConfig::new(io).top_t(5);
+            b.iter(|| black_box(top_down_decompose(g, &cfg).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("topdown-all", name), &g, |b, g| {
+            let cfg = TopDownConfig::new(io);
+            b.iter(|| black_box(top_down_decompose(g, &cfg).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("bottomup", name), &g, |b, g| {
+            let cfg = BottomUpConfig::new(io);
+            b.iter(|| black_box(bottom_up_decompose(g, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Support-computation benchmarks: the O(m^1.5) forward algorithm (used by
+//! Algorithm 2) vs per-edge neighborhood intersection (used by Algorithm 1),
+//! plus the partitioned external pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use truss_bench::datasets::{bench_graph, BenchScale};
+use truss_bench::tables::external_io_config;
+use truss_graph::generators::datasets::Dataset;
+use truss_storage::{IoTracker, ScratchDir};
+use truss_triangle::count::{edge_supports, edge_supports_by_intersection};
+use truss_triangle::external::{
+    edge_list_from_graph, external_edge_supports, PassConfig,
+};
+
+fn bench_triangle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_supports");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for dataset in [Dataset::Wiki, Dataset::Amazon] {
+        let g = bench_graph(dataset, BenchScale::Tiny);
+        let name = dataset.spec().name;
+        group.bench_with_input(BenchmarkId::new("forward", name), &g, |b, g| {
+            b.iter(|| black_box(edge_supports(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", name), &g, |b, g| {
+            b.iter(|| black_box(edge_supports_by_intersection(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("external", name), &g, |b, g| {
+            let io = external_io_config(g);
+            b.iter(|| {
+                let scratch = ScratchDir::new().unwrap();
+                let tracker = IoTracker::new();
+                let input =
+                    edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
+                let cfg = PassConfig::new(io);
+                black_box(
+                    external_edge_supports(&input, g.num_vertices(), &scratch, &tracker, &cfg)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangle);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Runs the entire reproduction: every table and the figure walkthroughs.
+//! This is the generator for `EXPERIMENTS.md`. Scale with `TRUSS_SCALE=`.
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::tables;
+
+fn main() {
+    let scale = BenchScale::Default;
+    print!("{}", tables::figures_report());
+    tables::table2(scale).print("Table 2: dataset statistics (paper vs synthetic analogue)");
+    tables::table3(scale).print("Table 3: TD-inmem vs TD-inmem+");
+    tables::table4(scale).print("Table 4: TD-bottomup vs TD-MR");
+    tables::table5(scale).print("Table 5: TD-topdown vs TD-bottomup");
+    tables::table6(scale).print("Table 6: k_max-truss vs c_max-core");
+}

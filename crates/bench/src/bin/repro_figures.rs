@@ -1,0 +1,5 @@
+//! Regenerates Figures 1–5 / Examples 1–5 of the paper as a textual report.
+
+fn main() {
+    print!("{}", truss_bench::tables::figures_report());
+}

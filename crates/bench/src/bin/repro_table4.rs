@@ -1,0 +1,8 @@
+//! Regenerates Table 4 of the paper on the synthetic analogue datasets.
+//! Scale via `TRUSS_SCALE=<mult>` (default 1.0 of each dataset's spec scale).
+
+use truss_bench::datasets::BenchScale;
+
+fn main() {
+    truss_bench::tables::table4(BenchScale::Default).print("Table 4");
+}

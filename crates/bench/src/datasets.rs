@@ -1,0 +1,54 @@
+//! Dataset construction at benchmark scales.
+
+use truss_graph::generators::datasets::Dataset;
+use truss_graph::CsrGraph;
+
+/// How large to build the synthetic analogues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// ~1% of the default scale — unit-test and Criterion sized.
+    Tiny,
+    /// ~10% of the default scale — quick interactive runs.
+    Small,
+    /// The spec's default scale — the `repro_*` binaries' setting.
+    Default,
+}
+
+/// Multiplier applied to the dataset's default scale.
+pub fn scale_factor(scale: BenchScale) -> f64 {
+    let base = match scale {
+        BenchScale::Tiny => 0.01,
+        BenchScale::Small => 0.1,
+        BenchScale::Default => 1.0,
+    };
+    // A global override for exploration: TRUSS_SCALE=0.25 repro_table4 …
+    match std::env::var("TRUSS_SCALE").ok().and_then(|s| s.parse::<f64>().ok()) {
+        Some(mult) if mult > 0.0 => base * mult,
+        _ => base,
+    }
+}
+
+/// Builds a dataset analogue at a benchmark scale with the canonical seed.
+pub fn bench_graph(dataset: Dataset, scale: BenchScale) -> CsrGraph {
+    let spec = dataset.spec();
+    dataset.build_scaled(spec.default_scale * scale_factor(scale), 0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_builds_fast_and_small() {
+        let g = bench_graph(Dataset::P2p, BenchScale::Tiny);
+        assert!(g.num_edges() >= 64);
+        assert!(g.num_edges() < 10_000);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let t = bench_graph(Dataset::Hep, BenchScale::Tiny);
+        let s = bench_graph(Dataset::Hep, BenchScale::Small);
+        assert!(t.num_edges() < s.num_edges());
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared harness for the reproduction benchmarks (`repro_*` binaries and
+//! Criterion benches). See `DESIGN.md` §2 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+pub mod datasets;
+pub mod table;
+pub mod tables;
+
+pub use datasets::{bench_graph, scale_factor, BenchScale};
+pub use table::TableWriter;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as fractional seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes_h(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut x = b as f64;
+    let mut unit = 0;
+    while x >= 1024.0 && unit < UNITS.len() - 1 {
+        x /= 1024.0;
+        unit += 1;
+    }
+    format!("{x:.1}{}", UNITS[unit])
+}
+
+/// Formats a count with `K`/`M`/`G` suffixes like the paper's Table 2.
+pub fn count_h(c: u64) -> String {
+    if c >= 1_000_000_000 {
+        format!("{:.1}G", c as f64 / 1e9)
+    } else if c >= 1_000_000 {
+        format!("{:.1}M", c as f64 / 1e6)
+    } else if c >= 1_000 {
+        format!("{:.1}K", c as f64 / 1e3)
+    } else {
+        c.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(bytes_h(512), "512.0B");
+        assert_eq!(bytes_h(2048), "2.0KiB");
+        assert_eq!(count_h(41_600), "41.6K");
+        assert_eq!(count_h(3_400_000), "3.4M");
+        assert_eq!(count_h(12), "12");
+    }
+
+    #[test]
+    fn timing_works() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Generators for every table and figure of the paper's evaluation (§7).
+//!
+//! Each function rebuilds one table with the synthetic analogue datasets and
+//! returns it as a [`TableWriter`] (plus prints any commentary). The
+//! `repro_*` binaries are thin wrappers; `repro_all` runs everything and is
+//! the source of `EXPERIMENTS.md`.
+
+use crate::datasets::{bench_graph, BenchScale};
+use crate::table::TableWriter;
+use crate::{bytes_h, count_h, secs, time};
+use truss_core::bottom_up::{bottom_up_decompose, BottomUpConfig};
+use truss_core::core_decomposition::{cmax_core_subgraph, core_decompose};
+use truss_core::decompose::naive::truss_decompose_naive_with_memory;
+use truss_core::decompose::{truss_decompose, truss_decompose_with, ImprovedConfig};
+use truss_core::top_down::{top_down_decompose, TopDownConfig};
+use truss_core::truss::truss_subgraph;
+use truss_graph::generators::datasets::{all_datasets, Dataset};
+use truss_graph::metrics::{average_local_clustering, degree_stats};
+use truss_graph::CsrGraph;
+use truss_storage::record::{EdgeRec, FixedRecord};
+use truss_storage::IoConfig;
+use truss_mapreduce::twiddling::mr_truss_decompose;
+
+/// External-memory configuration for a graph: `M` is an eighth of the
+/// graph's on-disk size (so the out-of-core paths genuinely run), but at
+/// least large enough to hold the largest single neighborhood — the same
+/// requirement the paper's partitioners have.
+pub fn external_io_config(g: &CsrGraph) -> IoConfig {
+    let graph_bytes = g.num_edges() * EdgeRec::SIZE;
+    // M = |G|/2: stage 1 genuinely partitions (its parts charge ~64 B per
+    // edge against M, an 6.4x overcommit) while post-pruning candidates —
+    // including the k_max near-clique — fit in memory, the regime the
+    // paper's bottom-up analysis assumes ("H fits in memory in most
+    // cases"). The floor is the largest single neighborhood (the paper's
+    // partitioners require it too).
+    let budget = (graph_bytes / 2)
+        .max(truss_core::minimum_budget(g, 64))
+        .max(1 << 16);
+    IoConfig {
+        memory_budget: budget,
+        block_size: (budget / 64).max(4 * 1024),
+    }
+}
+
+/// Table 2 — dataset statistics, paper vs. synthetic analogue.
+pub fn table2(scale: BenchScale) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "dataset", "|V| paper", "|V| ours", "|E| paper", "|E| ours", "size", "dmax p",
+        "dmax ours", "dmed p", "dmed ours", "kmax p", "kmax ours",
+    ]);
+    for d in all_datasets() {
+        let spec = d.spec();
+        let g = bench_graph(d, scale);
+        let ds = degree_stats(&g);
+        let decomp = truss_decompose(&g);
+        t.row(vec![
+            spec.name.to_string(),
+            count_h(spec.paper.vertices),
+            count_h(g.num_vertices() as u64),
+            count_h(spec.paper.edges),
+            count_h(g.num_edges() as u64),
+            bytes_h((g.num_edges() * EdgeRec::SIZE) as u64),
+            spec.paper.dmax.to_string(),
+            ds.max.to_string(),
+            spec.paper.dmed.to_string(),
+            ds.median.to_string(),
+            spec.paper.kmax.to_string(),
+            decomp.k_max().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 3 — TD-inmem vs TD-inmem+ (runtime + peak tracked memory).
+pub fn table3(scale: BenchScale) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "dataset",
+        "time TD-inmem (s)",
+        "time TD-inmem+ (s)",
+        "speedup",
+        "mem TD-inmem",
+        "mem TD-inmem+",
+    ]);
+    for d in [Dataset::Wiki, Dataset::Amazon, Dataset::Skitter, Dataset::Blog] {
+        let g = bench_graph(d, scale);
+        let ((naive, naive_mem), t_naive) = time(|| truss_decompose_naive_with_memory(&g));
+        let ((improved, improved_mem), t_improved) =
+            time(|| truss_decompose_with(&g, ImprovedConfig::default()));
+        assert_eq!(naive.trussness(), improved.trussness());
+        let speedup = t_naive.as_secs_f64() / t_improved.as_secs_f64().max(1e-9);
+        t.row(vec![
+            d.spec().name.to_string(),
+            secs(t_naive),
+            secs(t_improved),
+            format!("{speedup:.1}"),
+            bytes_h(naive_mem as u64),
+            bytes_h(improved_mem as u64),
+        ]);
+    }
+    t
+}
+
+/// Table 4 — TD-bottomup vs TD-MR. The MR baseline is run on the two small
+/// datasets only (the paper could not complete it on the large ones either).
+pub fn table4(scale: BenchScale) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "dataset",
+        "TD-bottomup (s)",
+        "TD-MR (s)",
+        "bu I/O blocks",
+        "bu rounds",
+        "MR jobs",
+    ]);
+    for d in [Dataset::P2p, Dataset::Hep, Dataset::Lj, Dataset::Btc, Dataset::Web] {
+        let g = bench_graph(d, scale);
+        let io = external_io_config(&g);
+        let cfg = BottomUpConfig::new(io);
+        let ((_bu, report), t_bu) =
+            time(|| bottom_up_decompose(&g, &cfg).expect("bottom-up"));
+
+        let (mr_time, mr_jobs) = if matches!(d, Dataset::P2p | Dataset::Hep) {
+            // TD-MR runs on a 5% slice: the paper used a 20-node cluster and
+            // still needed hours; our single-machine simulation of the same
+            // round structure shows the orders-of-magnitude gap at any size.
+            let slice = d.build_scaled(d.spec().default_scale * 0.05, 0x5eed);
+            let exact = truss_core::decompose::truss_decompose(&slice);
+            let ((mr, mr_report), t_mr) =
+                time(|| mr_truss_decompose(&slice, io).expect("mapreduce"));
+            assert_eq!(mr.trussness(), exact.trussness());
+            (
+                format!("{} (5% slice)", secs(t_mr)),
+                mr_report.stats.jobs.to_string(),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        t.row(vec![
+            d.spec().name.to_string(),
+            secs(t_bu),
+            mr_time,
+            report.io.total_blocks().to_string(),
+            report.rounds.to_string(),
+            mr_jobs,
+        ]);
+    }
+    t
+}
+
+/// Table 5 — TD-topdown (top-20 and all classes) vs TD-bottomup.
+pub fn table5(scale: BenchScale) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "dataset",
+        "topdown top-20 (s)",
+        "topdown all (s)",
+        "bottomup (s)",
+        "kmax",
+        "k_1st",
+    ]);
+    for d in [Dataset::Lj, Dataset::Btc, Dataset::Web] {
+        let g = bench_graph(d, scale);
+        let io = external_io_config(&g);
+
+        let cfg_top20 = TopDownConfig::new(io).top_t(20);
+        let ((res20, rep20), t_top20) =
+            time(|| top_down_decompose(&g, &cfg_top20).expect("topdown-20"));
+
+        let cfg_all = TopDownConfig::new(io);
+        let ((res_all, _), t_all) =
+            time(|| top_down_decompose(&g, &cfg_all).expect("topdown-all"));
+        assert!(res_all.complete);
+
+        let cfg_bu = BottomUpConfig::new(io);
+        let ((bu, _), t_bu) = time(|| bottom_up_decompose(&g, &cfg_bu).expect("bottom-up"));
+        assert_eq!(res_all.k_max, bu.k_max());
+        assert_eq!(res20.k_max, bu.k_max());
+
+        t.row(vec![
+            d.spec().name.to_string(),
+            secs(t_top20),
+            secs(t_all),
+            secs(t_bu),
+            bu.k_max().to_string(),
+            rep20.k_first.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 6 — the `k_max`-truss `T` vs the `c_max`-core `C`.
+pub fn table6(scale: BenchScale) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "dataset", "V_T/V_C", "E_T/E_C", "kmax/cmax", "CC_T/CC_C",
+    ]);
+    for d in [
+        Dataset::Amazon,
+        Dataset::Wiki,
+        Dataset::Skitter,
+        Dataset::Blog,
+        Dataset::Lj,
+        Dataset::Btc,
+        Dataset::Web,
+    ] {
+        let g = bench_graph(d, scale);
+        let decomp = truss_decompose(&g);
+        let truss = truss_subgraph(&g, &decomp, decomp.k_max());
+        let cores = core_decompose(&g);
+        let core = cmax_core_subgraph(&g, &cores);
+        let cc_t = average_local_clustering(&truss);
+        let cc_c = average_local_clustering(&core.graph);
+        t.row(vec![
+            d.spec().name.to_string(),
+            format!("{}/{}", truss.num_vertices(), core.graph.num_vertices()),
+            format!("{}/{}", truss.num_edges(), core.graph.num_edges()),
+            format!("{}/{}", decomp.k_max(), cores.c_max()),
+            format!("{cc_t:.2}/{cc_c:.2}"),
+        ]);
+    }
+    t
+}
+
+/// Figures 1–5 / Examples 1–5 — the worked examples as a textual report.
+pub fn figures_report() -> String {
+    use truss_graph::generators::figures::*;
+    let mut out = String::new();
+
+    // Figure 1 / Example 1: manager graph, 3-core vs 4-truss.
+    let g = manager_graph();
+    let decomp = truss_decompose(&g);
+    let cores = core_decompose(&g);
+    let three_core = truss_graph::subgraph::induced(&g, &cores.core_vertices(3));
+    let four_truss = truss_subgraph(&g, &decomp, 4);
+    out.push_str(&format!(
+        "\n== Figure 1 / Example 1: manager graph ==\n\
+         G: n={} m={} CC={:.2}\n\
+         3-core: n={} m={} CC={:.2}   (no 4-core: c_max = {})\n\
+         4-truss: n={} m={} CC={:.2}  (no 5-truss: k_max = {})\n",
+        g.num_vertices(),
+        g.num_edges(),
+        average_local_clustering(&g),
+        three_core.graph.num_vertices(),
+        three_core.graph.num_edges(),
+        average_local_clustering(&three_core.graph),
+        cores.c_max(),
+        four_truss.num_vertices(),
+        four_truss.num_edges(),
+        average_local_clustering(&four_truss),
+        decomp.k_max(),
+    ));
+
+    // Figure 2 / Example 2: the running example's classes.
+    let g = figure2_graph();
+    let decomp = truss_decompose(&g);
+    out.push_str("\n== Figure 2 / Example 2: k-classes of the running example ==\n");
+    for (k, edges) in decomp.classes_as_edges(&g) {
+        let names: Vec<String> = edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "({},{})",
+                    FIGURE2_NAMES[e.u as usize], FIGURE2_NAMES[e.v as usize]
+                )
+            })
+            .collect();
+        out.push_str(&format!("Φ{k} ({:2} edges): {}\n", edges.len(), names.join(" ")));
+    }
+
+    // Example 3: the fixed partition and local truss numbers.
+    out.push_str("\n== Figure 3 / Example 3: partition P1,P2,P3 and local classes ==\n");
+    for (i, part) in figure2_partition().iter().enumerate() {
+        let ns = truss_graph::subgraph::neighborhood(&g, part);
+        let local = truss_decompose(&ns.sub.graph);
+        let mut class2 = Vec::new();
+        for (id, e) in ns.sub.graph.iter_edges() {
+            if local.edge_trussness(id) == 2 {
+                let p = ns.sub.parent_edge(e);
+                class2.push(format!(
+                    "({},{})",
+                    FIGURE2_NAMES[p.u as usize], FIGURE2_NAMES[p.v as usize]
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "NS(P{}) — {} edges, local Φ2 = {{{}}}\n",
+            i + 1,
+            ns.sub.graph.num_edges(),
+            class2.join(" ")
+        ));
+    }
+
+    // Example 4 + 5: upper bounds and top-down rounds. k_init batching is
+    // disabled so the per-round walkthrough mirrors Example 5 (t = 2 →
+    // exactly Φ5 and Φ4).
+    let mut cfg = TopDownConfig::new(IoConfig::with_budget(1 << 22)).top_t(2);
+    cfg.use_kinit = false;
+    let (res, report) = top_down_decompose(&g, &cfg).expect("top-down");
+    out.push_str(&format!(
+        "\n== Figures 4–5 / Examples 4–5: top-down, t = 2 ==\n\
+         k_1st = {}, k_max = {}\n",
+        report.k_first, res.k_max
+    ));
+    for (k, edges) in res.classes.iter().rev() {
+        let names: Vec<String> = edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "({},{})",
+                    FIGURE2_NAMES[e.u as usize], FIGURE2_NAMES[e.v as usize]
+                )
+            })
+            .collect();
+        out.push_str(&format!("Φ{k} = {}\n", names.join(" ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_tiny_runs() {
+        let t = table2(BenchScale::Tiny);
+        let s = t.render("t2");
+        assert!(s.contains("p2p"));
+        assert!(s.contains("web"));
+    }
+
+    #[test]
+    fn figures_report_contents() {
+        let s = figures_report();
+        assert!(s.contains("no 5-truss: k_max = 4"));
+        assert!(s.contains("Φ5"));
+        assert!(s.contains("(i,k)"));
+    }
+}

@@ -1,0 +1,519 @@
+//! Algorithm 4 + Procedures 5 & 9 — *TD-bottomup*, the I/O-efficient
+//! bottom-up truss decomposition.
+//!
+//! After [`crate::lower_bound`] produces `G_new` (exact supports + lower
+//! bounds `φ(e)`) and splits off `Φ_2`, the k-classes are computed
+//! bottom-up: for each `k`, the candidate subgraph `H = NS(U_k)` with
+//! `U_k = {v : ∃ e = (u, v), φ(e) ≤ k}` provably contains all of `Φ_k` as
+//! internal edges (Theorem 2), so `Φ_k` is obtained by peeling internal
+//! edges of `H` with support ≤ `k − 2`. Removing each computed class from
+//! `G_new` keeps later candidates small — the pruning that makes the
+//! bottom-up approach win (§5).
+//!
+//! When `H` fits in the memory budget, Procedure 5 runs in memory. When it
+//! does not, Procedure 9 is realized as a *pair-sweep*: the vertex set of
+//! `H` is partitioned at half budget and every **pair** of parts is
+//! materialized in turn, so each edge becomes internal in exactly one pair
+//! per sweep and is peeled against supports that are exact with respect to
+//! the current `H`. Sweeps repeat until none peels an edge — the same
+//! fixpoint Procedure 9 reaches, without the soundness hazard of computing
+//! supports in a partially-dismantled graph.
+
+use crate::decompose::improved::merge_common_neighbors;
+use crate::decompose::TrussDecomposition;
+use crate::lower_bound::{lower_bounding, LowerBoundOutput};
+use truss_graph::hash::FxHashSet;
+use truss_graph::subgraph::from_parent_edges;
+use truss_graph::{CsrGraph, Edge, VertexId};
+use truss_storage::partition::{plan_partition, PartitionStrategy};
+use truss_storage::record::EdgeRec;
+use truss_storage::{
+    EdgeListFile, IoConfig, IoStats, IoTracker, Result, ScratchDir, StorageError,
+};
+use truss_triangle::external::{edge_list_from_graph, PassConfig};
+use truss_triangle::list::for_each_triangle;
+
+/// Configuration of TD-bottomup.
+#[derive(Debug, Clone, Copy)]
+pub struct BottomUpConfig {
+    /// Memory budget and block size (`M`, `B`).
+    pub io: IoConfig,
+    /// Partitioner used by LowerBounding and the pair-sweep.
+    pub strategy: PartitionStrategy,
+    /// Bytes charged per candidate edge held in memory (records + local CSR
+    /// + peeling arrays).
+    pub bytes_per_edge: usize,
+    /// Cap on pair-sweep fixpoint rounds per k (safety net).
+    pub max_sweeps: usize,
+}
+
+impl BottomUpConfig {
+    /// Defaults: random partitioning, 64 bytes/edge in-memory charge.
+    pub fn new(io: IoConfig) -> Self {
+        BottomUpConfig {
+            io,
+            strategy: PartitionStrategy::Random { seed: 0xb0_77 },
+            bytes_per_edge: 64,
+            max_sweeps: 10_000,
+        }
+    }
+}
+
+/// The smallest memory budget under which the external algorithms can run
+/// on `g`: the pair-sweep partitions at half budget and a single vertex's
+/// neighborhood must fit in a part — the same constraint the paper's
+/// partitioners impose ("each NS(P_i) fits in memory" requires every
+/// NS({v}) to fit). `bytes_per_edge` is the in-memory charge (64 by
+/// default).
+pub fn minimum_budget(g: &CsrGraph, bytes_per_edge: usize) -> usize {
+    (g.max_degree() * bytes_per_edge * 2 + 4096).next_power_of_two()
+}
+
+/// What TD-bottomup did, for the experiment reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BottomUpReport {
+    /// All disk traffic (blocks per the I/O model).
+    pub io: IoStats,
+    /// Iterations of the LowerBounding stage.
+    pub lower_bound_iterations: usize,
+    /// Number of k-rounds executed.
+    pub rounds: usize,
+    /// Rounds whose candidate subgraph did not fit in memory (Procedure 9).
+    pub oversized_rounds: usize,
+    /// Σ candidate edges across rounds (the pruning effectiveness measure).
+    pub candidate_edges_total: u64,
+    /// Largest k with a non-empty class.
+    pub k_max: u32,
+}
+
+/// Runs TD-bottomup on a graph, spilling it to scratch disk first (the
+/// algorithm never touches the in-memory `g` afterwards except to translate
+/// the result back to edge ids).
+pub fn bottom_up_decompose(
+    g: &CsrGraph,
+    cfg: &BottomUpConfig,
+) -> Result<(TrussDecomposition, BottomUpReport)> {
+    let scratch = ScratchDir::new()?;
+    let tracker = IoTracker::new();
+    let input = edge_list_from_graph(g, scratch.file("input"), tracker.clone())?;
+
+    let mut pass_cfg = PassConfig::new(cfg.io);
+    pass_cfg.strategy = cfg.strategy;
+    let lb = lower_bounding(
+        &input,
+        g.num_vertices(),
+        &scratch,
+        &tracker,
+        &pass_cfg,
+        true,
+    )?;
+
+    let mut report = BottomUpReport {
+        lower_bound_iterations: lb.iterations,
+        ..Default::default()
+    };
+
+    let mut trussness = vec![0u32; g.num_edges()];
+    let record = |edge: Edge, k: u32, trussness: &mut Vec<u32>| -> Result<()> {
+        let id = g
+            .edge_id(edge.u, edge.v)
+            .ok_or_else(|| StorageError::Corrupt(format!("unknown edge {edge:?}")))?;
+        trussness[id as usize] = k;
+        Ok(())
+    };
+
+    let LowerBoundOutput {
+        phi2, mut g_new, ..
+    } = lb;
+    let mut err: Option<StorageError> = None;
+    phi2.scan(|rec| {
+        if err.is_none() {
+            if let Err(e) = record(rec.edge, 2, &mut trussness) {
+                err = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    phi2.delete()?;
+
+    let edge_budget = (cfg.io.memory_budget / cfg.bytes_per_edge).max(4) as u64;
+    let n = g.num_vertices();
+    let mut k = 3u32;
+
+    while !g_new.is_empty() {
+        report.rounds += 1;
+
+        // Skip straight to the smallest bound still present (empty classes
+        // below it are provably empty since φ(e) ≤ ϕ(e)).
+        let mut min_bound = u32::MAX;
+        g_new.scan(|rec| min_bound = min_bound.min(rec.bound))?;
+        k = k.max(min_bound);
+
+        // Step 3: U_k = endpoints of edges with φ(e) ≤ k.
+        let mut in_uk = vec![false; n];
+        g_new.scan(|rec| {
+            if rec.bound <= k {
+                in_uk[rec.edge.u as usize] = true;
+                in_uk[rec.edge.v as usize] = true;
+            }
+        })?;
+
+        // Steps 4–5: size the candidate H = NS(U_k).
+        let mut candidate_edges = 0u64;
+        g_new.scan(|rec| {
+            if in_uk[rec.edge.u as usize] || in_uk[rec.edge.v as usize] {
+                candidate_edges += 1;
+            }
+        })?;
+        report.candidate_edges_total += candidate_edges;
+
+        let phi_k: Vec<Edge> = if candidate_edges <= edge_budget {
+            // Procedure 5 (H fits in memory).
+            let mut cands: Vec<EdgeRec> = Vec::with_capacity(candidate_edges as usize);
+            g_new.scan(|rec| {
+                if in_uk[rec.edge.u as usize] || in_uk[rec.edge.v as usize] {
+                    cands.push(rec);
+                }
+            })?;
+            peel_candidate_in_memory(&cands, |v| in_uk[v as usize], k)
+        } else {
+            // Procedure 9 (H exceeds memory): pair-sweep.
+            report.oversized_rounds += 1;
+            peel_candidate_pair_sweep(&g_new, &in_uk, n, k, cfg, &scratch, &tracker)?
+        };
+
+        if !phi_k.is_empty() {
+            report.k_max = k;
+            let mut keys: FxHashSet<u64> = FxHashSet::default();
+            for e in &phi_k {
+                record(*e, k, &mut trussness)?;
+                keys.insert(e.key());
+            }
+            // Step 6 (end): remove Φ_k from G_new.
+            let mut next = EdgeListFile::create(scratch.file("gnew"), tracker.clone())?;
+            let mut err: Option<StorageError> = None;
+            g_new.scan(|rec| {
+                if err.is_none() && !keys.contains(&rec.edge.key()) {
+                    if let Err(e) = next.push(rec) {
+                        err = Some(e);
+                    }
+                }
+            })?;
+            if let Some(e) = err {
+                return Err(e);
+            }
+            g_new.delete()?;
+            g_new = next.finish()?;
+        }
+        k += 1;
+    }
+
+    debug_assert!(trussness.iter().all(|&t| t >= 2));
+    report.io = tracker.stats(&cfg.io);
+    Ok((TrussDecomposition::from_trussness(trussness), report))
+}
+
+/// Procedure 5: in-memory peeling of the candidate subgraph.
+///
+/// `cands` must be sorted by edge key (scan order of `G_new`). Only internal
+/// edges (both endpoints in `U_k`) are peelable; supports are counted within
+/// `H`, which is exact for internal edges because `NS(U_k)` contains every
+/// edge incident to them.
+fn peel_candidate_in_memory(
+    cands: &[EdgeRec],
+    is_internal_vertex: impl Fn(VertexId) -> bool,
+    k: u32,
+) -> Vec<Edge> {
+    let sub = from_parent_edges(cands.iter().map(|r| r.edge));
+    let m = sub.graph.num_edges();
+    debug_assert_eq!(m, cands.len());
+
+    let internal_v: Vec<bool> = sub
+        .to_parent
+        .iter()
+        .map(|&p| is_internal_vertex(p))
+        .collect();
+    let internal_e: Vec<bool> = (0..m as u32)
+        .map(|i| {
+            let e = sub.graph.edge(i);
+            internal_v[e.u as usize] && internal_v[e.v as usize]
+        })
+        .collect();
+
+    let mut sup = vec![0u32; m];
+    for_each_triangle(&sub.graph, |_, _, _, a, b, c| {
+        sup[a as usize] += 1;
+        sup[b as usize] += 1;
+        sup[c as usize] += 1;
+    });
+
+    let mut present = vec![true; m];
+    let mut queued = vec![false; m];
+    let threshold = k - 2;
+    let mut stack: Vec<u32> = (0..m as u32)
+        .filter(|&e| internal_e[e as usize] && sup[e as usize] <= threshold)
+        .collect();
+    for &e in &stack {
+        queued[e as usize] = true;
+    }
+
+    let mut phi_k = Vec::new();
+    while let Some(e) = stack.pop() {
+        present[e as usize] = false;
+        phi_k.push(sub.parent_edge(sub.graph.edge(e)));
+        let edge = sub.graph.edge(e);
+        merge_common_neighbors(&sub.graph, edge.u, edge.v, |_, a, b| {
+            if present[a as usize] && present[b as usize] {
+                for other in [a, b] {
+                    sup[other as usize] -= 1;
+                    if internal_e[other as usize]
+                        && !queued[other as usize]
+                        && sup[other as usize] <= threshold
+                    {
+                        queued[other as usize] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+        });
+    }
+    phi_k.sort_unstable();
+    phi_k
+}
+
+/// Procedure 9: peeling when `H` does not fit in memory.
+///
+/// `H` is spilled to its own file, then each sweep partitions `V(H)` at
+/// half budget, distributes `H` into per-part files once, and materializes
+/// every *pair* of parts, so each candidate edge is examined (as an internal
+/// edge, with supports exact w.r.t. the current `H`) exactly once per sweep.
+/// Sweeps repeat until a full sweep peels nothing.
+fn peel_candidate_pair_sweep(
+    g_new: &EdgeListFile,
+    in_uk: &[bool],
+    n: usize,
+    k: u32,
+    cfg: &BottomUpConfig,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+) -> Result<Vec<Edge>> {
+    let mut peeled: FxHashSet<u64> = FxHashSet::default();
+    let mut phi_k: Vec<Edge> = Vec::new();
+    let threshold = k - 2;
+    // Half budget so a pair of parts fits in memory.
+    let budget_half_edges = (cfg.io.memory_budget / cfg.bytes_per_edge).max(8) / 2;
+
+    let in_h = |e: &Edge| in_uk[e.u as usize] || in_uk[e.v as usize];
+
+    // Extract H once; all sweeps scan this smaller file.
+    let mut h_writer = EdgeListFile::create(scratch.file("proc9-h"), tracker.clone())?;
+    let mut err: Option<StorageError> = None;
+    g_new.scan(|rec| {
+        if err.is_none() && in_h(&rec.edge) {
+            if let Err(e) = h_writer.push(rec) {
+                err = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let h = h_writer.finish()?;
+
+    for sweep in 0..cfg.max_sweeps {
+        // Degrees within the surviving H.
+        let mut degrees = vec![0u32; n];
+        h.scan(|rec| {
+            if !peeled.contains(&rec.edge.key()) {
+                degrees[rec.edge.u as usize] += 1;
+                degrees[rec.edge.v as usize] += 1;
+            }
+        })?;
+        let strategy = match cfg.strategy {
+            PartitionStrategy::Sequential => PartitionStrategy::Sequential,
+            PartitionStrategy::Random { seed } | PartitionStrategy::Seeded { seed } => {
+                PartitionStrategy::Random {
+                    seed: seed.wrapping_add(sweep as u64),
+                }
+            }
+        };
+        let partition = plan_partition(strategy, &degrees, budget_half_edges, |f| {
+            h.scan(|rec| {
+                if !peeled.contains(&rec.edge.key()) {
+                    f(rec.edge)
+                }
+            })
+        })?;
+        drop(degrees);
+        let files = crate::sweep::distribute_parts(&h, &peeled, &partition, scratch, tracker)?;
+        let p = partition.num_parts() as u32;
+
+        let mut sweep_peels = 0usize;
+        for i in 0..p {
+            for j in i..p {
+                let bucket_recs = crate::sweep::load_pair(&files, i, j, &peeled)?;
+                if bucket_recs.is_empty() {
+                    continue;
+                }
+                let bucket: Vec<Edge> = bucket_recs.iter().map(|r| r.edge).collect();
+                // An edge is examined in the unique pair holding both its
+                // endpoints' parts.
+                let newly = peel_pair_bucket(&bucket, in_uk, &partition, (i, j), threshold);
+                for e in newly {
+                    peeled.insert(e.key());
+                    phi_k.push(e);
+                    sweep_peels += 1;
+                }
+            }
+        }
+        crate::sweep::delete_parts(files);
+        if sweep_peels == 0 {
+            h.delete()?;
+            phi_k.sort_unstable();
+            return Ok(phi_k);
+        }
+    }
+    Err(StorageError::BudgetTooSmall(format!(
+        "pair-sweep did not reach a fixpoint within {} sweeps",
+        cfg.max_sweeps
+    )))
+}
+
+/// Peels one pair bucket. Edges peelable here: internal to `U_k` *and* with
+/// both endpoint parts in `{i, j}` (so all their incident H-edges are in the
+/// bucket and supports are exact).
+fn peel_pair_bucket(
+    bucket: &[Edge],
+    in_uk: &[bool],
+    partition: &truss_storage::Partition,
+    (i, j): (u32, u32),
+    threshold: u32,
+) -> Vec<Edge> {
+    let sub = from_parent_edges(bucket.iter().copied());
+    let m = sub.graph.num_edges();
+    let owned: Vec<bool> = (0..m as u32)
+        .map(|e| {
+            let local = sub.graph.edge(e);
+            let (pu, pv) = (
+                sub.to_parent[local.u as usize],
+                sub.to_parent[local.v as usize],
+            );
+            let (cu, cv) = (partition.part_of(pu), partition.part_of(pv));
+            let pair_owned = (cu == i || cu == j) && (cv == i || cv == j);
+            // Examined once per sweep: only in the pair (min, max) of its
+            // own two parts.
+            let canonical = {
+                let (lo, hi) = if cu <= cv { (cu, cv) } else { (cv, cu) };
+                lo == i && hi == j
+            };
+            pair_owned
+                && canonical
+                && in_uk[pu as usize]
+                && in_uk[pv as usize]
+        })
+        .collect();
+
+    let mut sup = vec![0u32; m];
+    for_each_triangle(&sub.graph, |_, _, _, a, b, c| {
+        sup[a as usize] += 1;
+        sup[b as usize] += 1;
+        sup[c as usize] += 1;
+    });
+
+    let mut present = vec![true; m];
+    let mut queued = vec![false; m];
+    let mut stack: Vec<u32> = (0..m as u32)
+        .filter(|&e| owned[e as usize] && sup[e as usize] <= threshold)
+        .collect();
+    for &e in &stack {
+        queued[e as usize] = true;
+    }
+    let mut out = Vec::new();
+    while let Some(e) = stack.pop() {
+        present[e as usize] = false;
+        out.push(sub.parent_edge(sub.graph.edge(e)));
+        let edge = sub.graph.edge(e);
+        merge_common_neighbors(&sub.graph, edge.u, edge.v, |_, a, b| {
+            if present[a as usize] && present[b as usize] {
+                for other in [a, b] {
+                    sup[other as usize] -= 1;
+                    if owned[other as usize]
+                        && !queued[other as usize]
+                        && sup[other as usize] <= threshold
+                    {
+                        queued[other as usize] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::classic::complete;
+    use truss_graph::generators::erdos_renyi::gnm;
+    use truss_graph::generators::figures::{figure2_classes, figure2_graph};
+
+    fn run(g: &CsrGraph, budget: usize) -> (TrussDecomposition, BottomUpReport) {
+        let cfg = BottomUpConfig::new(IoConfig {
+            memory_budget: budget,
+            block_size: (budget / 4).max(64),
+        });
+        bottom_up_decompose(g, &cfg).unwrap()
+    }
+
+    #[test]
+    fn figure2_golden() {
+        let g = figure2_graph();
+        let (d, report) = run(&g, 1 << 20);
+        assert_eq!(d.classes_as_edges(&g), figure2_classes());
+        assert_eq!(report.k_max, 5);
+        assert!(report.rounds >= 3);
+    }
+
+    #[test]
+    fn matches_in_memory_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gnm(60, 420, seed);
+            let exact = truss_decompose(&g);
+            let (d, _) = run(&g, 1 << 20);
+            assert_eq!(d.trussness(), exact.trussness(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_with_tiny_budget() {
+        for seed in [1u64, 9] {
+            let g = gnm(50, 320, seed);
+            let exact = truss_decompose(&g);
+            // ~64 edges of in-memory candidate budget → Procedure 9 rounds.
+            let (d, report) = run(&g, 64 * 64);
+            assert_eq!(d.trussness(), exact.trussness(), "seed {seed}");
+            assert!(report.oversized_rounds > 0, "expected Procedure 9 rounds");
+        }
+    }
+
+    #[test]
+    fn clique_bottom_up() {
+        let g = complete(12);
+        let (d, report) = run(&g, 1 << 20);
+        assert_eq!(d.k_max(), 12);
+        assert_eq!(report.k_max, 12);
+        assert_eq!(d.class(12).len(), 66);
+    }
+
+    #[test]
+    fn reports_io() {
+        let g = gnm(40, 200, 3);
+        let (_, report) = run(&g, 1 << 16);
+        assert!(report.io.bytes_read > 0);
+        assert!(report.io.scans > 3);
+    }
+}

@@ -1,0 +1,250 @@
+//! Truss-accelerated clique search (§7.4).
+//!
+//! The paper's last experimental point: a clique of size `k` must lie inside
+//! the `k`-truss (every edge of a `k`-clique closes `k − 2` triangles inside
+//! it), so `k_max` upper-bounds the maximum clique size — usually far
+//! tighter than the classic `c_max + 1` core bound — and the `k`-truss is a
+//! much smaller search space for clique enumeration than the `(k−1)`-core.
+//!
+//! This module implements that application: a Bron–Kerbosch maximum-clique
+//! search with pivoting, driven top-down through the truss hierarchy — start
+//! at the `k_max`-truss; if it holds a clique of size `k_max` stop,
+//! otherwise widen to the next level that could still beat the best found.
+
+use crate::decompose::TrussDecomposition;
+use truss_graph::subgraph::from_parent_edges;
+use truss_graph::{CsrGraph, VertexId};
+
+/// Result of the truss-accelerated maximum-clique search.
+#[derive(Debug, Clone)]
+pub struct MaxCliqueResult {
+    /// Vertices of a maximum clique (parent ids, sorted).
+    pub clique: Vec<VertexId>,
+    /// The truss bound `ω(G) ≤ k_max` that pruned the search.
+    pub truss_bound: u32,
+    /// Truss levels actually searched.
+    pub levels_searched: usize,
+}
+
+/// Exact maximum clique via truss-pruned Bron–Kerbosch.
+///
+/// Exponential in the worst case (maximum clique is NP-hard) but the truss
+/// filter shrinks the instance drastically on sparse graphs — the point of
+/// §7.4. Suitable for the search spaces the k-truss produces; do not run on
+/// adversarial dense graphs.
+pub fn max_clique(g: &CsrGraph, d: &TrussDecomposition) -> MaxCliqueResult {
+    let mut best: Vec<VertexId> = Vec::new();
+    let mut levels_searched = 0usize;
+    if g.num_edges() == 0 {
+        return MaxCliqueResult {
+            clique: if g.num_vertices() > 0 { vec![0] } else { vec![] },
+            truss_bound: 2,
+            levels_searched: 0,
+        };
+    }
+
+    let mut k = d.k_max();
+    loop {
+        // A clique larger than `best` must live in the (best+1)-truss; stop
+        // once the level cannot contain anything better.
+        if (k as usize) < best.len().max(2) || k < 2 {
+            break;
+        }
+        levels_searched += 1;
+        let edges: Vec<_> = d.truss_edge_ids(k).iter().map(|&id| g.edge(id)).collect();
+        if !edges.is_empty() {
+            let sub = from_parent_edges(edges);
+            let local_best = bron_kerbosch_max(&sub.graph, best.len());
+            if local_best.len() > best.len() {
+                best = local_best
+                    .into_iter()
+                    .map(|v| sub.to_parent[v as usize])
+                    .collect();
+                best.sort_unstable();
+            }
+            // A clique of size k found inside the k-truss is optimal: no
+            // clique can exceed k_max ≥ k... only if k == k_max. Otherwise
+            // a bigger clique might hide in a higher level — but higher
+            // levels were already searched. A clique of size ≥ k at level k
+            // is therefore optimal.
+            if best.len() >= k as usize {
+                break;
+            }
+        }
+        if k == 2 {
+            break;
+        }
+        k -= 1;
+    }
+    // Isolated vertices: a single vertex is a clique of size 1.
+    if best.is_empty() && g.num_vertices() > 0 {
+        best.push(0);
+    }
+    MaxCliqueResult {
+        clique: best,
+        truss_bound: d.k_max(),
+        levels_searched,
+    }
+}
+
+/// Bron–Kerbosch with greedy pivoting; returns the largest clique found.
+/// `floor` prunes branches that cannot beat an already-known clique size.
+fn bron_kerbosch_max(g: &CsrGraph, floor: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut best: Vec<VertexId> = Vec::new();
+    let mut r: Vec<VertexId> = Vec::new();
+    let p: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
+    let x: Vec<VertexId> = Vec::new();
+    let mut floor = floor;
+    bk(g, &mut r, p, x, &mut best, &mut floor);
+    best
+}
+
+fn bk(
+    g: &CsrGraph,
+    r: &mut Vec<VertexId>,
+    p: Vec<VertexId>,
+    mut x: Vec<VertexId>,
+    best: &mut Vec<VertexId>,
+    floor: &mut usize,
+) {
+    if p.is_empty() && x.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+            *floor = (*floor).max(best.len());
+        }
+        return;
+    }
+    // Bound: even taking all of P cannot beat the floor.
+    if r.len() + p.len() <= *floor {
+        return;
+    }
+    // Pivot: vertex of P ∪ X with the most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| {
+            let nbrs = g.neighbors(u);
+            p.iter().filter(|v| nbrs.binary_search(v).is_ok()).count()
+        })
+        .expect("P ∪ X non-empty");
+    let pivot_nbrs = g.neighbors(pivot);
+    let candidates: Vec<VertexId> = p
+        .iter()
+        .copied()
+        .filter(|v| pivot_nbrs.binary_search(v).is_err())
+        .collect();
+
+    let mut p = p;
+    for v in candidates {
+        let nbrs = g.neighbors(v);
+        let p2: Vec<VertexId> = p
+            .iter()
+            .copied()
+            .filter(|w| nbrs.binary_search(w).is_ok())
+            .collect();
+        let x2: Vec<VertexId> = x
+            .iter()
+            .copied()
+            .filter(|w| nbrs.binary_search(w).is_ok())
+            .collect();
+        r.push(v);
+        bk(g, r, p2, x2, best, floor);
+        r.pop();
+        p.retain(|&w| w != v);
+        x.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::classic::{complete, cycle};
+    use truss_graph::generators::erdos_renyi::gnm;
+    use truss_graph::generators::figures::figure2_graph;
+    use truss_graph::generators::planted::planted_clique;
+    use truss_graph::Edge;
+
+    fn solve(g: &CsrGraph) -> MaxCliqueResult {
+        let d = truss_decompose(g);
+        max_clique(g, &d)
+    }
+
+    #[test]
+    fn clique_of_clique() {
+        let r = solve(&complete(7));
+        assert_eq!(r.clique.len(), 7);
+        assert_eq!(r.truss_bound, 7);
+        assert_eq!(r.levels_searched, 1);
+    }
+
+    #[test]
+    fn figure2_max_clique_is_k5() {
+        let r = solve(&figure2_graph());
+        assert_eq!(r.clique, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.truss_bound, 5);
+    }
+
+    #[test]
+    fn triangle_free() {
+        let r = solve(&cycle(9));
+        assert_eq!(r.clique.len(), 2, "an edge is the max clique");
+        assert_eq!(r.truss_bound, 2);
+    }
+
+    #[test]
+    fn planted_clique_found() {
+        let base = gnm(150, 500, 3);
+        let g = planted_clique(&base, 9, 5);
+        let r = solve(&g);
+        assert!(r.clique.len() >= 9);
+        verify_clique(&g, &r.clique);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        for seed in 0..4 {
+            let g = gnm(18, 60, seed);
+            let r = solve(&g);
+            verify_clique(&g, &r.clique);
+            assert_eq!(r.clique.len(), brute_force_omega(&g), "seed {seed}");
+        }
+    }
+
+    fn verify_clique(g: &CsrGraph, c: &[VertexId]) {
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                assert!(g.has_edge(c[i], c[j]), "non-edge in clique");
+            }
+        }
+    }
+
+    fn brute_force_omega(g: &CsrGraph) -> usize {
+        let n = g.num_vertices();
+        assert!(n <= 20);
+        let mut best = 0usize;
+        for mask in 1u32..(1 << n) {
+            let members: Vec<VertexId> =
+                (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            if members.len() <= best {
+                continue;
+            }
+            let ok = members.iter().enumerate().all(|(i, &a)| {
+                members[i + 1..].iter().all(|&b| g.has_edge(a, b))
+            });
+            if ok {
+                best = members.len();
+            }
+        }
+        best.max(usize::from(n > 0))
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(Vec::<Edge>::new());
+        let r = solve(&g);
+        assert!(r.clique.is_empty());
+    }
+}

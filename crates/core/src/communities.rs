@@ -1,0 +1,213 @@
+//! Truss-based communities.
+//!
+//! The paper motivates k-trusses as "hierarchical subgraphs that represent
+//! the cores of a network at different levels of granularity" (§1). The
+//! k-truss itself may be disconnected; its connected components are the
+//! natural *truss communities* — each is a maximal connected subgraph in
+//! which every edge closes at least `k − 2` triangles. This module extracts
+//! them and the containment forest across levels.
+
+use crate::decompose::TrussDecomposition;
+use truss_graph::hash::FxHashMap;
+use truss_graph::{CsrGraph, Edge, EdgeId, VertexId};
+
+/// A connected component of some k-truss.
+#[derive(Debug, Clone)]
+pub struct TrussCommunity {
+    /// The level `k` this community belongs to.
+    pub k: u32,
+    /// Vertices of the community (sorted).
+    pub vertices: Vec<VertexId>,
+    /// Edges of the community (sorted).
+    pub edges: Vec<Edge>,
+}
+
+impl TrussCommunity {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge density relative to a clique on the same vertices.
+    pub fn density(&self) -> f64 {
+        let n = self.vertices.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / (n * (n - 1.0) / 2.0)
+    }
+}
+
+/// Union-find over vertex ids (path halving + union by size).
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Connected components of the k-truss, as communities.
+pub fn truss_communities(
+    g: &CsrGraph,
+    d: &TrussDecomposition,
+    k: u32,
+) -> Vec<TrussCommunity> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    let edge_ids: Vec<EdgeId> = d.truss_edge_ids(k);
+    for &id in &edge_ids {
+        let e = g.edge(id);
+        uf.union(e.u, e.v);
+    }
+    let mut by_root: FxHashMap<u32, TrussCommunity> = FxHashMap::default();
+    for &id in &edge_ids {
+        let e = g.edge(id);
+        let root = uf.find(e.u);
+        let c = by_root.entry(root).or_insert_with(|| TrussCommunity {
+            k,
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        });
+        c.edges.push(e);
+        c.vertices.push(e.u);
+        c.vertices.push(e.v);
+    }
+    let mut out: Vec<TrussCommunity> = by_root
+        .into_values()
+        .map(|mut c| {
+            c.vertices.sort_unstable();
+            c.vertices.dedup();
+            c.edges.sort_unstable();
+            c
+        })
+        .collect();
+    // Deterministic order: larger communities first, ties by first vertex.
+    out.sort_by(|a, b| {
+        b.num_edges()
+            .cmp(&a.num_edges())
+            .then(a.vertices.first().cmp(&b.vertices.first()))
+    });
+    out
+}
+
+/// The full hierarchy: communities of every level `2 ≤ k ≤ k_max`, top
+/// levels first. Each community at level `k + 1` is contained in exactly
+/// one community at level `k` (trusses are nested), so this is a forest.
+pub fn truss_hierarchy(g: &CsrGraph, d: &TrussDecomposition) -> Vec<TrussCommunity> {
+    let mut out = Vec::new();
+    for k in (2..=d.k_max()).rev() {
+        out.extend(truss_communities(g, d, k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::figures::figure2_graph;
+
+    /// Two disjoint K5s joined by a path.
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 10] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push(Edge::new(base + i, base + j));
+                }
+            }
+        }
+        edges.push(Edge::new(4, 7));
+        edges.push(Edge::new(7, 10));
+        CsrGraph::from_edges(edges)
+    }
+
+    #[test]
+    fn separate_cliques_are_separate_communities() {
+        let g = two_cliques();
+        let d = truss_decompose(&g);
+        assert_eq!(d.k_max(), 5);
+        let comms = truss_communities(&g, &d, 5);
+        assert_eq!(comms.len(), 2);
+        for c in &comms {
+            assert_eq!(c.num_vertices(), 5);
+            assert_eq!(c.num_edges(), 10);
+            assert!((c.density() - 1.0).abs() < 1e-12);
+        }
+        // At k = 2 everything is one community (the graph is connected).
+        let comms2 = truss_communities(&g, &d, 2);
+        assert_eq!(comms2.len(), 1);
+        assert_eq!(comms2[0].num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn figure2_communities() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        // The 4-truss = K5{a..e} ∪ K4{f,h,i,j}: two components.
+        let comms = truss_communities(&g, &d, 4);
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0].num_edges(), 10); // K5 first (larger)
+        assert_eq!(comms[1].num_edges(), 6);
+        // The 5-truss: just the K5.
+        let top = truss_communities(&g, &d, 5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].vertices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hierarchy_is_nested() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        let all = truss_hierarchy(&g, &d);
+        // Every community at level k+1 is vertex-contained in some level-k
+        // community.
+        for upper in all.iter().filter(|c| c.k > 2) {
+            let found = all
+                .iter()
+                .filter(|c| c.k == upper.k - 1)
+                .any(|lower| upper.vertices.iter().all(|v| lower.vertices.binary_search(v).is_ok()));
+            assert!(found, "level-{} community not nested", upper.k);
+        }
+    }
+
+    #[test]
+    fn empty_level() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        assert!(truss_communities(&g, &d, 6).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! k-core decomposition (Seidman \[28\], O(m) algorithm of Batagelj &
+//! Zaveršnik \[5\]).
+//!
+//! The paper's §7.4 compares the `k_max`-truss against the `c_max`-core to
+//! argue that the truss is the tighter notion of "core" (Table 6). A
+//! `k`-truss is always contained in a `(k−1)`-core but not vice versa — the
+//! property-test suite checks that containment on random graphs.
+
+use truss_graph::subgraph::{induced, Subgraph};
+use truss_graph::{CsrGraph, VertexId};
+
+/// Core numbers of every vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    core: Vec<u32>,
+    c_max: u32,
+}
+
+impl CoreDecomposition {
+    /// Wraps an externally computed core-number array.
+    pub fn from_core_numbers(core: Vec<u32>) -> Self {
+        let c_max = core.iter().copied().max().unwrap_or(0);
+        CoreDecomposition { core, c_max }
+    }
+
+    /// Core number of `v` — the largest `k` such that `v` belongs to the
+    /// `k`-core.
+    #[inline]
+    pub fn core_of(&self, v: VertexId) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// The full core-number array.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// The maximum core number (`c_max`).
+    pub fn c_max(&self) -> u32 {
+        self.c_max
+    }
+
+    /// Vertices of the `k`-core.
+    pub fn core_vertices(&self, k: u32) -> Vec<VertexId> {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= k)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Bucket-peeling core decomposition: O(m + n).
+pub fn core_decompose(g: &CsrGraph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bin sort vertices by degree.
+    let mut bin_start = vec![0u32; max_deg + 2];
+    for &d in &degree {
+        bin_start[d as usize + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let bin_start = &mut bin_start[..max_deg + 1];
+    let mut cursor = bin_start.to_vec();
+    let mut sorted = vec![0 as VertexId; n];
+    let mut pos = vec![0u32; n];
+    for v in 0..n {
+        let d = degree[v] as usize;
+        sorted[cursor[d] as usize] = v as VertexId;
+        pos[v] = cursor[d];
+        cursor[d] += 1;
+    }
+
+    let mut core = vec![0u32; n];
+    let mut c_max = 0u32;
+    for head in 0..n {
+        let v = sorted[head];
+        let dv = degree[v as usize];
+        bin_start[dv as usize] = head as u32 + 1;
+        core[v as usize] = dv;
+        c_max = c_max.max(dv);
+        for &w in g.neighbors(v) {
+            if degree[w as usize] > dv {
+                // Move w to the front of its bin, then into the lower bin.
+                let dw = degree[w as usize] as usize;
+                let first = (bin_start[dw] as usize).max(head + 1);
+                let pw = pos[w as usize] as usize;
+                let other = sorted[first];
+                sorted.swap(first, pw);
+                pos[w as usize] = first as u32;
+                pos[other as usize] = pw as u32;
+                bin_start[dw] = first as u32 + 1;
+                degree[w as usize] -= 1;
+            }
+        }
+    }
+    CoreDecomposition { core, c_max }
+}
+
+/// The `c_max`-core as a compact subgraph (Table 6's `C`).
+pub fn cmax_core_subgraph(g: &CsrGraph, cores: &CoreDecomposition) -> Subgraph {
+    induced(g, &cores.core_vertices(cores.c_max()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::generators::classic::{complete, cycle, star};
+    use truss_graph::generators::erdos_renyi::gnm;
+    use truss_graph::Edge;
+
+    #[test]
+    fn clique_cores() {
+        let g = complete(6);
+        let c = core_decompose(&g);
+        assert_eq!(c.c_max(), 5);
+        assert!(c.core_numbers().iter().all(|&k| k == 5));
+    }
+
+    #[test]
+    fn cycle_and_star() {
+        let c = core_decompose(&cycle(10));
+        assert!(c.core_numbers().iter().all(|&k| k == 2));
+        let c = core_decompose(&star(7));
+        assert_eq!(c.core_of(0), 1);
+        assert!((1..=7).all(|v| c.core_of(v) == 1));
+    }
+
+    #[test]
+    fn core_plus_tail() {
+        // K4 with a path hanging off: 0-1-2-3 clique, 3-4-5 path.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        edges.push(Edge::new(3, 4));
+        edges.push(Edge::new(4, 5));
+        let g = CsrGraph::from_edges(edges);
+        let c = core_decompose(&g);
+        assert_eq!(c.c_max(), 3);
+        assert_eq!(c.core_vertices(3), vec![0, 1, 2, 3]);
+        assert_eq!(c.core_of(4), 1);
+    }
+
+    /// Brute-force reference: iteratively remove vertices with degree < k.
+    fn kcore_brute(g: &CsrGraph, k: u32) -> Vec<VertexId> {
+        let n = g.num_vertices();
+        let mut alive = vec![true; n];
+        loop {
+            let mut changed = false;
+            for v in 0..n as VertexId {
+                if !alive[v as usize] {
+                    continue;
+                }
+                let deg = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| alive[w as usize])
+                    .count();
+                if (deg as u32) < k {
+                    alive[v as usize] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..n as VertexId).filter(|&v| alive[v as usize]).collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..5 {
+            let g = gnm(50, 250, seed);
+            let c = core_decompose(&g);
+            for k in 1..=c.c_max() + 1 {
+                assert_eq!(c.core_vertices(k), kcore_brute(&g, k), "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmax_core_subgraph_extraction() {
+        let g = complete(5);
+        let c = core_decompose(&g);
+        let sub = cmax_core_subgraph(&g, &c);
+        assert_eq!(sub.graph.num_edges(), 10);
+    }
+}

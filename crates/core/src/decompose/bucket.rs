@@ -1,0 +1,200 @@
+//! The bin-sorted edge array of Algorithm 2.
+//!
+//! Algorithm 2 keeps all edges "sorted in ascending order of their support"
+//! in an array with O(1) reordering on support decrement — the edge analogue
+//! of the sorted degree array of Batagelj & Zaveršnik's core decomposition
+//! \[5\], which the paper cites for this structure (§3.2). Bin sort builds
+//! it in O(m); each decrement swaps the edge with the first edge of its bin
+//! and shifts the bin boundary.
+
+use truss_graph::EdgeId;
+
+/// Edges bucketed by current support with O(1) `pop_min` and O(1)
+/// `decrement`.
+pub struct SupportBuckets {
+    /// Edges in ascending support order.
+    sorted: Vec<EdgeId>,
+    /// `pos[e]` — index of edge `e` in `sorted`.
+    pos: Vec<u32>,
+    /// Current support of each edge.
+    sup: Vec<u32>,
+    /// `bin_start[s]` — index in `sorted` where support-`s` edges begin.
+    bin_start: Vec<u32>,
+    /// Edges before this index have been popped.
+    head: usize,
+}
+
+impl SupportBuckets {
+    /// Bin-sorts the edges by initial support. O(m + max_sup).
+    pub fn new(sup: Vec<u32>) -> Self {
+        let m = sup.len();
+        let max_sup = sup.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max_sup + 2];
+        for &s in &sup {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let bin_start = counts[..counts.len() - 1].to_vec();
+        let mut cursor = bin_start.clone();
+        let mut sorted = vec![0 as EdgeId; m];
+        let mut pos = vec![0u32; m];
+        for e in 0..m {
+            let s = sup[e] as usize;
+            let at = cursor[s] as usize;
+            sorted[at] = e as EdgeId;
+            pos[e] = at as u32;
+            cursor[s] += 1;
+        }
+        SupportBuckets {
+            sorted,
+            pos,
+            sup,
+            bin_start,
+            head: 0,
+        }
+    }
+
+    /// Current support of `e`.
+    #[inline]
+    pub fn support(&self, e: EdgeId) -> u32 {
+        self.sup[e as usize]
+    }
+
+    /// Pops the edge with the smallest current support.
+    pub fn pop_min(&mut self) -> Option<(EdgeId, u32)> {
+        if self.head >= self.sorted.len() {
+            return None;
+        }
+        let e = self.sorted[self.head];
+        let s = self.sup[e as usize];
+        // The popped edge's bin boundary moves past it so future decrements
+        // of same-support edges stay consistent.
+        debug_assert!(self.bin_start[s as usize] as usize <= self.head);
+        self.bin_start[s as usize] = self.head as u32 + 1;
+        self.head += 1;
+        Some((e, s))
+    }
+
+    /// Decrements the support of a not-yet-popped edge, keeping the array
+    /// sorted: the edge swaps with the first edge of its bin, which then
+    /// joins the lower bin. O(1).
+    pub fn decrement(&mut self, e: EdgeId) {
+        let s = self.sup[e as usize];
+        debug_assert!(s > 0, "support underflow for edge {e}");
+        let bin = s as usize;
+        // First unpopped slot of this bin:
+        let first = (self.bin_start[bin] as usize).max(self.head);
+        let pe = self.pos[e as usize] as usize;
+        debug_assert!(pe >= first, "edge {e} already below its bin");
+        let other = self.sorted[first];
+        // Swap e into the bin-front slot.
+        self.sorted.swap(first, pe);
+        self.pos[e as usize] = first as u32;
+        self.pos[other as usize] = pe as u32;
+        // Shrink the bin from the left; e is now in bin s-1.
+        self.bin_start[bin] = first as u32 + 1;
+        self.sup[e as usize] = s - 1;
+    }
+
+    /// Number of edges not yet popped.
+    pub fn remaining(&self) -> usize {
+        self.sorted.len() - self.head
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.sorted.len() * 4 + self.pos.len() * 4 + self.sup.len() * 4 + self.bin_start.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_support_order() {
+        let mut b = SupportBuckets::new(vec![3, 0, 2, 0, 1]);
+        let mut order = Vec::new();
+        while let Some((e, s)) = b.pop_min() {
+            order.push((s, e));
+        }
+        let sups: Vec<u32> = order.iter().map(|&(s, _)| s).collect();
+        assert_eq!(sups, vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn decrement_reorders() {
+        // Supports: e0=2, e1=2, e2=5.
+        let mut b = SupportBuckets::new(vec![2, 2, 5]);
+        b.decrement(2);
+        b.decrement(2);
+        b.decrement(2); // e2 now 2
+        b.decrement(2); // e2 now 1
+        assert_eq!(b.support(2), 1);
+        let (first, s) = b.pop_min().unwrap();
+        assert_eq!((first, s), (2, 1));
+        assert_eq!(b.pop_min().unwrap().1, 2);
+        assert_eq!(b.pop_min().unwrap().1, 2);
+        assert!(b.pop_min().is_none());
+    }
+
+    #[test]
+    fn interleaved_pop_and_decrement() {
+        let mut b = SupportBuckets::new(vec![1, 1, 2, 3]);
+        let (e, s) = b.pop_min().unwrap();
+        assert_eq!(s, 1);
+        // Decrement the other support-1 edge: goes to bin 0 but stays after
+        // head.
+        let other = if e == 0 { 1 } else { 0 };
+        b.decrement(other);
+        assert_eq!(b.support(other), 0);
+        assert_eq!(b.pop_min().unwrap(), (other, 0));
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn empty() {
+        let mut b = SupportBuckets::new(vec![]);
+        assert!(b.pop_min().is_none());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn large_random_consistency() {
+        // Pop everything while randomly decrementing; verify pops are
+        // non-decreasing in support *given* no decrements between (weaker
+        // invariant: popped support is minimal at pop time).
+        let sups: Vec<u32> = (0..500).map(|i| (i * 7 % 23) as u32).collect();
+        let mut b = SupportBuckets::new(sups.clone());
+        let mut current = sups.clone();
+        let mut popped = vec![false; 500];
+        let mut x = 12345u64;
+        while let Some((e, s)) = b.pop_min() {
+            assert!(!popped[e as usize]);
+            popped[e as usize] = true;
+            assert_eq!(current[e as usize], s);
+            // The popped edge must have had globally minimal support.
+            let min_rest = current
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !popped[i])
+                .map(|(_, &v)| v)
+                .min();
+            if let Some(min_rest) = min_rest {
+                assert!(s <= min_rest, "popped {s} but {min_rest} remains");
+            }
+            // Random decrements of unpopped positive-support edges.
+            for _ in 0..3 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let cand = (x >> 33) as usize % 500;
+                if !popped[cand] && current[cand] > 0 {
+                    b.decrement(cand as EdgeId);
+                    current[cand] -= 1;
+                }
+            }
+        }
+        assert!(popped.iter().all(|&p| p));
+    }
+}

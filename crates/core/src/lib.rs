@@ -1,0 +1,37 @@
+//! The truss-decomposition algorithms of Wang & Cheng (VLDB 2012).
+//!
+//! | paper | here |
+//! |-------|------|
+//! | Algorithm 1 (Cohen's in-memory, *TD-inmem*) | [`decompose::naive`] |
+//! | Algorithm 2 (improved in-memory, *TD-inmem+*) | [`decompose::improved`] |
+//! | Algorithm 3 (LowerBounding) | [`lower_bound`] |
+//! | Algorithm 4 + Procedures 5 & 9 (*TD-bottomup*) | [`bottom_up`] |
+//! | Procedure 6 (UpperBounding) | [`upper_bound`] |
+//! | Algorithm 7 + Procedures 8 & 10 (*TD-topdown*) | [`top_down`] |
+//! | k-core decomposition (§7.4 baseline) | [`core_decomposition`] |
+//!
+//! All algorithms produce the same [`decompose::TrussDecomposition`]; the
+//! integration test suite checks them against each other on hundreds of
+//! graphs.
+
+pub mod bottom_up;
+pub mod clique;
+pub mod communities;
+pub mod core_decomposition;
+pub mod core_external;
+pub mod decompose;
+pub mod lower_bound;
+pub mod spectrum;
+mod sweep;
+pub mod top_down;
+pub mod truss;
+pub mod upper_bound;
+
+pub use bottom_up::{bottom_up_decompose, minimum_budget, BottomUpConfig, BottomUpReport};
+pub use clique::{max_clique, MaxCliqueResult};
+pub use communities::{truss_communities, truss_hierarchy, TrussCommunity};
+pub use core_decomposition::{core_decompose, CoreDecomposition};
+pub use core_external::{external_core_decompose, ExternalCoreReport};
+pub use spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
+pub use decompose::{truss_decompose, truss_decompose_naive, TrussDecomposition};
+pub use top_down::{top_down_decompose, TopDownConfig, TopDownReport};

@@ -1,0 +1,179 @@
+//! Truss-spectrum statistics: aggregate views of a decomposition used by the
+//! experiment reports and by downstream analyses (fingerprinting,
+//! §1's "visualization of large-scale networks" motivation).
+
+use crate::decompose::TrussDecomposition;
+use truss_graph::CsrGraph;
+
+/// Aggregate statistics of a truss decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrussSpectrum {
+    /// `(k, |Φ_k|)` for every non-empty class, ascending.
+    pub class_sizes: Vec<(u32, usize)>,
+    /// `(k, edges of T_k, vertices of T_k)` for every `k` from 2 to `k_max`.
+    pub truss_sizes: Vec<(u32, usize, usize)>,
+    /// Largest `k` with a non-empty truss.
+    pub k_max: u32,
+    /// Mean truss number over edges.
+    pub mean_trussness: f64,
+    /// Median truss number over edges.
+    pub median_trussness: u32,
+    /// Fraction of edges in no triangle (`Φ_2`).
+    pub phi2_fraction: f64,
+}
+
+/// Computes the spectrum of a decomposition.
+pub fn truss_spectrum(g: &CsrGraph, d: &TrussDecomposition) -> TrussSpectrum {
+    let m = d.num_edges();
+    let class_sizes = d.class_sizes();
+    let k_max = d.k_max();
+
+    // Cumulative truss sizes from the class histogram (one pass, no
+    // per-level re-scans).
+    let mut truss_sizes = Vec::with_capacity(k_max as usize - 1);
+    let mut edge_count = vec![0usize; k_max as usize + 2];
+    for &(k, size) in &class_sizes {
+        edge_count[k as usize] = size;
+    }
+    let mut cumulative = 0usize;
+    let mut edges_at: Vec<usize> = vec![0; k_max as usize + 2];
+    for k in (2..=k_max).rev() {
+        cumulative += edge_count[k as usize];
+        edges_at[k as usize] = cumulative;
+    }
+    // Vertex counts need the actual edge endpoints per level.
+    let mut vertex_level = vec![0u32; g.num_vertices()];
+    for (i, &t) in d.trussness().iter().enumerate() {
+        let e = g.edge(i as u32);
+        for v in [e.u, e.v] {
+            if vertex_level[v as usize] < t {
+                vertex_level[v as usize] = t;
+            }
+        }
+    }
+    let mut vertices_at = vec![0usize; k_max as usize + 2];
+    for &lvl in &vertex_level {
+        if lvl >= 2 {
+            vertices_at[lvl as usize] += 1;
+        }
+    }
+    let mut vcum = 0usize;
+    for k in (2..=k_max).rev() {
+        vcum += vertices_at[k as usize];
+        truss_sizes.push((k, edges_at[k as usize], vcum));
+    }
+    truss_sizes.reverse();
+
+    let mut sorted: Vec<u32> = d.trussness().to_vec();
+    sorted.sort_unstable();
+    let mean = if m == 0 {
+        0.0
+    } else {
+        sorted.iter().map(|&t| t as f64).sum::<f64>() / m as f64
+    };
+    let median = if m == 0 { 2 } else { sorted[(m - 1) / 2] };
+    let phi2 = class_sizes
+        .iter()
+        .find(|&&(k, _)| k == 2)
+        .map(|&(_, s)| s)
+        .unwrap_or(0);
+
+    TrussSpectrum {
+        class_sizes,
+        truss_sizes,
+        k_max,
+        mean_trussness: mean,
+        median_trussness: median,
+        phi2_fraction: if m == 0 { 0.0 } else { phi2 as f64 / m as f64 },
+    }
+}
+
+/// The *truss number of a vertex*: the largest `k` such that the vertex has
+/// an incident edge in `T_k`. Useful for vertex-level fingerprints.
+pub fn vertex_trussness(g: &CsrGraph, d: &TrussDecomposition) -> Vec<u32> {
+    let mut out = vec![0u32; g.num_vertices()];
+    for (i, &t) in d.trussness().iter().enumerate() {
+        let e = g.edge(i as u32);
+        for v in [e.u, e.v] {
+            if out[v as usize] < t {
+                out[v as usize] = t;
+            }
+        }
+    }
+    out
+}
+
+/// Renders the spectrum as a small text histogram (for CLI/report output).
+pub fn render_spectrum(s: &TrussSpectrum) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "k_max = {}, mean ϕ = {:.2}, median ϕ = {}, Φ2 fraction = {:.1}%\n",
+        s.k_max,
+        s.mean_trussness,
+        s.median_trussness,
+        100.0 * s.phi2_fraction
+    ));
+    let max_size = s.class_sizes.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    for &(k, n) in &s.class_sizes {
+        let bar = "#".repeat((n * 40 / max_size).max(1));
+        out.push_str(&format!("Φ{k:<4} {n:>8}  {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::classic::complete;
+    use truss_graph::generators::figures::figure2_graph;
+
+    #[test]
+    fn figure2_spectrum() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        let s = truss_spectrum(&g, &d);
+        assert_eq!(s.k_max, 5);
+        assert_eq!(s.class_sizes, vec![(2, 1), (3, 9), (4, 6), (5, 10)]);
+        // T2 = 26 edges, T3 = 25, T4 = 16, T5 = 10.
+        assert_eq!(
+            s.truss_sizes.iter().map(|&(k, e, _)| (k, e)).collect::<Vec<_>>(),
+            vec![(2, 26), (3, 25), (4, 16), (5, 10)]
+        );
+        // T5 has 5 vertices.
+        assert_eq!(s.truss_sizes.last().unwrap().2, 5);
+        assert!((s.phi2_fraction - 1.0 / 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_spectrum() {
+        let g = complete(6);
+        let d = truss_decompose(&g);
+        let s = truss_spectrum(&g, &d);
+        assert_eq!(s.class_sizes, vec![(6, 15)]);
+        assert_eq!(s.mean_trussness, 6.0);
+        assert_eq!(s.median_trussness, 6);
+        assert_eq!(s.phi2_fraction, 0.0);
+    }
+
+    #[test]
+    fn vertex_levels() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        let vt = vertex_trussness(&g, &d);
+        assert_eq!(vt[0], 5); // a
+        assert_eq!(vt[3], 5); // d (in the K5)
+        assert_eq!(vt[6], 3); // g
+        assert_eq!(vt[10], 3); // k: edges (g,k),(d,k) are Φ3, (i,k) is Φ2
+    }
+
+    #[test]
+    fn render_has_bars() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        let s = truss_spectrum(&g, &d);
+        let text = render_spectrum(&s);
+        assert!(text.contains("k_max = 5"));
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared machinery for the pair-sweep realizations of Procedures 9 & 10.
+//!
+//! When a candidate subgraph `H` exceeds the memory budget, its vertex set
+//! is partitioned at half budget and every *pair* of parts is materialized
+//! in turn: the pair bucket `NS(P_i ∪ P_j)` contains every edge incident to
+//! either part, so an edge whose endpoints lie in parts `i` and `j` sees its
+//! complete neighborhood there — supports are exact — and is examined in
+//! exactly one pair per sweep.
+//!
+//! To avoid re-scanning `H` per pair (`O(p²)` scans), each sweep distributes
+//! `H` once into `p` part files (`part file x` = edges incident to part `x`,
+//! i.e. the edge set of `NS(P_x)`; every edge lands in at most two files).
+//! A pair bucket is then the key-merged union of two part files.
+
+use truss_graph::hash::FxHashSet;
+use truss_storage::record::EdgeRec;
+use truss_storage::{EdgeListFile, IoTracker, Partition, Result, ScratchDir, StorageError};
+
+/// Distributes the surviving edges of `h` (those not in `peeled`) into one
+/// file per part: file `x` holds the edges with at least one endpoint in
+/// part `x`, preserving `h`'s (sorted) order.
+pub(crate) fn distribute_parts(
+    h: &EdgeListFile,
+    peeled: &FxHashSet<u64>,
+    partition: &Partition,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+) -> Result<Vec<EdgeListFile>> {
+    let p = partition.num_parts();
+    let mut writers = Vec::with_capacity(p);
+    for _ in 0..p {
+        writers.push(EdgeListFile::create(
+            scratch.file("sweep-part"),
+            tracker.clone(),
+        )?);
+    }
+    let mut err: Option<StorageError> = None;
+    h.scan(|rec| {
+        if err.is_some() || peeled.contains(&rec.edge.key()) {
+            return;
+        }
+        let pu = partition.part_of(rec.edge.u) as usize;
+        let pv = partition.part_of(rec.edge.v) as usize;
+        if let Err(e) = writers[pu].push(rec) {
+            err = Some(e);
+            return;
+        }
+        if pv != pu {
+            if let Err(e) = writers[pv].push(rec) {
+                err = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    writers.into_iter().map(|w| w.finish()).collect()
+}
+
+/// Loads the pair bucket `NS(P_i ∪ P_j)`: the union of part files `i` and
+/// `j`, merged by edge key (both are sorted), filtered by the *current*
+/// peeled set (which may have grown since distribution).
+pub(crate) fn load_pair(
+    files: &[EdgeListFile],
+    i: u32,
+    j: u32,
+    peeled: &FxHashSet<u64>,
+) -> Result<Vec<EdgeRec>> {
+    let mut a = Vec::with_capacity(files[i as usize].len() as usize);
+    files[i as usize].scan(|rec| {
+        if !peeled.contains(&rec.edge.key()) {
+            a.push(rec);
+        }
+    })?;
+    if i == j {
+        return Ok(a);
+    }
+    let mut b = Vec::with_capacity(files[j as usize].len() as usize);
+    files[j as usize].scan(|rec| {
+        if !peeled.contains(&rec.edge.key()) {
+            b.push(rec);
+        }
+    })?;
+    // Merge two sorted runs, dropping the duplicate copies of edges that
+    // live in both parts.
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < a.len() && y < b.len() {
+        match a[x].edge.cmp(&b[y].edge) {
+            std::cmp::Ordering::Less => {
+                out.push(a[x]);
+                x += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[y]);
+                y += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[x]);
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[x..]);
+    out.extend_from_slice(&b[y..]);
+    Ok(out)
+}
+
+/// Deletes sweep part files, ignoring already-missing ones.
+pub(crate) fn delete_parts(files: Vec<EdgeListFile>) {
+    for f in files {
+        let _ = f.delete();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::Edge;
+    use truss_storage::partition::{plan_partition, PartitionStrategy};
+    use truss_storage::record::RecordFile;
+
+    fn rec(u: u32, v: u32) -> EdgeRec {
+        EdgeRec::bare(Edge::new(u, v))
+    }
+
+    #[test]
+    fn distribute_and_reload_covers_everything() {
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        // Edges over 8 vertices, sorted.
+        let recs: Vec<EdgeRec> = vec![
+            rec(0, 1),
+            rec(0, 5),
+            rec(1, 2),
+            rec(2, 6),
+            rec(3, 7),
+            rec(4, 5),
+            rec(6, 7),
+        ];
+        let h = RecordFile::from_iter(scratch.file("h"), tracker.clone(), recs.clone())
+            .unwrap();
+        let degrees = {
+            let mut d = vec![0u32; 8];
+            for r in &recs {
+                d[r.edge.u as usize] += 1;
+                d[r.edge.v as usize] += 1;
+            }
+            d
+        };
+        let partition =
+            plan_partition(PartitionStrategy::Sequential, &degrees, 6, |_| Ok(())).unwrap();
+        let p = partition.num_parts() as u32;
+        assert!(p >= 2);
+
+        let peeled = FxHashSet::default();
+        let files = distribute_parts(&h, &peeled, &partition, &scratch, &tracker).unwrap();
+
+        // Every edge must be loadable from exactly its canonical pair and
+        // the union over all pairs must cover all edges at least once.
+        let mut seen: Vec<Edge> = Vec::new();
+        for i in 0..p {
+            for j in i..p {
+                let bucket = load_pair(&files, i, j, &peeled).unwrap();
+                assert!(bucket.windows(2).all(|w| w[0].edge < w[1].edge), "sorted+dedup");
+                for r in bucket {
+                    let (cu, cv) = (partition.part_of(r.edge.u), partition.part_of(r.edge.v));
+                    let canonical = (cu.min(cv), cu.max(cv)) == (i, j);
+                    if canonical {
+                        seen.push(r.edge);
+                    }
+                }
+            }
+        }
+        seen.sort_unstable();
+        let expect: Vec<Edge> = recs.iter().map(|r| r.edge).collect();
+        assert_eq!(seen, expect);
+        delete_parts(files);
+    }
+
+    #[test]
+    fn peeled_filter_applies_at_load() {
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        let recs = vec![rec(0, 1), rec(0, 2), rec(1, 2)];
+        let h = RecordFile::from_iter(scratch.file("h"), tracker.clone(), recs).unwrap();
+        let degrees = vec![2u32, 2, 2];
+        let partition =
+            plan_partition(PartitionStrategy::Sequential, &degrees, 100, |_| Ok(())).unwrap();
+        let files =
+            distribute_parts(&h, &FxHashSet::default(), &partition, &scratch, &tracker)
+                .unwrap();
+        let mut peeled = FxHashSet::default();
+        peeled.insert(Edge::new(0, 1).key());
+        let bucket = load_pair(&files, 0, 0, &peeled).unwrap();
+        assert_eq!(bucket.len(), 2);
+        delete_parts(files);
+    }
+}

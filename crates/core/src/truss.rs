@@ -1,0 +1,159 @@
+//! k-truss extraction and definition-level verification.
+//!
+//! These utilities are deliberately *independent* of the decomposition
+//! algorithms: [`peel_to_k_truss`] recomputes a k-truss from scratch by its
+//! definition, so the test suite can check every algorithm against the
+//! definition rather than against a sibling implementation.
+
+use crate::decompose::TrussDecomposition;
+use truss_graph::subgraph::from_parent_edges;
+use truss_graph::{CsrGraph, Edge, EdgeId};
+use truss_triangle::count::edge_supports;
+
+/// Edges of the `k`-truss according to a decomposition.
+pub fn truss_subgraph_edges(g: &CsrGraph, d: &TrussDecomposition, k: u32) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = d
+        .truss_edge_ids(k)
+        .into_iter()
+        .map(|id| g.edge(id))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// The `k`-truss as its own compact graph (for metrics like Table 6's
+/// clustering coefficients).
+pub fn truss_subgraph(g: &CsrGraph, d: &TrussDecomposition, k: u32) -> CsrGraph {
+    from_parent_edges(truss_subgraph_edges(g, d, k)).graph
+}
+
+/// Checks Definition 2 directly: every edge of `edges` lies in at least
+/// `k − 2` triangles *within* the subgraph they form.
+pub fn is_k_truss(edges: &[Edge], k: u32) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    let sub = from_parent_edges(edges.iter().copied());
+    let sup = edge_supports(&sub.graph);
+    sup.iter().all(|&s| s + 2 >= k)
+}
+
+/// Computes the (maximal) `k`-truss of `g` by direct peeling: repeatedly
+/// delete any edge with fewer than `k − 2` surviving triangles. Returns the
+/// surviving edge ids. The fixpoint of this deletion is the unique largest
+/// subgraph satisfying the definition.
+pub fn peel_to_k_truss(g: &CsrGraph, k: u32) -> Vec<EdgeId> {
+    let m = g.num_edges();
+    let mut sup = edge_supports(g);
+    let mut alive = vec![true; m];
+    let need = k.saturating_sub(2);
+    let mut stack: Vec<EdgeId> = (0..m as EdgeId)
+        .filter(|&e| sup[e as usize] < need)
+        .collect();
+    let mut queued = vec![false; m];
+    for &e in &stack {
+        queued[e as usize] = true;
+    }
+    while let Some(e) = stack.pop() {
+        if !alive[e as usize] {
+            continue;
+        }
+        alive[e as usize] = false;
+        let edge = g.edge(e);
+        crate::decompose::improved::merge_common_neighbors(g, edge.u, edge.v, |_, a, b| {
+            if alive[a as usize] && alive[b as usize] {
+                for other in [a, b] {
+                    sup[other as usize] -= 1;
+                    if sup[other as usize] < need && !queued[other as usize] {
+                        queued[other as usize] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+        });
+    }
+    (0..m as EdgeId).filter(|&e| alive[e as usize]).collect()
+}
+
+/// Verifies a decomposition against the definition for every `k`:
+/// `{e : ϕ(e) ≥ k}` must equal the peeling fixpoint [`peel_to_k_truss`].
+/// Returns a description of the first violation.
+pub fn verify_decomposition(g: &CsrGraph, d: &TrussDecomposition) -> Result<(), String> {
+    if d.num_edges() != g.num_edges() {
+        return Err(format!(
+            "decomposition covers {} edges, graph has {}",
+            d.num_edges(),
+            g.num_edges()
+        ));
+    }
+    for k in 2..=d.k_max() {
+        let mut claimed = d.truss_edge_ids(k);
+        claimed.sort_unstable();
+        let mut actual = peel_to_k_truss(g, k);
+        actual.sort_unstable();
+        if claimed != actual {
+            return Err(format!(
+                "{k}-truss mismatch: decomposition claims {} edges, peeling gives {}",
+                claimed.len(),
+                actual.len()
+            ));
+        }
+    }
+    // And (k_max + 1)-truss must be empty.
+    if !peel_to_k_truss(g, d.k_max() + 1).is_empty() {
+        return Err(format!("a ({})-truss exists beyond k_max", d.k_max() + 1));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::classic::complete;
+    use truss_graph::generators::erdos_renyi::gnm;
+    use truss_graph::generators::figures::figure2_graph;
+
+    #[test]
+    fn peeling_matches_decomposition_on_figure2() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        verify_decomposition(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn peeling_matches_on_random() {
+        for seed in 0..6 {
+            let g = gnm(60, 450, seed);
+            let d = truss_decompose(&g);
+            verify_decomposition(&g, &d).expect("random graph");
+        }
+    }
+
+    #[test]
+    fn is_k_truss_definition() {
+        let g = complete(5);
+        let edges: Vec<Edge> = g.iter_edges().map(|(_, e)| e).collect();
+        assert!(is_k_truss(&edges, 5));
+        assert!(!is_k_truss(&edges, 6));
+        assert!(is_k_truss(&[], 100));
+    }
+
+    #[test]
+    fn truss_subgraph_extraction() {
+        let g = figure2_graph();
+        let d = truss_decompose(&g);
+        let t5 = truss_subgraph(&g, &d, 5);
+        assert_eq!(t5.num_edges(), 10);
+        assert_eq!(t5.num_vertices(), 5); // the K5 on {a..e}
+        let t4 = truss_subgraph(&g, &d, 4);
+        assert_eq!(t4.num_edges(), 16);
+    }
+
+    #[test]
+    fn peel_empty_for_large_k() {
+        let g = figure2_graph();
+        assert!(peel_to_k_truss(&g, 6).is_empty());
+        assert_eq!(peel_to_k_truss(&g, 2).len(), 26);
+    }
+}

@@ -1,0 +1,145 @@
+//! Normalizing builder for [`CsrGraph`].
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::error::{GraphError, Result};
+use crate::types::VertexId;
+
+/// Accumulates raw (possibly messy) edge input and produces a normalized
+/// [`CsrGraph`].
+///
+/// Normalization performed by [`GraphBuilder::build`]:
+/// * self-loops dropped,
+/// * parallel edges (in either orientation) deduplicated,
+/// * edges canonicalized to `u < v`.
+///
+/// [`GraphBuilder::build_compact`] additionally relabels vertices to the
+/// dense range `0..n'` (dropping isolated ids), returning the mapping.
+#[derive(Default)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(m: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Adds an undirected edge; self-loops are silently ignored.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> &mut Self {
+        if a != b {
+            self.edges.push(Edge::new(a, b));
+        }
+        self
+    }
+
+    /// Adds an edge from a raw `u64` pair (as parsed from text formats),
+    /// checking representability.
+    pub fn add_edge_u64(&mut self, a: u64, b: u64) -> Result<&mut Self> {
+        let max = VertexId::MAX as u64;
+        if a > max || b > max {
+            return Err(GraphError::Unrepresentable(format!(
+                "vertex id out of u32 range: ({a}, {b})"
+            )));
+        }
+        Ok(self.add_edge(a as VertexId, b as VertexId))
+    }
+
+    /// Number of raw edges currently buffered (before dedup).
+    pub fn raw_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the graph keeping original vertex ids (vertex set `0..=max_id`).
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        CsrGraph::from_sorted_dedup_edges(self.edges)
+    }
+
+    /// Builds the graph after compacting vertex ids to `0..n'`, dropping ids
+    /// that appear in no edge. Returns the graph and the `new id -> old id`
+    /// mapping.
+    pub fn build_compact(mut self) -> (CsrGraph, Vec<VertexId>) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut used: Vec<VertexId> = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            used.push(e.u);
+            used.push(e.v);
+        }
+        used.sort_unstable();
+        used.dedup();
+
+        // old id -> new id via binary search over `used` keeps memory at
+        // O(#used) instead of O(max id).
+        let relabel = |old: VertexId| -> VertexId {
+            used.binary_search(&old).expect("endpoint must be in used set") as VertexId
+        };
+        let mut edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .map(|e| Edge::new(relabel(e.u), relabel(e.v)))
+            .collect();
+        // Relabeling is monotone, so order is preserved; debug-check.
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        edges.sort_unstable();
+        (CsrGraph::from_sorted_dedup_edges(edges), used)
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for GraphBuilder {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        let mut b = GraphBuilder::new();
+        for (a, v) in iter {
+            b.add_edge(a, v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(2, 2).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn compact_drops_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(10, 20).add_edge(20, 30);
+        let (g, map) = b.build_compact();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(map, vec![10, 20, 30]);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn u64_overflow_rejected() {
+        let mut b = GraphBuilder::new();
+        assert!(b.add_edge_u64(1, u64::MAX).is_err());
+        assert!(b.add_edge_u64(1, 2).is_ok());
+    }
+
+    #[test]
+    fn from_iter_works() {
+        let b: GraphBuilder = vec![(0, 1), (1, 2)].into_iter().collect();
+        assert_eq!(b.build().num_edges(), 2);
+    }
+}

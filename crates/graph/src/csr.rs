@@ -1,0 +1,345 @@
+//! Compressed sparse row (CSR) representation of an undirected simple graph.
+
+use crate::edge::Edge;
+use crate::types::{EdgeId, VertexId};
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// This is the adjacency-list representation the paper assumes (§2): vertices
+/// are dense ids `0..n`, each vertex's neighbor list is sorted ascending, and
+/// every *undirected* edge has a dense id `0..m` assigned in lexicographic
+/// order of its canonical `(min, max)` pair. Each half-edge stores the id of
+/// its undirected edge so per-edge state (support, truss number, …) can be
+/// reached from either direction in O(1).
+///
+/// Construction normalizes input through [`crate::GraphBuilder`] or
+/// [`CsrGraph::from_edges`]; the structure itself is immutable — the peeling
+/// algorithms mark logical deletions in their own side arrays, which the
+/// paper notes is cheaper than physically updating adjacency lists (§3.1).
+#[derive(Clone)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`edge_ids` for `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists (length `2m`).
+    neighbors: Vec<VertexId>,
+    /// Undirected edge id of each half-edge (parallel to `neighbors`).
+    edge_ids: Vec<EdgeId>,
+    /// Canonical edges in lexicographic order (length `m`); index = `EdgeId`.
+    edges: Vec<Edge>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from a list of edges.
+    ///
+    /// The input may be in any order and contain duplicates (in either
+    /// orientation) and self-loops; they are removed. The vertex set is
+    /// `0..=max_id` — ids are **not** compacted (use
+    /// [`crate::GraphBuilder::build_compact`] for that).
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut es: Vec<Edge> = edges.into_iter().collect();
+        es.sort_unstable();
+        es.dedup();
+        Self::from_sorted_dedup_edges(es)
+    }
+
+    /// Builds a graph from edges that are already canonical, lexicographically
+    /// sorted and duplicate-free. This is the cheap path used by the builder
+    /// and the disk loaders.
+    pub fn from_sorted_dedup_edges(edges: Vec<Edge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+deduped");
+        let n = edges
+            .iter()
+            .map(|e| e.v as usize + 1)
+            .max()
+            .unwrap_or(0);
+
+        let mut degree = vec![0usize; n];
+        for e in &edges {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut neighbors = vec![0 as VertexId; acc];
+        let mut edge_ids = vec![0 as EdgeId; acc];
+        let mut cursor = offsets[..n].to_vec();
+        // Edges are sorted by (u, v); inserting u-side then v-side in a single
+        // pass yields sorted neighbor lists for the u side. The v side needs
+        // the second pass below? No: for a fixed vertex w, its neighbors
+        // smaller than w are inserted by the v-side of edges (x, w) which
+        // arrive in increasing x, and its neighbors larger than w by the
+        // u-side of (w, y) in increasing y. Interleaving the two kinds keeps
+        // each list sorted only if all v-side insertions for w happen before
+        // the u-side ones, which lexicographic edge order does NOT guarantee.
+        // So: insert u-sides in edge order (sorted), then v-sides in edge
+        // order into the remaining slots, then merge. Simpler and still
+        // linear: collect per-vertex then sort small slices — but that costs
+        // O(m log d). Instead do the classic two-pass counting fill which is
+        // stable per side, then an in-place merge per vertex.
+        //
+        // In practice the simplest linear scheme is: first pass inserts the
+        // *smaller*-endpoint side for all edges (covering neighbors > w in
+        // increasing order), second pass inserts the larger-endpoint side
+        // (covering neighbors < w in increasing order) — but both sides
+        // interleave in one list. We therefore fill v-sides first (neighbors
+        // < w arrive in increasing order since edges sorted by u then v),
+        // then u-sides (neighbors > w in increasing order), giving a fully
+        // sorted list because every v-side neighbor of w is < w < every
+        // u-side neighbor.
+        for (id, e) in edges.iter().enumerate() {
+            // v-side: neighbor is e.u, and e.u < e.v = w. Edges sorted by
+            // (u, v) deliver, for fixed w, increasing u. ✓
+            let w = e.v as usize;
+            neighbors[cursor[w]] = e.u;
+            edge_ids[cursor[w]] = id as EdgeId;
+            cursor[w] += 1;
+        }
+        for (id, e) in edges.iter().enumerate() {
+            // u-side: neighbor is e.v > u; for fixed u, increasing v. ✓
+            let w = e.u as usize;
+            neighbors[cursor[w]] = e.v;
+            edge_ids[cursor[w]] = id as EdgeId;
+            cursor[w] += 1;
+        }
+        debug_assert!((0..n).all(|v| cursor[v] == offsets[v + 1]));
+
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_ids,
+            edges,
+        }
+    }
+
+    /// Returns `g` extended to at least `n` vertices (the extra ids are
+    /// isolated). Formats that declare an explicit vertex count (METIS) use
+    /// this to preserve trailing isolated vertices.
+    pub fn with_min_vertices(g: CsrGraph, n: usize) -> CsrGraph {
+        let mut g = g;
+        let last = *g.offsets.last().expect("offsets never empty");
+        while g.offsets.len() <= n {
+            g.offsets.push(last);
+        }
+        g
+    }
+
+    /// Number of vertices `n` (including isolated ids below the max id).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The paper's `|G| = m + n`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.num_vertices() + self.num_edges()
+    }
+
+    /// True if the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Undirected edge ids parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_edge_ids(&self, v: VertexId) -> &[EdgeId] {
+        &self.edge_ids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// The canonical edge with id `id`.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id as usize]
+    }
+
+    /// All canonical edges in lexicographic order (index = edge id).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over `(EdgeId, Edge)` pairs.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i as EdgeId, e))
+    }
+
+    /// Iterates over all vertex ids `0..n`.
+    pub fn iter_vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Looks up the id of edge `(a, b)` by binary search in the smaller
+    /// endpoint's neighbor list: O(log min(deg a, deg b)).
+    pub fn edge_id(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
+        if a == b {
+            return None;
+        }
+        let (s, t) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let nbrs = self.neighbors(s);
+        let pos = nbrs.binary_search(&t).ok()?;
+        Some(self.neighbor_edge_ids(s)[pos])
+    }
+
+    /// True if `(a, b)` is an edge.
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.edge_id(a, b).is_some()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap footprint in bytes (used for the Table 3 memory
+    /// columns).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.edge_ids.len() * std::mem::size_of::<EdgeId>()
+            + self.edges.len() * std::mem::size_of::<Edge>()
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CsrGraph {{ n: {}, m: {} }}",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 0-2, 1-2 (triangle), 2-3 (pendant)
+        CsrGraph::from_edges(vec![
+            Edge::new(1, 0),
+            Edge::new(0, 2),
+            Edge::new(2, 1),
+            Edge::new(3, 2),
+            Edge::new(2, 0), // duplicate
+        ])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.size(), 8);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn edge_ids_lexicographic() {
+        let g = triangle_plus_pendant();
+        // sorted edges: (0,1)=0, (0,2)=1, (1,2)=2, (2,3)=3
+        assert_eq!(g.edge(0), Edge::new(0, 1));
+        assert_eq!(g.edge(3), Edge::new(2, 3));
+        assert_eq!(g.edge_id(2, 0), Some(1));
+        assert_eq!(g.edge_id(3, 2), Some(3));
+        assert_eq!(g.edge_id(0, 3), None);
+        assert_eq!(g.edge_id(1, 1), None);
+    }
+
+    #[test]
+    fn half_edge_ids_consistent() {
+        let g = triangle_plus_pendant();
+        for v in g.iter_vertices() {
+            for (&w, &id) in g.neighbors(v).iter().zip(g.neighbor_edge_ids(v)) {
+                assert_eq!(g.edge(id), Edge::new(v, w));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(Vec::new());
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_low_ids_preserved() {
+        // Only edge (5, 7): vertices 0..=7 exist, 0..5 and 6 isolated.
+        let g = CsrGraph::from_edges(vec![Edge::new(5, 7)]);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(5), 1);
+    }
+
+    #[test]
+    fn larger_sorted_invariant() {
+        // A denser case to exercise the two-pass fill.
+        let mut edges = Vec::new();
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                if (u + v) % 3 != 0 {
+                    edges.push(Edge::new(v, u));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(edges.clone());
+        for v in g.iter_vertices() {
+            let nbrs = g.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+        }
+        assert_eq!(g.num_edges(), edges.len());
+    }
+}

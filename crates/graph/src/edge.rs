@@ -1,0 +1,132 @@
+//! Canonical undirected edges.
+
+use crate::types::VertexId;
+
+/// An undirected edge stored in canonical form: `u < v`.
+///
+/// The canonical form makes undirected edges directly comparable and
+/// hashable, and gives every edge a unique 64-bit key ([`Edge::key`]) used by
+/// the hash-based edge index of Algorithm 2 and by the disk formats.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+}
+
+impl Edge {
+    /// Creates a canonical edge from two distinct endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `a == b` (self-loops are not representable;
+    /// the [`crate::GraphBuilder`] filters them before this point).
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        debug_assert_ne!(a, b, "self-loop is not a valid undirected edge");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Packs the canonical pair into a single `u64` key (`u` in the high
+    /// bits). Keys order exactly like the edges themselves.
+    #[inline]
+    pub fn key(self) -> u64 {
+        ((self.u as u64) << 32) | self.v as u64
+    }
+
+    /// Inverse of [`Edge::key`].
+    #[inline]
+    pub fn from_key(key: u64) -> Self {
+        Edge {
+            u: (key >> 32) as VertexId,
+            v: key as VertexId,
+        }
+    }
+
+    /// Returns the endpoint different from `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `w` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, w: VertexId) -> VertexId {
+        debug_assert!(w == self.u || w == self.v);
+        if w == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+
+    /// True if `w` is an endpoint.
+    #[inline]
+    pub fn touches(self, w: VertexId) -> bool {
+        self.u == w || self.v == w
+    }
+}
+
+impl std::fmt::Debug for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((a, b): (VertexId, VertexId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_order() {
+        assert_eq!(Edge::new(3, 1), Edge::new(1, 3));
+        assert_eq!(Edge::new(3, 1).u, 1);
+        assert_eq!(Edge::new(3, 1).v, 3);
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let e = Edge::new(7, 42);
+        assert_eq!(Edge::from_key(e.key()), e);
+        let big = Edge::new(u32::MAX - 1, u32::MAX);
+        assert_eq!(Edge::from_key(big.key()), big);
+    }
+
+    #[test]
+    fn key_orders_like_edge() {
+        let a = Edge::new(1, 9);
+        let b = Edge::new(2, 3);
+        assert!(a < b);
+        assert!(a.key() < b.key());
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(5, 9);
+        assert_eq!(e.other(5), 9);
+        assert_eq!(e.other(9), 5);
+        assert!(e.touches(5) && e.touches(9) && !e.touches(7));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn rejects_self_loop() {
+        let _ = Edge::new(4, 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, parsing and serialization.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A text or binary input could not be parsed. Carries a human-readable
+    /// location/description.
+    Parse(String),
+    /// The input describes a graph this library cannot represent (e.g. more
+    /// than `u32::MAX` vertices).
+    Unrepresentable(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::Unrepresentable(msg) => write!(f, "unrepresentable graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

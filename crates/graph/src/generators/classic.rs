@@ -1,0 +1,118 @@
+//! Deterministic classic graphs: cliques, cycles, paths, stars, bipartite
+//! graphs and grids. Heavily used as closed-form test fixtures (the truss
+//! decomposition of each of these is known analytically).
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::types::VertexId;
+
+/// Complete graph `K_n`. Its truss decomposition is a single n-class:
+/// every edge has trussness `n` (each edge lies in `n−2` triangles).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            edges.push(Edge { u, v });
+        }
+    }
+    CsrGraph::from_sorted_dedup_edges(edges)
+}
+
+/// Cycle `C_n` (n ≥ 3). Triangle-free for n > 3, so every edge has
+/// trussness 2.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<Edge> = (0..n as VertexId)
+        .map(|i| Edge::new(i, ((i as usize + 1) % n) as VertexId))
+        .collect();
+    edges.sort_unstable();
+    CsrGraph::from_sorted_dedup_edges(edges)
+}
+
+/// Path `P_n` with `n` vertices and `n−1` edges.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<Edge> = (1..n as VertexId).map(|i| Edge { u: i - 1, v: i }).collect();
+    CsrGraph::from_sorted_dedup_edges(edges)
+}
+
+/// Star `S_n`: center 0 connected to `n` leaves. Triangle-free.
+pub fn star(leaves: usize) -> CsrGraph {
+    let edges: Vec<Edge> = (1..=leaves as VertexId).map(|v| Edge { u: 0, v }).collect();
+    CsrGraph::from_sorted_dedup_edges(edges)
+}
+
+/// Complete bipartite graph `K_{a,b}`. Triangle-free, so trussness 2
+/// everywhere — but its (min(a,b))-core is large: a worst case separating
+/// k-core from k-truss.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as VertexId {
+        for v in 0..b as VertexId {
+            edges.push(Edge {
+                u,
+                v: a as VertexId + v,
+            });
+        }
+    }
+    CsrGraph::from_sorted_dedup_edges(edges)
+}
+
+/// `rows × cols` grid graph. Triangle-free.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    CsrGraph::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.iter_vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn path_and_star() {
+        assert_eq!(path(5).num_edges(), 4);
+        let s = star(7);
+        assert_eq!(s.num_edges(), 7);
+        assert_eq!(s.degree(0), 7);
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(crate::metrics::triangles_per_vertex(&g).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+    }
+}

@@ -1,0 +1,460 @@
+//! Synthetic analogues of the paper's nine evaluation datasets (Table 2).
+//!
+//! The real datasets (SNAP, Technorati, BTC, Yahoo! Web) are not available
+//! offline and the largest exceed this machine, so each dataset is replaced
+//! by a deterministic generator that reproduces the *structural properties
+//! that drive the algorithms*: edge count (scaled), heavy-tailed degree
+//! distribution, triangle density, and a planted community/clique spectrum
+//! that pins `k_max` near the paper's value. See `DESIGN.md` §4.1.
+//!
+//! Every dataset records the paper's original statistics
+//! ([`PaperStats`]) so the reproduction harness can print
+//! paper-vs-measured tables (`repro_table2`).
+
+use super::planted::{overlapping_communities, CommunityConfig};
+use super::rng;
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::hash::FxHashSet;
+use crate::types::VertexId;
+use rand::Rng;
+
+/// Statistics of the original dataset as reported in Table 2 / Table 6.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperStats {
+    /// `|V_G|` in the paper.
+    pub vertices: u64,
+    /// `|E_G|` in the paper.
+    pub edges: u64,
+    /// Maximum degree.
+    pub dmax: u64,
+    /// Median degree.
+    pub dmed: u64,
+    /// Largest k with a non-empty k-truss.
+    pub kmax: u32,
+    /// Largest k with a non-empty k-core (Table 6; `None` if not reported).
+    pub cmax: Option<u32>,
+}
+
+/// Static description of a dataset analogue.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Short name used by the harness (`p2p`, `hep`, …).
+    pub name: &'static str,
+    /// What the original graph is.
+    pub description: &'static str,
+    /// The paper's statistics for the original graph.
+    pub paper: PaperStats,
+    /// Default scale (fraction of the original size) used by the
+    /// reproduction harness; keeps a full `repro_all` run in minutes.
+    pub default_scale: f64,
+}
+
+/// The nine evaluation datasets of §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Gnutella peer-to-peer network.
+    P2p,
+    /// High-energy-physics collaboration network.
+    Hep,
+    /// Amazon product co-purchasing network.
+    Amazon,
+    /// Wikipedia talk network.
+    Wiki,
+    /// Skitter autonomous-systems topology.
+    Skitter,
+    /// Technorati blog network.
+    Blog,
+    /// LiveJournal friendship network.
+    Lj,
+    /// Billion Triple Challenge RDF graph.
+    Btc,
+    /// UK web graph.
+    Web,
+}
+
+impl Dataset {
+    /// Static spec (paper statistics, default scale).
+    pub fn spec(&self) -> &'static DatasetSpec {
+        match self {
+            Dataset::P2p => &P2P_SPEC,
+            Dataset::Hep => &HEP_SPEC,
+            Dataset::Amazon => &AMAZON_SPEC,
+            Dataset::Wiki => &WIKI_SPEC,
+            Dataset::Skitter => &SKITTER_SPEC,
+            Dataset::Blog => &BLOG_SPEC,
+            Dataset::Lj => &LJ_SPEC,
+            Dataset::Btc => &BTC_SPEC,
+            Dataset::Web => &WEB_SPEC,
+        }
+    }
+
+    /// Builds the analogue at the spec's default scale.
+    pub fn build(&self, seed: u64) -> CsrGraph {
+        self.build_scaled(self.spec().default_scale, seed)
+    }
+
+    /// Builds the analogue at an explicit scale (fraction of the paper's
+    /// vertex/edge counts). `k_max`-pinning cliques are **not** scaled down
+    /// below the point where the dataset would lose its character, but are
+    /// capped by the scaled vertex count.
+    pub fn build_scaled(&self, scale: f64, seed: u64) -> CsrGraph {
+        let spec = self.spec();
+        let n = ((spec.paper.vertices as f64 * scale) as usize).max(64);
+        let m = ((spec.paper.edges as f64 * scale) as usize).max(128);
+        match self {
+            Dataset::P2p => p2p_like(n, m, seed),
+            Dataset::Hep => collaboration_like(n, m, spec.paper.kmax as usize, seed),
+            Dataset::Amazon => copurchase_like(n, m, spec.paper.kmax as usize, seed),
+            Dataset::Wiki => hub_and_clique_like(n, m, spec.paper.kmax as usize, 40, seed),
+            Dataset::Skitter => hub_and_clique_like(n, m, spec.paper.kmax as usize, 25, seed),
+            Dataset::Blog => hub_and_clique_like(n, m, spec.paper.kmax as usize, 15, seed),
+            Dataset::Lj => community_rich_like(n, m, spec.paper.kmax as usize, seed),
+            Dataset::Btc => rdf_like(n, m, spec.paper.kmax as usize, seed),
+            Dataset::Web => community_rich_like(n, m, spec.paper.kmax as usize, seed),
+        }
+    }
+}
+
+/// All nine datasets in Table 2 order.
+pub fn all_datasets() -> [Dataset; 9] {
+    [
+        Dataset::P2p,
+        Dataset::Hep,
+        Dataset::Amazon,
+        Dataset::Wiki,
+        Dataset::Skitter,
+        Dataset::Blog,
+        Dataset::Lj,
+        Dataset::Btc,
+        Dataset::Web,
+    ]
+}
+
+/// Looks a dataset up by its short name.
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    all_datasets()
+        .into_iter()
+        .find(|d| d.spec().name.eq_ignore_ascii_case(name))
+}
+
+static P2P_SPEC: DatasetSpec = DatasetSpec {
+    name: "p2p",
+    description: "Gnutella peer-to-peer network (SNAP)",
+    paper: PaperStats { vertices: 6_300, edges: 41_600, dmax: 97, dmed: 3, kmax: 5, cmax: None },
+    default_scale: 1.0,
+};
+static HEP_SPEC: DatasetSpec = DatasetSpec {
+    name: "hep",
+    description: "High-energy-physics collaboration network (SNAP)",
+    paper: PaperStats { vertices: 9_900, edges: 52_000, dmax: 65, dmed: 3, kmax: 32, cmax: None },
+    default_scale: 1.0,
+};
+static AMAZON_SPEC: DatasetSpec = DatasetSpec {
+    name: "amazon",
+    description: "Amazon product co-purchasing network (SNAP)",
+    paper: PaperStats { vertices: 400_000, edges: 3_400_000, dmax: 2_752, dmed: 10, kmax: 11, cmax: Some(10) },
+    default_scale: 1.0 / 16.0,
+};
+static WIKI_SPEC: DatasetSpec = DatasetSpec {
+    name: "wiki",
+    description: "Wikipedia talk network (SNAP)",
+    paper: PaperStats { vertices: 2_400_000, edges: 5_000_000, dmax: 100_029, dmed: 1, kmax: 53, cmax: Some(131) },
+    default_scale: 1.0 / 32.0,
+};
+static SKITTER_SPEC: DatasetSpec = DatasetSpec {
+    name: "skitter",
+    description: "Skitter autonomous-systems internet topology (SNAP)",
+    paper: PaperStats { vertices: 1_700_000, edges: 11_000_000, dmax: 35_455, dmed: 5, kmax: 68, cmax: Some(111) },
+    default_scale: 1.0 / 32.0,
+};
+static BLOG_SPEC: DatasetSpec = DatasetSpec {
+    name: "blog",
+    description: "Technorati blog network",
+    paper: PaperStats { vertices: 1_000_000, edges: 12_800_000, dmax: 6_154, dmed: 2, kmax: 49, cmax: Some(86) },
+    default_scale: 1.0 / 32.0,
+};
+static LJ_SPEC: DatasetSpec = DatasetSpec {
+    name: "lj",
+    description: "LiveJournal friendship network (SNAP)",
+    paper: PaperStats { vertices: 4_800_000, edges: 69_000_000, dmax: 20_333, dmed: 5, kmax: 362, cmax: Some(372) },
+    default_scale: 1.0 / 128.0,
+};
+static BTC_SPEC: DatasetSpec = DatasetSpec {
+    name: "btc",
+    description: "Billion Triple Challenge RDF graph",
+    paper: PaperStats { vertices: 165_000_000, edges: 773_000_000, dmax: 1_637_619, dmed: 1, kmax: 7, cmax: Some(641) },
+    default_scale: 1.0 / 2048.0,
+};
+static WEB_SPEC: DatasetSpec = DatasetSpec {
+    name: "web",
+    description: "UK web graph (Yahoo! webspam corpus)",
+    paper: PaperStats { vertices: 106_000_000, edges: 1_092_000_000, dmax: 36_484, dmed: 2, kmax: 166, cmax: Some(165) },
+    default_scale: 1.0 / 2048.0,
+};
+
+/// Expected number of intra-community edges for one community drawn from
+/// the bounded power law used by [`overlapping_communities`]: the exact
+/// discrete expectation `Σ w(s)·density·C(s,2) / Σ w(s)` with
+/// `w(s) = s^-exponent`. Used to calibrate community counts so the dataset
+/// analogues hit their target edge volumes.
+fn expected_community_edges(min_size: usize, max_size: usize, exponent: f64, density: f64) -> f64 {
+    let mut weight_sum = 0.0f64;
+    let mut edge_sum = 0.0f64;
+    for s in min_size..=max_size {
+        let w = (s as f64).powf(-exponent);
+        weight_sum += w;
+        edge_sum += w * density * (s as f64) * (s as f64 - 1.0) / 2.0;
+    }
+    if weight_sum == 0.0 {
+        1.0
+    } else {
+        (edge_sum / weight_sum).max(1.0)
+    }
+}
+
+/// Plants cliques of the given sizes over vertices `0..n`, appending edges.
+fn plant_cliques(
+    edges: &mut Vec<Edge>,
+    n: usize,
+    sizes: &[usize],
+    r: &mut rand::rngs::StdRng,
+) {
+    for &size in sizes {
+        let size = size.min(n);
+        let mut members: Vec<VertexId> = Vec::with_capacity(size);
+        let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+        while members.len() < size {
+            let v = r.gen_range(0..n as VertexId);
+            if seen.insert(v) {
+                members.push(v);
+            }
+        }
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push(Edge::new(members[i], members[j]));
+            }
+        }
+    }
+}
+
+/// Adds `count` uniform random background edges.
+fn background(edges: &mut Vec<Edge>, n: usize, count: usize, r: &mut rand::rngs::StdRng) {
+    let mut added = 0;
+    while added < count {
+        let a = r.gen_range(0..n as VertexId);
+        let b = r.gen_range(0..n as VertexId);
+        if a != b {
+            edges.push(Edge::new(a, b));
+            added += 1;
+        }
+    }
+}
+
+/// Gnutella-like: nearly random, few triangles, small `k_max` pinned by a
+/// handful of 5-cliques.
+fn p2p_like(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let mut edges = Vec::with_capacity(m + 200);
+    let cliques = [5usize; 8];
+    background(&mut edges, n, m.saturating_sub(80), &mut r);
+    plant_cliques(&mut edges, n, &cliques, &mut r);
+    CsrGraph::from_edges(edges)
+}
+
+/// Collaboration network: many overlapping author cliques (papers), one of
+/// size `kmax` pinning the top truss.
+fn collaboration_like(n: usize, m: usize, kmax: usize, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let max_size = (kmax.min(n) * 2 / 3).max(2);
+    let per_comm = expected_community_edges(2, max_size, 2.6, 1.0);
+    // Budget: ~70% of m in communities, 10% background, the rest rings/cliques.
+    let communities = ((m as f64 * 0.7 / per_comm) as usize).max(8);
+    let mut g = overlapping_communities(
+        CommunityConfig {
+            n,
+            communities,
+            min_size: 2,
+            max_size,
+            size_exponent: 2.6,
+            density: 1.0,
+            background_edges: m / 10,
+        },
+        seed,
+    );
+    let mut edges = g.edges().to_vec();
+    plant_cliques(&mut edges, n, &[kmax], &mut r);
+    g = CsrGraph::from_edges(edges);
+    g
+}
+
+/// Co-purchasing network: moderate clustering, bounded degrees, small kmax.
+fn copurchase_like(n: usize, m: usize, kmax: usize, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let per_comm = expected_community_edges(3, kmax.min(n).max(3), 3.0, 0.9);
+    let communities = ((m as f64 * 0.7 / per_comm) as usize).max(8);
+    let base = overlapping_communities(
+        CommunityConfig {
+            n,
+            communities,
+            min_size: 3,
+            max_size: kmax.min(n),
+            size_exponent: 3.0,
+            density: 0.9,
+            background_edges: m / 6,
+        },
+        seed,
+    );
+    let mut edges = base.edges().to_vec();
+    plant_cliques(&mut edges, n, &[kmax], &mut r);
+    CsrGraph::from_edges(edges)
+}
+
+/// Hub-dominated power-law graph (Wiki/Skitter/Blog): a star-heavy core with
+/// a planted clique spectrum. `hub_share` tunes how much of the edge volume
+/// goes to hubs (larger → more extreme `d_max`, smaller median).
+fn hub_and_clique_like(n: usize, m: usize, kmax: usize, hub_count: usize, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(m + kmax * kmax / 2);
+    let hubs = hub_count.min(n / 4).max(1);
+    // Hub edges: each non-hub vertex attaches to 1..=2 hubs chosen by a
+    // Zipf-ish rule (hub h gets weight 1/(h+1)).
+    let hub_edges = m / 2;
+    let weights: Vec<f64> = (0..hubs).map(|h| 1.0 / (h as f64 + 1.0)).collect();
+    let total_w: f64 = weights.iter().sum();
+    for _ in 0..hub_edges {
+        let mut x = r.gen::<f64>() * total_w;
+        let mut h = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                h = i;
+                break;
+            }
+            x -= w;
+        }
+        let v = r.gen_range(hubs as VertexId..n as VertexId);
+        edges.push(Edge::new(h as VertexId, v));
+    }
+    // Community spectrum: power-law clique sizes up to ~2/3 kmax,
+    // calibrated to ~25% of the edge budget.
+    let comm_max = (kmax * 2 / 3).max(4).min(n);
+    let per_comm = expected_community_edges(3, comm_max, 2.4, 1.0);
+    let communities = ((m as f64 * 0.25 / per_comm) as usize).max(4);
+    let comm = overlapping_communities(
+        CommunityConfig {
+            n,
+            communities,
+            min_size: 3,
+            max_size: comm_max,
+            size_exponent: 2.4,
+            density: 1.0,
+            background_edges: m / 4,
+        },
+        seed ^ 0x9e3779b97f4a7c15,
+    );
+    edges.extend_from_slice(comm.edges());
+    plant_cliques(&mut edges, n, &[kmax], &mut r);
+    CsrGraph::from_edges(edges)
+}
+
+/// Community-rich social/web graph (LJ/Web): a large planted near-clique
+/// (the paper's `k_max` = 362 for LJ implies one) over a heavy community
+/// spectrum.
+fn community_rich_like(n: usize, m: usize, kmax: usize, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let kmax = kmax.min(n / 2);
+    let clique_edges = kmax * (kmax - 1) / 2;
+    let comm_max = (kmax / 3).max(5).min(n);
+    let per_comm = expected_community_edges(3, comm_max, 2.2, 1.0);
+    let comm_budget = (m.saturating_sub(clique_edges + m / 5) as f64 * 0.9).max(per_comm);
+    let communities = ((comm_budget / per_comm) as usize).max(4);
+    let base = overlapping_communities(
+        CommunityConfig {
+            n,
+            communities,
+            min_size: 3,
+            max_size: comm_max,
+            size_exponent: 2.2,
+            density: 1.0,
+            background_edges: m / 5,
+        },
+        seed,
+    );
+    let mut edges = base.edges().to_vec();
+    plant_cliques(&mut edges, n, &[kmax], &mut r);
+    CsrGraph::from_edges(edges)
+}
+
+/// RDF-like (BTC): overwhelmingly star-shaped (median degree 1, giant hubs),
+/// nearly triangle-free, tiny `k_max`.
+fn rdf_like(n: usize, m: usize, kmax: usize, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(m + 64);
+    let mega_hubs = 4usize;
+    let hubs = (n / 200).max(mega_hubs + 1);
+    let leaf_range = (n - hubs) as f64;
+    for _ in 0..m {
+        // 60% of edges to one of a few mega-hubs, the rest to smaller hubs.
+        let h = if r.gen::<f64>() < 0.6 {
+            r.gen_range(0..mega_hubs as VertexId)
+        } else {
+            r.gen_range(mega_hubs as VertexId..hubs as VertexId)
+        };
+        // Leaf endpoints are power-law skewed (x^4 concentrates the mass on
+        // low indices) so that most leaves appear exactly once — the paper's
+        // BTC has median degree 1 despite mean degree ≈ 9.
+        let x: f64 = r.gen::<f64>();
+        let v = hubs as VertexId + (leaf_range * x * x * x * x) as VertexId;
+        if v as usize >= n {
+            continue;
+        }
+        edges.push(Edge::new(h, v));
+    }
+    // A few small cliques give the tiny truss spectrum (k_max = 7).
+    plant_cliques(&mut edges, n, &[kmax, kmax.saturating_sub(1).max(3), 4, 4], &mut r);
+    CsrGraph::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_complete() {
+        assert_eq!(all_datasets().len(), 9);
+        for d in all_datasets() {
+            assert_eq!(dataset_by_name(d.spec().name), Some(d));
+        }
+        assert_eq!(dataset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn tiny_scale_builds() {
+        // Build every dataset at a very small scale: shape checks only.
+        for d in all_datasets() {
+            let g = d.build_scaled(0.002, 42);
+            assert!(g.num_edges() >= 64, "{}: too few edges", d.spec().name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Dataset::Hep.build_scaled(0.05, 7);
+        let b = Dataset::Hep.build_scaled(0.05, 7);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn btc_is_star_heavy() {
+        let g = Dataset::Btc.build_scaled(1.0 / 8192.0, 3);
+        let stats = crate::metrics::degree_stats(&g);
+        assert!(stats.median <= 2, "median {}", stats.median);
+        assert!(stats.max > 50, "max {}", stats.max);
+    }
+
+    #[test]
+    fn hep_is_clustered() {
+        let g = Dataset::Hep.build_scaled(0.1, 3);
+        assert!(crate::metrics::average_local_clustering(&g) > 0.1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Erdős–Rényi random graphs.
+
+use super::rng;
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::hash::FxHashSet;
+use crate::types::VertexId;
+use rand::Rng;
+
+/// `G(n, p)`: each of the `C(n,2)` possible edges present independently with
+/// probability `p`. Uses geometric skipping so the cost is O(m), not O(n²).
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    if p <= 0.0 || n < 2 {
+        return CsrGraph::from_edges(
+            // keep the vertex count: encode via a max-id self edge trick is
+            // not possible; an empty edge set yields n=0. Callers that need
+            // isolated vertices should pad externally.
+            Vec::<Edge>::new(),
+        );
+    }
+    if p >= 1.0 {
+        return super::classic::complete(n);
+    }
+    // Iterate over the implicit enumeration of pairs with geometric jumps.
+    let lp = (1.0 - p).ln();
+    let total = n * (n - 1) / 2;
+    let mut idx: f64 = -1.0;
+    loop {
+        let u: f64 = r.gen_range(f64::EPSILON..1.0);
+        idx += 1.0 + (u.ln() / lp).floor();
+        if idx >= total as f64 {
+            break;
+        }
+        let k = idx as usize;
+        // Decode pair index k -> (u, v) with u < v, enumerating by u.
+        let (a, b) = decode_pair(k, n);
+        edges.push(Edge::new(a, b));
+    }
+    CsrGraph::from_edges(edges)
+}
+
+/// Decodes the `k`-th pair (lexicographic by `u`) of `0..n`.
+fn decode_pair(k: usize, n: usize) -> (VertexId, VertexId) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... simpler: walk rows.
+    // Binary search on u to keep this O(log n).
+    let row_start = |u: usize| u * (2 * n - u - 1) / 2;
+    let (mut lo, mut hi) = (0usize, n - 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if row_start(mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (k - row_start(u));
+    (u as VertexId, v as VertexId)
+}
+
+/// `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "requested {m} edges but K_{n} has only {max}");
+    let mut r = rng(seed);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = r.gen_range(0..n as VertexId);
+        let b = r.gen_range(0..n as VertexId);
+        if a == b {
+            continue;
+        }
+        let e = Edge::new(a, b);
+        if seen.insert(e.key()) {
+            edges.push(e);
+        }
+    }
+    CsrGraph::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 500, 42);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = gnm(50, 200, 7);
+        let b = gnm(50, 200, 7);
+        assert_eq!(a.edges(), b.edges());
+        let c = gnm(50, 200, 8);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn gnp_density_plausible() {
+        let g = gnp(200, 0.1, 1);
+        let expect = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expect).abs() < 4.0 * (expect * 0.9).sqrt(),
+            "m={m} far from expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 3).num_edges(), 0);
+        let g = gnp(10, 1.0, 3);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn decode_pair_exhaustive() {
+        let n = 9;
+        let mut k = 0;
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                assert_eq!(decode_pair(k, n), (u, v));
+                k += 1;
+            }
+        }
+    }
+}

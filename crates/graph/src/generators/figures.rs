@@ -1,0 +1,215 @@
+//! The worked examples of the paper as concrete graphs.
+//!
+//! * [`figure2_graph`] — the 12-vertex running example (Figure 2) whose
+//!   k-classes Φ2…Φ5 the paper enumerates exactly (Example 2). This is the
+//!   primary golden fixture for every algorithm in the repository.
+//! * [`manager_graph`] — a 21-vertex reconstruction of the Figure 1
+//!   manager-relationship graph satisfying every property the paper states
+//!   (see `DESIGN.md` §4.2 for why this is a reconstruction).
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::types::VertexId;
+
+/// Vertex names of the Figure 2 graph: `a = 0, b = 1, …, l = 11`.
+pub const FIGURE2_NAMES: [&str; 12] = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"];
+
+const A: VertexId = 0;
+const B: VertexId = 1;
+const C: VertexId = 2;
+const D: VertexId = 3;
+const E: VertexId = 4;
+const F: VertexId = 5;
+const G: VertexId = 6;
+const H: VertexId = 7;
+const I: VertexId = 8;
+const J: VertexId = 9;
+const K: VertexId = 10;
+const L: VertexId = 11;
+
+/// The 26 edges of Figure 2 grouped by their paper-stated truss class.
+/// Returned as `(k, edges of Φ_k)` for `k = 2..=5`.
+pub fn figure2_classes() -> Vec<(u32, Vec<Edge>)> {
+    vec![
+        (2, vec![Edge::new(I, K)]),
+        (
+            3,
+            vec![
+                Edge::new(D, G),
+                Edge::new(D, K),
+                Edge::new(D, L),
+                Edge::new(E, F),
+                Edge::new(E, G),
+                Edge::new(F, G),
+                Edge::new(G, H),
+                Edge::new(G, K),
+                Edge::new(G, L),
+            ],
+        ),
+        (
+            4,
+            vec![
+                Edge::new(F, H),
+                Edge::new(F, I),
+                Edge::new(F, J),
+                Edge::new(H, I),
+                Edge::new(H, J),
+                Edge::new(I, J),
+            ],
+        ),
+        (
+            5,
+            vec![
+                Edge::new(A, B),
+                Edge::new(A, C),
+                Edge::new(A, D),
+                Edge::new(A, E),
+                Edge::new(B, C),
+                Edge::new(B, D),
+                Edge::new(B, E),
+                Edge::new(C, D),
+                Edge::new(C, E),
+                Edge::new(D, E),
+            ],
+        ),
+    ]
+}
+
+/// The running-example graph of Figure 2 (12 vertices `a…l`, 26 edges,
+/// `k_max = 5`).
+pub fn figure2_graph() -> CsrGraph {
+    let edges: Vec<Edge> = figure2_classes()
+        .into_iter()
+        .flat_map(|(_, es)| es)
+        .collect();
+    CsrGraph::from_edges(edges)
+}
+
+/// The fixed partition of Example 3: `P1 = {a,b,c,l}`, `P2 = {d,e,f,g}`,
+/// `P3 = {h,i,j,k}`.
+pub fn figure2_partition() -> Vec<Vec<VertexId>> {
+    vec![vec![A, B, C, L], vec![D, E, F, G], vec![H, I, J, K]]
+}
+
+/// A 21-vertex manager-relationship graph reconstructing Figure 1.
+///
+/// Built to satisfy the properties the paper states about the Krackhardt
+/// graph (whose exact edge list is only available as a figure):
+///
+/// * the 4-truss is exactly the union of the five 4-cliques
+///   `{4,8,10,18}`, `{4,8,18,21}`, `{5,10,18,19}`, `{7,14,18,21}`,
+///   `{10,15,18,19}` (vertex ids here are 1-based as in the figure),
+/// * there is no 5-truss (`k_max = 4`) and no 4-core (`c_max = 3`),
+/// * the 3-core is the graph minus a small periphery,
+/// * `CC(G) < CC(3-core) < CC(4-truss)`.
+///
+/// Vertex `i` of the figure is id `i - 1` here.
+pub fn manager_graph() -> CsrGraph {
+    let v = |x: u32| -> VertexId { x - 1 };
+    let mut edges = Vec::new();
+    // The five 4-cliques of the 4-truss.
+    for clique in [
+        [4u32, 8, 10, 18],
+        [4, 8, 18, 21],
+        [5, 10, 18, 19],
+        [7, 14, 18, 21],
+        [10, 15, 18, 19],
+    ] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push(Edge::new(v(clique[i]), v(clique[j])));
+            }
+        }
+    }
+    // Periphery triangles attached to the truss (stay in the 3-core).
+    for tri in [[1u32, 2, 3], [11, 12, 13], [16, 17, 20]] {
+        edges.push(Edge::new(v(tri[0]), v(tri[1])));
+        edges.push(Edge::new(v(tri[0]), v(tri[2])));
+        edges.push(Edge::new(v(tri[1]), v(tri[2])));
+    }
+    for (a, b) in [
+        (1u32, 4u32),
+        (2, 5),
+        (3, 7),
+        (11, 18),
+        (12, 19),
+        (13, 21),
+        (16, 10),
+        (17, 14),
+        (20, 15),
+    ] {
+        edges.push(Edge::new(v(a), v(b)));
+    }
+    // Low-degree periphery pruned by the 3-core: 6 and 9.
+    edges.push(Edge::new(v(6), v(9)));
+    edges.push(Edge::new(v(1), v(6)));
+    edges.push(Edge::new(v(2), v(9)));
+    CsrGraph::from_edges(edges)
+}
+
+/// The expected 4-truss edge set of [`manager_graph`] (union of the five
+/// planted 4-cliques), sorted.
+pub fn manager_graph_4truss() -> Vec<Edge> {
+    let v = |x: u32| -> VertexId { x - 1 };
+    let mut edges = Vec::new();
+    for clique in [
+        [4u32, 8, 10, 18],
+        [4, 8, 18, 21],
+        [5, 10, 18, 19],
+        [7, 14, 18, 21],
+        [10, 15, 18, 19],
+    ] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push(Edge::new(v(clique[i]), v(clique[j])));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_counts() {
+        let g = figure2_graph();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 26);
+        let total: usize = figure2_classes().iter().map(|(_, es)| es.len()).sum();
+        assert_eq!(total, 26);
+    }
+
+    #[test]
+    fn figure2_supports_match_example() {
+        // (i,k) is the only support-0 edge.
+        let g = figure2_graph();
+        let e = Edge::new(I, K);
+        let common: Vec<_> = g
+            .neighbors(I)
+            .iter()
+            .filter(|w| g.neighbors(K).contains(w))
+            .collect();
+        assert!(common.is_empty(), "sup((i,k)) must be 0");
+        assert!(g.has_edge(e.u, e.v));
+    }
+
+    #[test]
+    fn manager_graph_counts() {
+        let g = manager_graph();
+        assert_eq!(g.num_vertices(), 21);
+        assert_eq!(g.num_edges(), 22 + 9 + 9 + 3);
+        assert_eq!(manager_graph_4truss().len(), 22);
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let parts = figure2_partition();
+        let mut all: Vec<VertexId> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic graph generators.
+//!
+//! Every generator takes an explicit `seed` and produces the same graph on
+//! every platform (we use `rand`'s `StdRng`, a portable ChaCha-based PRNG).
+//! These are the substrate for the paper's evaluation datasets (§7) which
+//! cannot be downloaded offline — see `DESIGN.md` §4.1 for the substitution
+//! rationale.
+
+pub mod barabasi_albert;
+pub mod classic;
+pub mod datasets;
+pub mod erdos_renyi;
+pub mod figures;
+pub mod planted;
+pub mod rmat;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use classic::{complete, complete_bipartite, cycle, grid, path, star};
+pub use datasets::{Dataset, DatasetSpec, all_datasets, dataset_by_name};
+pub use erdos_renyi::{gnm, gnp};
+pub use figures::{figure2_graph, figure2_classes, manager_graph};
+pub use planted::{overlapping_communities, planted_clique, CommunityConfig};
+pub use rmat::{rmat, RmatConfig};
+pub use watts_strogatz::watts_strogatz;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates the portable deterministic RNG all generators use.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,137 @@
+//! R-MAT (recursive matrix) generator.
+
+use super::rng;
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::types::VertexId;
+use rand::Rng;
+
+/// Parameters of the recursive-matrix generator of Chakrabarti et al.
+///
+/// `(a, b, c, d)` must sum to 1; the classic skewed setting
+/// `(0.57, 0.19, 0.19, 0.05)` produces power-law graphs similar to web and
+/// social networks (the Wiki/Skitter/Web analogues use variants of it).
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Number of edge samples (duplicates and self-loops are dropped, so the
+    /// final `m` is somewhat smaller).
+    pub edge_factor_samples: usize,
+    /// Quadrant probabilities.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Adds `±10%` noise to the quadrant probabilities at each level, which
+    /// avoids the artificial self-similar staircase of vanilla R-MAT.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// The classic skewed Graph500-style parameters.
+    pub fn skewed(scale: u32, samples: usize) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor_samples: samples,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+
+    /// A milder skew producing less extreme hubs (Amazon-like).
+    pub fn mild(scale: u32, samples: usize) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor_samples: samples,
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Samples an R-MAT graph. Self-loops and duplicate edges are removed, so
+/// the resulting edge count is below `edge_factor_samples`.
+pub fn rmat(cfg: RmatConfig, seed: u64) -> CsrGraph {
+    let n = 1usize << cfg.scale;
+    let mut r = rng(seed);
+    let mut edges = Vec::with_capacity(cfg.edge_factor_samples);
+    for _ in 0..cfg.edge_factor_samples {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        for _ in 0..cfg.scale {
+            let jitter = |r: &mut rand::rngs::StdRng, p: f64, noise: f64| {
+                if noise > 0.0 {
+                    p * (1.0 + noise * (r.gen::<f64>() - 0.5))
+                } else {
+                    p
+                }
+            };
+            let a = jitter(&mut r, cfg.a, cfg.noise);
+            let b = jitter(&mut r, cfg.b, cfg.noise);
+            let c = jitter(&mut r, cfg.c, cfg.noise);
+            let d = (1.0 - cfg.a - cfg.b - cfg.c).max(0.0);
+            let d = jitter(&mut r, d, cfg.noise);
+            let total = a + b + c + d;
+            let x: f64 = r.gen::<f64>() * total;
+            let (right, down) = if x < a {
+                (false, false)
+            } else if x < a + b {
+                (true, false)
+            } else if x < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        if lo_u != lo_v {
+            edges.push(Edge::new(lo_u as VertexId, lo_v as VertexId));
+        }
+    }
+    CsrGraph::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_skewed_graph() {
+        let g = rmat(RmatConfig::skewed(10, 8000), 3);
+        assert!(g.num_edges() > 4000, "m = {}", g.num_edges());
+        let stats = crate::metrics::degree_stats(&g);
+        assert!(stats.max > 8 * stats.median.max(1), "not skewed: {stats:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(RmatConfig::mild(8, 2000), 1);
+        let b = rmat(RmatConfig::mild(8, 2000), 1);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(RmatConfig::skewed(8, 3000), 2);
+        for (_, e) in g.iter_edges() {
+            assert_ne!(e.u, e.v);
+        }
+    }
+}

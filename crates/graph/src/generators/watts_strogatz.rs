@@ -1,0 +1,87 @@
+//! Watts–Strogatz small-world graphs.
+
+use super::rng;
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::hash::FxHashSet;
+use crate::types::VertexId;
+use rand::Rng;
+
+/// Watts–Strogatz ring lattice with rewiring.
+///
+/// Starts from a ring where each vertex connects to its `k/2` nearest
+/// neighbors on each side (`k` must be even), then rewires each edge with
+/// probability `beta`. With small `beta` the graph keeps the lattice's high
+/// clustering — a useful regime for truss tests since the lattice's truss
+/// structure is known.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    let mut r = rng(seed);
+    let mut present: FxHashSet<u64> = FxHashSet::default();
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let e = Edge::new(u as VertexId, ((u + j) % n) as VertexId);
+            if present.insert(e.key()) {
+                edges.push(e);
+            }
+        }
+    }
+    for e in edges.iter_mut() {
+        if r.gen::<f64>() < beta {
+            // Rewire the far endpoint to a uniform non-duplicate target.
+            for _ in 0..32 {
+                let t = r.gen_range(0..n as VertexId);
+                if t == e.u || t == e.v {
+                    continue;
+                }
+                let cand = Edge::new(e.u, t);
+                if present.contains(&cand.key()) {
+                    continue;
+                }
+                present.remove(&e.key());
+                present.insert(cand.key());
+                *e = cand;
+                break;
+            }
+        }
+    }
+    CsrGraph::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_edge_count() {
+        let g = watts_strogatz(100, 6, 0.0, 1);
+        assert_eq!(g.num_edges(), 100 * 3);
+        assert!(g.iter_vertices().all(|v| g.degree(v) == 6));
+    }
+
+    #[test]
+    fn lattice_is_clustered() {
+        let g = watts_strogatz(200, 8, 0.0, 1);
+        assert!(crate::metrics::average_local_clustering(&g) > 0.5);
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let lattice = watts_strogatz(300, 8, 0.0, 2);
+        let random = watts_strogatz(300, 8, 1.0, 2);
+        assert!(
+            crate::metrics::average_local_clustering(&random)
+                < crate::metrics::average_local_clustering(&lattice)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(150, 4, 0.3, 9).edges(),
+            watts_strogatz(150, 4, 0.3, 9).edges()
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! A fast, non-cryptographic hasher for integer keys.
+//!
+//! Algorithm 2 of the paper performs an edge-membership test (`(v, w) ∈ E?`)
+//! inside its innermost loop; with the standard library's SipHash that lookup
+//! dominates the runtime. This module implements the multiply-rotate hash
+//! used by the Rust compiler ("FxHash") in ~30 lines, which is the
+//! recommended drop-in for integer-keyed tables when HashDoS resistance is
+//! not required (the keys here are our own dense ids, not attacker input).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher (the rustc "FxHash" function).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`]. Use for integer-keyed hot-path tables.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(7 * 13)), Some(&13));
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(0xdead_beef);
+        h2.write_u64(0xdead_beef);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sanity: sequential keys should not collide in the low bits too much.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max < 3 * min, "poor distribution: min={min} max={max}");
+    }
+}

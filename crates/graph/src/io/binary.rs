@@ -1,0 +1,113 @@
+//! Compact binary edge-list format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   : [u8; 8]  = b"TRUSSGR1"
+//! n       : u64      vertex count
+//! m       : u64      edge count
+//! edges   : m × (u32 u, u32 v)   canonical, lexicographically sorted
+//! ```
+//!
+//! The fixed-width sorted layout lets the storage layer `scan()` a graph in
+//! the paper's I/O model without parsing overhead.
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::error::{GraphError, Result};
+use std::io::{BufReader, BufWriter, Read, Write};
+
+const MAGIC: &[u8; 8] = b"TRUSSGR1";
+
+/// Serializes a graph to the binary format.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for (_, e) in g.iter_edges() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a graph from the binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| GraphError::Parse("truncated header".into()))?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse(format!(
+            "bad magic {:?}, expected {:?}",
+            magic, MAGIC
+        )));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let _n = u64::from_le_bytes(buf8);
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+
+    let mut edges = Vec::with_capacity(m);
+    let mut pair = [0u8; 8];
+    for i in 0..m {
+        r.read_exact(&mut pair)
+            .map_err(|_| GraphError::Parse(format!("truncated at edge {i}/{m}")))?;
+        let u = u32::from_le_bytes(pair[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(pair[4..8].try_into().unwrap());
+        if u >= v {
+            return Err(GraphError::Parse(format!(
+                "edge {i} not canonical: ({u}, {v})"
+            )));
+        }
+        edges.push(Edge { u, v });
+    }
+    if !edges.windows(2).all(|w| w[0] < w[1]) {
+        return Err(GraphError::Parse("edges not sorted".into()));
+    }
+    Ok(CsrGraph::from_sorted_dedup_edges(edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = crate::generators::erdos_renyi::gnm(80, 300, 9);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOTAGRPH0000000000000000".to_vec();
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = crate::generators::classic::complete(5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes()); // u > v
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

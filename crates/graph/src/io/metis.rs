@@ -1,0 +1,165 @@
+//! METIS adjacency format.
+//!
+//! The standard partitioner input format: a header line `n m`, then one line
+//! per vertex (1-based ids) listing its neighbors. Widely used for graph
+//! benchmarks, so the CLI accepts it alongside SNAP lists.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Reads a METIS graph file. Comment lines start with `%`. Only the plain
+/// unweighted format (`fmt` absent or `0`) is supported; weighted inputs are
+/// rejected with a parse error rather than silently misread.
+pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut br = BufReader::new(reader);
+    let mut line = String::new();
+
+    // Header: n m [fmt]
+    let (n, declared_m, fmt) = loop {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            return Err(GraphError::Parse("missing METIS header".into()));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let n: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse("header: missing n".into()))?
+            .parse()
+            .map_err(|_| GraphError::Parse("header: bad n".into()))?;
+        let m: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse("header: missing m".into()))?
+            .parse()
+            .map_err(|_| GraphError::Parse("header: bad m".into()))?;
+        let fmt = it.next().map(str::to_string);
+        break (n, m, fmt);
+    };
+    if let Some(f) = fmt {
+        if f.trim_start_matches('0').chars().any(|c| c != '0') && f != "0" && f != "00" && f != "000" {
+            return Err(GraphError::Parse(format!(
+                "weighted METIS format {f:?} is not supported"
+            )));
+        }
+    }
+
+    let mut builder = GraphBuilder::new();
+    let mut vertex: u64 = 0;
+    while vertex < n {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            return Err(GraphError::Parse(format!(
+                "expected {n} vertex lines, got {vertex}"
+            )));
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        for tok in trimmed.split_whitespace() {
+            let nbr: u64 = tok
+                .parse()
+                .map_err(|_| GraphError::Parse(format!("vertex {}: bad neighbor {tok:?}", vertex + 1)))?;
+            if nbr == 0 || nbr > n {
+                return Err(GraphError::Parse(format!(
+                    "vertex {}: neighbor {nbr} out of range 1..={n}",
+                    vertex + 1
+                )));
+            }
+            builder.add_edge_u64(vertex, nbr - 1)?;
+        }
+        vertex += 1;
+    }
+    let g = builder.build();
+    if g.num_edges() as u64 != declared_m {
+        return Err(GraphError::Parse(format!(
+            "header declares {declared_m} edges but adjacency lists define {}",
+            g.num_edges()
+        )));
+    }
+    // Preserve the declared vertex count even when trailing vertices are
+    // isolated (build() sizes by max id).
+    Ok(CsrGraph::with_min_vertices(g, n as usize))
+}
+
+/// Writes a graph in METIS format (1-based, one adjacency line per vertex).
+pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.iter_vertices() {
+        let line: Vec<String> = g
+            .neighbors(v)
+            .iter()
+            .map(|&x| (x + 1).to_string())
+            .collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    #[test]
+    fn round_trip() {
+        let g = crate::generators::erdos_renyi::gnm(40, 150, 8);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(&buf[..]).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn parses_basic_file() {
+        // Triangle 1-2-3 plus isolated vertex 4.
+        let text = "% comment\n4 3\n2 3\n1 3\n1 2\n\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(1, 2));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        let text = "2 1\n2 5\n1\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let text = "3 5\n2\n1 3\n2\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_weighted_format() {
+        let text = "2 1 011\n2 7\n1 7\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let text = "3 2\n2\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn isolated_tail_preserved() {
+        let g = CsrGraph::from_edges(vec![Edge::new(0, 1)]);
+        let padded = CsrGraph::with_min_vertices(g, 5);
+        let mut buf = Vec::new();
+        write_metis(&padded, &mut buf).unwrap();
+        let back = read_metis(&buf[..]).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+    }
+}

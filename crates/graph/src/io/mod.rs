@@ -1,0 +1,10 @@
+//! Graph serialization: SNAP-style text edge lists and a compact binary
+//! format.
+
+pub mod binary;
+pub mod metis;
+pub mod snap;
+
+pub use binary::{read_binary, write_binary};
+pub use metis::{read_metis, write_metis};
+pub use snap::{read_snap, write_snap};

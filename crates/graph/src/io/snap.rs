@@ -1,0 +1,104 @@
+//! SNAP-style text edge lists: one `u <tab/space> v` pair per line, `#`
+//! comments. This is the format of the paper's SNAP datasets.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Reads a SNAP edge list. Vertex ids are compacted to `0..n` (SNAP files
+/// use sparse ids); the mapping is discarded — use [`read_snap_with_map`] to
+/// keep it.
+pub fn read_snap<R: Read>(reader: R) -> Result<CsrGraph> {
+    Ok(read_snap_with_map(reader)?.0)
+}
+
+/// Like [`read_snap`] but also returns the `new id -> original id` mapping.
+pub fn read_snap_with_map<R: Read>(reader: R) -> Result<(CsrGraph, Vec<u32>)> {
+    let mut br = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let a = it
+            .next()
+            .ok_or_else(|| GraphError::Parse(format!("line {lineno}: missing source")))?;
+        let b = it
+            .next()
+            .ok_or_else(|| GraphError::Parse(format!("line {lineno}: missing target")))?;
+        let a: u64 = a
+            .parse()
+            .map_err(|_| GraphError::Parse(format!("line {lineno}: bad id {a:?}")))?;
+        let b: u64 = b
+            .parse()
+            .map_err(|_| GraphError::Parse(format!("line {lineno}: bad id {b:?}")))?;
+        builder.add_edge_u64(a, b)?;
+    }
+    Ok(builder.build_compact())
+}
+
+/// Writes a graph as a SNAP edge list (canonical orientation, one edge per
+/// line, with a size header comment).
+pub fn write_snap<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# Nodes: {} Edges: {}", g.num_vertices(), g.num_edges())?;
+    for (_, e) in g.iter_edges() {
+        writeln!(w, "{}\t{}", e.u, e.v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    #[test]
+    fn round_trip() {
+        let g = crate::generators::erdos_renyi::gnm(50, 120, 5);
+        let mut buf = Vec::new();
+        write_snap(&g, &mut buf).unwrap();
+        let g2 = read_snap(&buf[..]).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn parses_comments_directed_duplicates() {
+        let text = "# comment\n1 2\n2 1\n2 3\n\n3 3\n";
+        let g = read_snap(text.as_bytes()).unwrap();
+        // (1,2) deduped, self-loop dropped, compacted to 0..3.
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(), &[Edge::new(0, 1), Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn keeps_id_map() {
+        let text = "10 30\n30 50\n";
+        let (g, map) = read_snap_with_map(text.as_bytes()).unwrap();
+        assert_eq!(map, vec![10, 30, 50]);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_snap("1 x\n".as_bytes()).is_err());
+        assert!(read_snap("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let text = format!("{} 1\n", u64::MAX);
+        assert!(read_snap(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Graph metrics used in the paper's evaluation: degree statistics (Table 2)
+//! and clustering coefficients (Example 1, Table 6).
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Degree statistics of a graph (the `d_max` / `d_med` columns of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Maximum degree.
+    pub max: usize,
+    /// Median degree over all vertices (lower median).
+    pub median: usize,
+    /// Average degree, rounded down.
+    pub mean: usize,
+}
+
+/// Computes max/median/mean degree.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            max: 0,
+            median: 0,
+            mean: 0,
+        };
+    }
+    let mut degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    DegreeStats {
+        max: degrees[n - 1],
+        median: degrees[(n - 1) / 2],
+        mean: degrees.iter().sum::<usize>() / n,
+    }
+}
+
+/// Number of triangles incident to each vertex.
+///
+/// Uses merge-intersection over sorted adjacency lists, counting each
+/// triangle once per incident vertex; O(Σ_e (deg(u)+deg(v))).
+pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    let mut tri = vec![0u64; g.num_vertices()];
+    for (_, e) in g.iter_edges() {
+        let (mut a, mut b) = (g.neighbors(e.u), g.neighbors(e.v));
+        // Count common neighbors w; attribute the triangle {u, v, w} to w
+        // here. Each triangle has 3 edges; via edge (u,v) it is attributed to
+        // w, via (u,w) to v, via (v,w) to u — so each vertex of the triangle
+        // is counted exactly once overall.
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    tri[x as usize] += 1;
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+    }
+    tri
+}
+
+/// Average local clustering coefficient (Watts–Strogatz \[33\]).
+///
+/// For each vertex `v` with `deg(v) ≥ 2`, the local coefficient is
+/// `2·tri(v) / (deg(v)·(deg(v)−1))`; vertices of degree < 2 contribute 0.
+/// The average is over **all** vertices (the convention of
+/// `networkx.average_clustering`), which is what the paper's CC numbers use.
+pub fn average_local_clustering(g: &CsrGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let tri = triangles_per_vertex(g);
+    let mut total = 0.0f64;
+    for (v, &t) in tri.iter().enumerate() {
+        let d = g.degree(v as VertexId);
+        if d >= 2 {
+            total += 2.0 * t as f64 / (d as f64 * (d as f64 - 1.0));
+        }
+    }
+    total / n as f64
+}
+
+/// Global transitivity: `3·#triangles / #wedges`.
+pub fn global_transitivity(g: &CsrGraph) -> f64 {
+    let tri: u64 = triangles_per_vertex(g).iter().sum();
+    let wedges: u64 = (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        tri as f64 / wedges as f64
+    }
+}
+
+/// Number of connected components (isolated vertices each count as one).
+pub fn connected_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    let mut components = 0;
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        components += 1;
+        seen[s] = true;
+        stack.push(s as VertexId);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn k4() -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        CsrGraph::from_edges(edges)
+    }
+
+    #[test]
+    fn k4_metrics() {
+        let g = k4();
+        let tri = triangles_per_vertex(&g);
+        // Each vertex of K4 is in C(3,2)=3 triangles.
+        assert_eq!(tri, vec![3, 3, 3, 3]);
+        assert!((average_local_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((global_transitivity(&g) - 1.0).abs() < 1e-12);
+        let ds = degree_stats(&g);
+        assert_eq!(ds.max, 3);
+        assert_eq!(ds.median, 3);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = CsrGraph::from_edges(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+        assert_eq!(triangles_per_vertex(&g).iter().sum::<u64>(), 0);
+        assert_eq!(average_local_clustering(&g), 0.0);
+        assert_eq!(global_transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_pendant_cc() {
+        // Triangle 0-1-2 plus pendant 2-3.
+        let g = CsrGraph::from_edges(vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 2),
+            Edge::new(2, 3),
+        ]);
+        // cc(0)=cc(1)=1, cc(2)=2*1/(3*2)=1/3, cc(3)=0 → avg = (1+1+1/3)/4.
+        let expect = (1.0 + 1.0 + 1.0 / 3.0) / 4.0;
+        assert!((average_local_clustering(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components() {
+        let g = CsrGraph::from_edges(vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(3, 4)]);
+        assert_eq!(connected_components(&g), 2);
+        // With an isolated vertex (id 6 creates ids 0..=6, 5 and 6 isolated).
+        let g2 = CsrGraph::from_edges(vec![Edge::new(0, 1), Edge::new(2, 6)]);
+        assert_eq!(connected_components(&g2), 2 + 3); // {0,1},{2,6},{3},{4},{5}
+    }
+
+    #[test]
+    fn degree_stats_median() {
+        // Star: center degree 4, leaves degree 1.
+        let g = CsrGraph::from_edges((1..=4).map(|v| Edge::new(0, v)).collect::<Vec<_>>());
+        let ds = degree_stats(&g);
+        assert_eq!(ds.max, 4);
+        assert_eq!(ds.median, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Subgraph extraction: induced subgraphs and the paper's *neighborhood
+//! subgraphs* (Definition 4).
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::types::VertexId;
+
+/// A subgraph rebuilt as its own dense [`CsrGraph`] plus the mapping back to
+/// the parent graph's vertex ids.
+pub struct Subgraph {
+    /// The extracted graph over local ids `0..n'`.
+    pub graph: CsrGraph,
+    /// `local id -> parent id`.
+    pub to_parent: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Translates a local edge to parent-id space.
+    pub fn parent_edge(&self, e: Edge) -> Edge {
+        Edge::new(self.to_parent[e.u as usize], self.to_parent[e.v as usize])
+    }
+}
+
+/// Builds a dense graph from a set of edges given in *parent* ids, compacting
+/// the vertex set. Used by the external algorithms to materialize candidate
+/// subgraphs loaded from disk.
+pub fn from_parent_edges(edges: impl IntoIterator<Item = Edge>) -> Subgraph {
+    let mut es: Vec<Edge> = edges.into_iter().collect();
+    es.sort_unstable();
+    es.dedup();
+    let mut used: Vec<VertexId> = Vec::with_capacity(es.len() * 2);
+    for e in &es {
+        used.push(e.u);
+        used.push(e.v);
+    }
+    used.sort_unstable();
+    used.dedup();
+    let relabel =
+        |old: VertexId| -> VertexId { used.binary_search(&old).unwrap() as VertexId };
+    let local: Vec<Edge> = es.iter().map(|e| Edge::new(relabel(e.u), relabel(e.v))).collect();
+    debug_assert!(local.windows(2).all(|w| w[0] < w[1]));
+    Subgraph {
+        graph: CsrGraph::from_sorted_dedup_edges(local),
+        to_parent: used,
+    }
+}
+
+/// Induced subgraph `G[U]`: both endpoints must lie in `U`.
+pub fn induced(g: &CsrGraph, vertices: &[VertexId]) -> Subgraph {
+    let mut member = vec![false; g.num_vertices()];
+    for &v in vertices {
+        member[v as usize] = true;
+    }
+    let edges = g
+        .iter_edges()
+        .filter(|(_, e)| member[e.u as usize] && member[e.v as usize])
+        .map(|(_, e)| e);
+    from_parent_edges(edges)
+}
+
+/// The paper's neighborhood subgraph `NS(U)` (Definition 4): all edges with
+/// **at least one** endpoint in `U`. Vertices of `U` are the *internal*
+/// vertices; edges with both endpoints in `U` are *internal* edges.
+pub struct NeighborhoodSubgraph {
+    /// The extracted graph (local ids).
+    pub sub: Subgraph,
+    /// `internal[local v]` — true iff the vertex is in `U`.
+    pub internal: Vec<bool>,
+}
+
+impl NeighborhoodSubgraph {
+    /// True iff a local edge is internal (both endpoints in `U`).
+    pub fn is_internal_edge(&self, e: Edge) -> bool {
+        self.internal[e.u as usize] && self.internal[e.v as usize]
+    }
+}
+
+/// Extracts `NS(U)` from an in-memory graph. The external-memory versions
+/// stream the same construction from disk (see `truss-storage`).
+pub fn neighborhood(g: &CsrGraph, u: &[VertexId]) -> NeighborhoodSubgraph {
+    let mut member = vec![false; g.num_vertices()];
+    for &v in u {
+        member[v as usize] = true;
+    }
+    let edges = g
+        .iter_edges()
+        .filter(|(_, e)| member[e.u as usize] || member[e.v as usize])
+        .map(|(_, e)| e);
+    let sub = from_parent_edges(edges);
+    let internal = sub
+        .to_parent
+        .iter()
+        .map(|&p| member[p as usize])
+        .collect();
+    NeighborhoodSubgraph { sub, internal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2 triangle, 2-3, 3-4.
+    fn path_with_triangle() -> CsrGraph {
+        CsrGraph::from_edges(vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 2),
+            Edge::new(2, 3),
+            Edge::new(3, 4),
+        ])
+    }
+
+    #[test]
+    fn induced_keeps_inside_edges_only() {
+        let g = path_with_triangle();
+        let s = induced(&g, &[0, 1, 2]);
+        assert_eq!(s.graph.num_edges(), 3);
+        assert_eq!(s.to_parent, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn neighborhood_includes_external_edges() {
+        let g = path_with_triangle();
+        let ns = neighborhood(&g, &[2]);
+        // NS({2}) = edges incident to 2: (0,2), (1,2), (2,3).
+        assert_eq!(ns.sub.graph.num_edges(), 3);
+        // Vertices: 0,1,2,3; only 2 internal.
+        let internal_count = ns.internal.iter().filter(|&&b| b).count();
+        assert_eq!(internal_count, 1);
+        // No internal edges (both endpoints in U impossible with |U|=1).
+        for (_, e) in ns.sub.graph.iter_edges() {
+            assert!(!ns.is_internal_edge(e));
+        }
+    }
+
+    #[test]
+    fn neighborhood_internal_edges() {
+        let g = path_with_triangle();
+        let ns = neighborhood(&g, &[0, 1, 2]);
+        assert_eq!(ns.sub.graph.num_edges(), 4); // triangle + (2,3)
+        let internal_edges: Vec<Edge> = ns
+            .sub
+            .graph
+            .iter_edges()
+            .filter(|&(_, e)| ns.is_internal_edge(e))
+            .map(|(_, e)| ns.sub.parent_edge(e))
+            .collect();
+        assert_eq!(internal_edges.len(), 3);
+    }
+
+    #[test]
+    fn parent_edge_round_trip() {
+        let g = path_with_triangle();
+        let s = induced(&g, &[2, 3, 4]);
+        let mut parent: Vec<Edge> = s
+            .graph
+            .iter_edges()
+            .map(|(_, e)| s.parent_edge(e))
+            .collect();
+        parent.sort_unstable();
+        assert_eq!(parent, vec![Edge::new(2, 3), Edge::new(3, 4)]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Primitive identifier types.
+//!
+//! Dense `u32` identifiers keep the hot arrays of the decomposition
+//! algorithms half the size of `usize` equivalents (see the type-size
+//! guidance in the Rust performance book); graphs with more than 4 billion
+//! vertices or edges are out of scope for this reproduction.
+
+/// Identifier of a vertex. Vertices of a [`crate::CsrGraph`] are dense:
+/// `0..n`.
+pub type VertexId = u32;
+
+/// Identifier of an *undirected* edge. Edge ids of a [`crate::CsrGraph`] are
+/// dense `0..m`, assigned in lexicographic order of the canonical
+/// `(min, max)` endpoint pair.
+pub type EdgeId = u32;
+
+/// Marker for "no edge" in packed arrays.
+pub const INVALID_EDGE: EdgeId = EdgeId::MAX;
+
+/// Marker for "no vertex" in packed arrays.
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;

@@ -1,0 +1,360 @@
+//! A minimal single-machine MapReduce engine.
+//!
+//! Each job is: a **map** pass over disk-resident input records, an
+//! external-sort **shuffle** grouping map outputs by key, and a **reduce**
+//! pass over the groups. Inputs and outputs are fixed-width [`KvRec`]
+//! files, so a multi-job pipeline pays the same "rewrite the world every
+//! round" cost structure that a Hadoop pipeline pays — which is exactly why
+//! the paper's Table 4 baseline loses (see `DESIGN.md` §4.3).
+//!
+//! The engine tracks jobs, shuffled records/bytes and reduce groups in
+//! [`MrStats`] so the reproduction can report the round structure, not just
+//! wall-clock time.
+
+use truss_storage::ext_sort::external_sort;
+use truss_storage::record::{FixedRecord, RecordFile, RecordWriter};
+use truss_storage::{IoConfig, IoTracker, Result, ScratchDir};
+
+/// The universal key-value record of the engine.
+///
+/// `key` is the shuffle key; `tag` distinguishes record kinds within a
+/// group (records arrive at the reducer sorted by `(key, tag)`); `vals`
+/// carries the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvRec {
+    /// Shuffle key.
+    pub key: u64,
+    /// Record kind, ordered within a key group.
+    pub tag: u32,
+    /// Payload.
+    pub vals: [u32; 4],
+}
+
+impl KvRec {
+    /// Convenience constructor.
+    pub fn new(key: u64, tag: u32, vals: [u32; 4]) -> Self {
+        KvRec { key, tag, vals }
+    }
+}
+
+impl FixedRecord for KvRec {
+    const SIZE: usize = 8 + 4 + 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&self.key.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.tag.to_le_bytes());
+        for (i, v) in self.vals.iter().enumerate() {
+            buf[12 + i * 4..16 + i * 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let key = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let tag = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let mut vals = [0u32; 4];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = u32::from_le_bytes(buf[12 + i * 4..16 + i * 4].try_into().unwrap());
+        }
+        KvRec { key, tag, vals }
+    }
+
+    fn sort_key(&self) -> u128 {
+        // Group by key; deterministic tag order inside the group. The
+        // payload is included so the shuffle is fully deterministic.
+        ((self.key as u128) << 64)
+            | ((self.tag as u128) << 32)
+            | (self.vals[0] as u128)
+    }
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MrStats {
+    /// MapReduce jobs executed.
+    pub jobs: u64,
+    /// Records read by mappers.
+    pub map_input_records: u64,
+    /// Records emitted by mappers (= shuffled records).
+    pub shuffled_records: u64,
+    /// Bytes through the shuffle (before sorting).
+    pub shuffled_bytes: u64,
+    /// Key groups seen by reducers.
+    pub reduce_groups: u64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: u64,
+}
+
+/// A single-machine MapReduce context: scratch space, I/O accounting and
+/// stats shared by all jobs of a pipeline.
+pub struct MapReduce {
+    scratch: ScratchDir,
+    tracker: IoTracker,
+    io: IoConfig,
+    stats: MrStats,
+}
+
+/// Emitter handed to mappers and reducers.
+pub struct Emit<'a> {
+    writer: &'a mut RecordWriter<KvRec>,
+    count: &'a mut u64,
+    error: &'a mut Option<truss_storage::StorageError>,
+}
+
+impl Emit<'_> {
+    /// Emits one record.
+    pub fn emit(&mut self, rec: KvRec) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.push(rec) {
+            *self.error = Some(e);
+        } else {
+            *self.count += 1;
+        }
+    }
+}
+
+/// A job description: map + reduce closures.
+pub struct Job<M, R>
+where
+    M: FnMut(&KvRec, &mut Emit),
+    R: FnMut(u64, &[KvRec], &mut Emit),
+{
+    /// Mapper: input record → emitted key-value records.
+    pub map: M,
+    /// Reducer: `(key, group sorted by tag, emitter)`.
+    pub reduce: R,
+}
+
+impl MapReduce {
+    /// Creates a fresh engine.
+    pub fn new(io: IoConfig) -> Result<Self> {
+        Ok(MapReduce {
+            scratch: ScratchDir::new()?,
+            tracker: IoTracker::new(),
+            io,
+            stats: MrStats::default(),
+        })
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> MrStats {
+        self.stats
+    }
+
+    /// Disk traffic so far.
+    pub fn io_stats(&self) -> truss_storage::IoStats {
+        self.tracker.stats(&self.io)
+    }
+
+    /// Scratch directory (for building pipeline inputs).
+    pub fn scratch(&self) -> &ScratchDir {
+        &self.scratch
+    }
+
+    /// I/O tracker (pipeline inputs should be written through it).
+    pub fn tracker(&self) -> IoTracker {
+        self.tracker.clone()
+    }
+
+    /// Runs one MapReduce job over the concatenation of `inputs`.
+    pub fn run<M, R>(
+        &mut self,
+        inputs: &[&RecordFile<KvRec>],
+        mut job: Job<M, R>,
+    ) -> Result<RecordFile<KvRec>>
+    where
+        M: FnMut(&KvRec, &mut Emit),
+        R: FnMut(u64, &[KvRec], &mut Emit),
+    {
+        self.stats.jobs += 1;
+
+        // Map phase.
+        let mut map_out =
+            RecordFile::<KvRec>::create(self.scratch.file("mr-map"), self.tracker.clone())?;
+        let mut emitted = 0u64;
+        let mut error: Option<truss_storage::StorageError> = None;
+        for input in inputs {
+            self.stats.map_input_records += input.len();
+            input.scan(|rec| {
+                if error.is_some() {
+                    return;
+                }
+                let mut emit = Emit {
+                    writer: &mut map_out,
+                    count: &mut emitted,
+                    error: &mut error,
+                };
+                (job.map)(&rec, &mut emit);
+            })?;
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let map_out = map_out.finish()?;
+        self.stats.shuffled_records += emitted;
+        self.stats.shuffled_bytes += emitted * KvRec::SIZE as u64;
+
+        // Shuffle phase: external sort by (key, tag).
+        let shuffled = external_sort(&map_out, &self.scratch, &self.tracker, &self.io, None)?;
+        map_out.delete()?;
+
+        // Reduce phase: stream key groups.
+        let mut out =
+            RecordFile::<KvRec>::create(self.scratch.file("mr-out"), self.tracker.clone())?;
+        let mut out_count = 0u64;
+        let mut error: Option<truss_storage::StorageError> = None;
+        let mut group: Vec<KvRec> = Vec::new();
+        let mut group_key: Option<u64> = None;
+        let mut groups = 0u64;
+        shuffled.scan(|rec| {
+            if error.is_some() {
+                return;
+            }
+            if group_key != Some(rec.key) {
+                if let Some(gk) = group_key {
+                    groups += 1;
+                    let mut emit = Emit {
+                        writer: &mut out,
+                        count: &mut out_count,
+                        error: &mut error,
+                    };
+                    (job.reduce)(gk, &group, &mut emit);
+                    group.clear();
+                }
+                group_key = Some(rec.key);
+            }
+            group.push(rec);
+        })?;
+        if let Some(gk) = group_key {
+            if error.is_none() {
+                groups += 1;
+                let mut emit = Emit {
+                    writer: &mut out,
+                    count: &mut out_count,
+                    error: &mut error,
+                };
+                (job.reduce)(gk, &group, &mut emit);
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        shuffled.delete()?;
+        self.stats.reduce_groups += groups;
+        self.stats.reduce_output_records += out_count;
+        out.finish()
+    }
+
+    /// Materializes an iterator as a job-input record file.
+    pub fn input_file(
+        &self,
+        records: impl IntoIterator<Item = KvRec>,
+    ) -> Result<RecordFile<KvRec>> {
+        RecordFile::from_iter(self.scratch.file("mr-in"), self.tracker.clone(), records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> MapReduce {
+        MapReduce::new(IoConfig::with_budget(1 << 16)).unwrap()
+    }
+
+    #[test]
+    fn word_count_style_job() {
+        let mut mr = engine();
+        // Input: (key=anything, vals[0] = word id).
+        let input = mr
+            .input_file((0..100u32).map(|i| KvRec::new(i as u64, 0, [i % 7, 0, 0, 0])))
+            .unwrap();
+        let out = mr
+            .run(
+                &[&input],
+                Job {
+                    map: |rec: &KvRec, emit: &mut Emit| {
+                        emit.emit(KvRec::new(rec.vals[0] as u64, 0, [1, 0, 0, 0]));
+                    },
+                    reduce: |key, group: &[KvRec], emit: &mut Emit| {
+                        let total: u32 = group.iter().map(|r| r.vals[0]).sum();
+                        emit.emit(KvRec::new(key, 0, [total, 0, 0, 0]));
+                    },
+                },
+            )
+            .unwrap();
+        let recs = out.read_all().unwrap();
+        assert_eq!(recs.len(), 7);
+        let total: u32 = recs.iter().map(|r| r.vals[0]).sum();
+        assert_eq!(total, 100);
+        // 100 % 7: words 0..=1 appear 15 times, the rest 14.
+        for r in &recs {
+            let expect = if r.key < 2 { 15 } else { 14 };
+            assert_eq!(r.vals[0], expect, "word {}", r.key);
+        }
+        let stats = mr.stats();
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.map_input_records, 100);
+        assert_eq!(stats.shuffled_records, 100);
+        assert_eq!(stats.reduce_groups, 7);
+    }
+
+    #[test]
+    fn groups_sorted_by_tag() {
+        let mut mr = engine();
+        let input = mr
+            .input_file(vec![
+                KvRec::new(5, 2, [20, 0, 0, 0]),
+                KvRec::new(5, 0, [0, 0, 0, 0]),
+                KvRec::new(5, 1, [10, 0, 0, 0]),
+            ])
+            .unwrap();
+        let out = mr
+            .run(
+                &[&input],
+                Job {
+                    map: |rec: &KvRec, emit: &mut Emit| emit.emit(*rec),
+                    reduce: |_, group: &[KvRec], emit: &mut Emit| {
+                        // Tags must arrive sorted.
+                        assert!(group.windows(2).all(|w| w[0].tag <= w[1].tag));
+                        emit.emit(group[0]);
+                    },
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.read_all().unwrap()[0].tag, 0);
+    }
+
+    #[test]
+    fn multiple_inputs_concatenate() {
+        let mut mr = engine();
+        let a = mr.input_file(vec![KvRec::new(1, 0, [1, 0, 0, 0])]).unwrap();
+        let b = mr.input_file(vec![KvRec::new(1, 0, [2, 0, 0, 0])]).unwrap();
+        let out = mr
+            .run(
+                &[&a, &b],
+                Job {
+                    map: |rec: &KvRec, emit: &mut Emit| emit.emit(*rec),
+                    reduce: |key, group: &[KvRec], emit: &mut Emit| {
+                        emit.emit(KvRec::new(
+                            key,
+                            0,
+                            [group.iter().map(|r| r.vals[0]).sum(), 0, 0, 0],
+                        ));
+                    },
+                },
+            )
+            .unwrap();
+        assert_eq!(out.read_all().unwrap()[0].vals[0], 3);
+    }
+
+    #[test]
+    fn kv_round_trip() {
+        let r = KvRec::new(0xdeadbeef, 7, [1, 2, 3, 4]);
+        let mut buf = [0u8; KvRec::SIZE];
+        r.encode(&mut buf);
+        assert_eq!(KvRec::decode(&buf), r);
+    }
+}

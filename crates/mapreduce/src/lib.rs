@@ -1,0 +1,16 @@
+//! Single-machine MapReduce engine and Cohen's graph-twiddling truss
+//! algorithm (the paper's *TD-MR* baseline \[16\]).
+//!
+//! The paper compares its I/O-efficient algorithms against Cohen's
+//! MapReduce truss algorithm run on a 20-node Hadoop cluster. This crate
+//! reproduces the *algorithmic shape* of that baseline on one machine: each
+//! MapReduce job is a map pass over disk-resident records, an external-sort
+//! shuffle, and a reduce pass — so the baseline pays the same
+//! many-full-data-rounds cost structure that makes it lose by orders of
+//! magnitude (Table 4), without needing a cluster. See `DESIGN.md` §4.3.
+
+pub mod engine;
+pub mod twiddling;
+
+pub use engine::{Job, MapReduce, MrStats};
+pub use twiddling::{mr_truss_decompose, mr_ktruss, MrTrussReport};

@@ -1,0 +1,198 @@
+//! The Aggarwal–Vitter I/O model: memory budget `M`, block size `B`,
+//! `scan(N) = Θ(N/B)`, with concrete accounting.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Configuration of the external-memory model.
+///
+/// `memory_budget` is the paper's `M` and `block_size` the paper's `B`
+/// (`1 ≪ B ≤ M/2`). The external algorithms size their partitions, buffers
+/// and sort runs from this configuration; experiments shrink `M` far below
+/// `|G|` to exercise the out-of-core paths on graphs that physically fit in
+/// RAM (see `DESIGN.md` §4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct IoConfig {
+    /// Memory budget in bytes (the model's `M`).
+    pub memory_budget: usize,
+    /// Block size in bytes (the model's `B`).
+    pub block_size: usize,
+}
+
+impl IoConfig {
+    /// A configuration with the given budget and a 64 KiB block size.
+    pub fn with_budget(memory_budget: usize) -> Self {
+        IoConfig {
+            memory_budget,
+            block_size: 64 * 1024,
+        }
+    }
+
+    /// Budget expressed in units of `bytes_per_item` (how many records of a
+    /// given width fit in memory). At least 2 so algorithms can always make
+    /// progress decisions on tiny budgets.
+    pub fn items_in_budget(&self, bytes_per_item: usize) -> usize {
+        (self.memory_budget / bytes_per_item).max(2)
+    }
+
+    /// Validates the model constraint `B ≤ M/2`.
+    pub fn is_valid(&self) -> bool {
+        self.block_size >= 1 && self.block_size <= self.memory_budget / 2
+    }
+}
+
+impl Default for IoConfig {
+    /// 256 MiB budget, 64 KiB blocks — an "ordinary PC" in the paper's terms.
+    fn default() -> Self {
+        IoConfig {
+            memory_budget: 256 * 1024 * 1024,
+            block_size: 64 * 1024,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    bytes_read: u64,
+    bytes_written: u64,
+    read_ops: u64,
+    write_ops: u64,
+    scans: u64,
+}
+
+/// Cheaply cloneable handle that all storage objects write their traffic
+/// into. Single-threaded by design (the paper's algorithms are sequential).
+#[derive(Debug, Default, Clone)]
+pub struct IoTracker {
+    counters: Rc<Cell<Counters>>,
+}
+
+impl IoTracker {
+    /// Creates a fresh tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn update(&self, f: impl FnOnce(&mut Counters)) {
+        let mut c = self.counters.get();
+        f(&mut c);
+        self.counters.set(c);
+    }
+
+    /// Records `bytes` read from disk.
+    pub fn record_read(&self, bytes: u64) {
+        self.update(|c| {
+            c.bytes_read += bytes;
+            c.read_ops += 1;
+        });
+    }
+
+    /// Records `bytes` written to disk.
+    pub fn record_write(&self, bytes: u64) {
+        self.update(|c| {
+            c.bytes_written += bytes;
+            c.write_ops += 1;
+        });
+    }
+
+    /// Records the start of a sequential scan over a file (for the
+    /// `scan(N)` bookkeeping in reports).
+    pub fn record_scan(&self) {
+        self.update(|c| c.scans += 1);
+    }
+
+    /// Snapshot of the counters under a block size.
+    pub fn stats(&self, config: &IoConfig) -> IoStats {
+        let c = self.counters.get();
+        let b = config.block_size.max(1) as u64;
+        IoStats {
+            bytes_read: c.bytes_read,
+            bytes_written: c.bytes_written,
+            blocks_read: c.bytes_read.div_ceil(b),
+            blocks_written: c.bytes_written.div_ceil(b),
+            read_ops: c.read_ops,
+            write_ops: c.write_ops,
+            scans: c.scans,
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.counters.set(Counters::default());
+    }
+}
+
+/// Point-in-time I/O statistics (reported by the experiment harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// `⌈bytes_read / B⌉` — the model's read cost.
+    pub blocks_read: u64,
+    /// `⌈bytes_written / B⌉` — the model's write cost.
+    pub blocks_written: u64,
+    /// Number of read calls.
+    pub read_ops: u64,
+    /// Number of write calls.
+    pub write_ops: u64,
+    /// Number of sequential scans started.
+    pub scans: u64,
+}
+
+impl IoStats {
+    /// Total block I/Os (the paper's unit of I/O cost).
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_read + self.blocks_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let t = IoTracker::new();
+        let cfg = IoConfig {
+            memory_budget: 1024,
+            block_size: 100,
+        };
+        t.record_read(250);
+        t.record_write(100);
+        t.record_scan();
+        let s = t.stats(&cfg);
+        assert_eq!(s.bytes_read, 250);
+        assert_eq!(s.blocks_read, 3);
+        assert_eq!(s.blocks_written, 1);
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.total_blocks(), 4);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let t = IoTracker::new();
+        let t2 = t.clone();
+        t2.record_read(10);
+        assert_eq!(t.stats(&IoConfig::default()).bytes_read, 10);
+        t.reset();
+        assert_eq!(t2.stats(&IoConfig::default()).bytes_read, 0);
+    }
+
+    #[test]
+    fn config_validity_and_items() {
+        let cfg = IoConfig {
+            memory_budget: 1000,
+            block_size: 500,
+        };
+        assert!(cfg.is_valid());
+        assert!(!IoConfig {
+            memory_budget: 100,
+            block_size: 51,
+        }
+        .is_valid());
+        assert_eq!(cfg.items_in_budget(20), 50);
+        assert_eq!(IoConfig::with_budget(10).items_in_budget(20), 2);
+    }
+}

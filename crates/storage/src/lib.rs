@@ -1,0 +1,68 @@
+//! External-memory substrate for the I/O-efficient truss-decomposition
+//! algorithms.
+//!
+//! The paper adopts the I/O model of Aggarwal & Vitter (§2): main memory
+//! holds `M` units, disk transfers happen in blocks of `B` units, and
+//! `scan(N) = Θ(N/B)`. This crate realizes that model on real files:
+//!
+//! * [`IoConfig`] / [`IoTracker`] — explicit memory budget and block size,
+//!   with every byte of disk traffic recorded so experiments report I/O cost
+//!   alongside wall-clock time,
+//! * [`ScratchDir`] — self-cleaning scratch space,
+//! * [`EdgeListFile`] — the disk-resident edge list with per-edge payload
+//!   (support, truss-number bound, class) that `G_new` is stored as,
+//! * [`partition`] — the three graph partitioners of Chu & Cheng \[13\] used
+//!   to cut a graph into neighborhood subgraphs that fit in memory,
+//! * [`ext_sort`] — external merge sort used by the survivor merge of
+//!   LowerBounding and by the MapReduce shuffle.
+
+pub mod ext_sort;
+pub mod io_model;
+pub mod partition;
+pub mod record;
+pub mod scratch;
+
+pub use io_model::{IoConfig, IoStats, IoTracker};
+pub use partition::{Partition, PartitionStrategy};
+pub use record::{EdgeListFile, EdgeListWriter, EdgeRec};
+pub use scratch::ScratchDir;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A file did not contain a whole number of records.
+    Corrupt(String),
+    /// The configured memory budget cannot hold even one unit of work (e.g.
+    /// a single vertex's neighborhood exceeds it).
+    BudgetTooSmall(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt file: {m}"),
+            StorageError::BudgetTooSmall(m) => write!(f, "memory budget too small: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,281 @@
+//! Vertex partitioners for neighborhood-subgraph extraction.
+//!
+//! Algorithm 3 (LowerBounding) partitions the vertex set so that each
+//! neighborhood subgraph `NS(P_i)` fits in memory. The paper adopts the
+//! three linear-time partitioners of Chu & Cheng \[13\] (§5.1):
+//!
+//! 1. **Sequential** — cut the vertex sequence greedily; fast, no bound on
+//!    the number of iterations,
+//! 2. **Seeded** — group vertices around dominating high-degree seeds
+//!    (`O(n)` memory, `O(m/M)` iterations),
+//! 3. **Random** — randomized assignment, `O(m/M)` iterations w.h.p.
+//!
+//! The per-part budget is expressed in *half-edges*: `Σ_{v ∈ P_i} deg(v)`
+//! bounds the number of edges in `NS(P_i)`, hence its memory footprint.
+
+use crate::{Result, StorageError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use truss_graph::{Edge, VertexId};
+
+/// Which partitioner to use. `Random` is the default used by the
+/// experiments; the choice is an ablation axis (see `bench/benches/ablation.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Greedy cut of the vertex sequence in id order.
+    Sequential,
+    /// Random vertex order, then greedy cut.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Vertices grouped by their highest-degree neighbor (a linear-time
+    /// proxy for the dominating-set-guided partitioner of \[13\]), then
+    /// greedy cut group by group.
+    Seeded {
+        /// RNG seed used to shuffle equal-anchor groups.
+        seed: u64,
+    },
+}
+
+/// A partition of the vertex set.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    num_parts: usize,
+}
+
+impl Partition {
+    /// Part of vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// The raw assignment array (indexed by vertex id).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+}
+
+/// Plans a partition of vertices `0..degrees.len()`.
+///
+/// `budget_half_edges` bounds `Σ_{v ∈ P_i} deg(v)` per part. `edge_pass` is
+/// invoked at most once (only by [`PartitionStrategy::Seeded`]) and must
+/// stream every edge of the current graph to the callback; for a disk
+/// resident graph that is one `scan(|G|)`.
+pub fn plan_partition<F>(
+    strategy: PartitionStrategy,
+    degrees: &[u32],
+    budget_half_edges: usize,
+    edge_pass: F,
+) -> Result<Partition>
+where
+    F: FnOnce(&mut dyn FnMut(Edge)) -> Result<()>,
+{
+    if let Some(v) = degrees
+        .iter()
+        .position(|&d| d as usize > budget_half_edges)
+    {
+        return Err(StorageError::BudgetTooSmall(format!(
+            "vertex {v} has degree {} > per-part budget {budget_half_edges}; \
+             NS({{{v}}}) alone cannot fit in memory",
+            degrees[v]
+        )));
+    }
+
+    let n = degrees.len();
+    let order: Vec<VertexId> = match strategy {
+        PartitionStrategy::Sequential => (0..n as VertexId).collect(),
+        PartitionStrategy::Random { seed } => {
+            let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            order
+        }
+        PartitionStrategy::Seeded { seed } => {
+            // Anchor of v = its highest-degree neighbor (ties: smaller id),
+            // or v itself when isolated. Grouping by anchor co-locates the
+            // neighborhoods of dominating vertices.
+            let mut anchor: Vec<VertexId> = (0..n as VertexId).collect();
+            let mut pass_result: Result<()> = Ok(());
+            let mut update = |a: VertexId, b: VertexId| {
+                let cur = anchor[a as usize];
+                let better = if cur == a {
+                    true
+                } else {
+                    let (db, dc) = (degrees[b as usize], degrees[cur as usize]);
+                    db > dc || (db == dc && b < cur)
+                };
+                if better && degrees[b as usize] >= degrees[anchor[a as usize] as usize] {
+                    anchor[a as usize] = b;
+                }
+            };
+            let mut cb = |e: Edge| {
+                update(e.u, e.v);
+                update(e.v, e.u);
+            };
+            if let Err(e) = edge_pass(&mut cb) {
+                pass_result = Err(e);
+            }
+            pass_result?;
+            let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+            // Shuffle first so equal-anchor groups land in random part
+            // neighborhoods, then stable-sort by anchor to group them.
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            order.sort_by_key(|&v| anchor[v as usize]);
+            order
+        }
+    };
+
+    let mut assignment = vec![0u32; n];
+    let mut part = 0u32;
+    let mut load = 0usize;
+    for &v in &order {
+        let d = degrees[v as usize] as usize;
+        if load + d > budget_half_edges && load > 0 {
+            part += 1;
+            load = 0;
+        }
+        assignment[v as usize] = part;
+        load += d;
+    }
+    Ok(Partition {
+        assignment,
+        num_parts: part as usize + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrees_of(edges: &[Edge], n: usize) -> Vec<u32> {
+        let mut d = vec![0u32; n];
+        for e in edges {
+            d[e.u as usize] += 1;
+            d[e.v as usize] += 1;
+        }
+        d
+    }
+
+    fn star_edges(center: u32, leaves: u32) -> Vec<Edge> {
+        (1..=leaves).map(|v| Edge::new(center, v)).collect()
+    }
+
+    fn no_edges(_f: &mut dyn FnMut(Edge)) -> Result<()> {
+        Ok(())
+    }
+
+    fn check_budget(p: &Partition, degrees: &[u32], budget: usize) {
+        let mut loads = vec![0usize; p.num_parts()];
+        for (v, &d) in degrees.iter().enumerate() {
+            loads[p.part_of(v as u32) as usize] += d as usize;
+        }
+        for (i, &l) in loads.iter().enumerate() {
+            assert!(l <= budget, "part {i} load {l} > budget {budget}");
+        }
+    }
+
+    #[test]
+    fn sequential_respects_budget() {
+        let edges = star_edges(0, 9);
+        let degrees = degrees_of(&edges, 10);
+        let p =
+            plan_partition(PartitionStrategy::Sequential, &degrees, 9, no_edges).unwrap();
+        check_budget(&p, &degrees, 9);
+        assert!(p.num_parts() >= 2);
+    }
+
+    #[test]
+    fn random_respects_budget_and_is_deterministic() {
+        let edges: Vec<Edge> = (0..50).map(|i| Edge::new(i, i + 50)).collect();
+        let degrees = degrees_of(&edges, 100);
+        let p1 = plan_partition(
+            PartitionStrategy::Random { seed: 3 },
+            &degrees,
+            10,
+            no_edges,
+        )
+        .unwrap();
+        let p2 = plan_partition(
+            PartitionStrategy::Random { seed: 3 },
+            &degrees,
+            10,
+            no_edges,
+        )
+        .unwrap();
+        assert_eq!(p1.assignment(), p2.assignment());
+        check_budget(&p1, &degrees, 10);
+    }
+
+    #[test]
+    fn seeded_groups_star_leaves_with_center() {
+        // Star with 6 leaves + one background edge between leaves.
+        let mut edges = star_edges(0, 6);
+        edges.push(Edge::new(5, 6));
+        let degrees = degrees_of(&edges, 7);
+        let p = plan_partition(
+            PartitionStrategy::Seeded { seed: 1 },
+            &degrees,
+            100,
+            |f| {
+                for e in &edges {
+                    f(*e);
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        // Budget is large: everything in one part.
+        assert_eq!(p.num_parts(), 1);
+    }
+
+    #[test]
+    fn seeded_anchor_grouping() {
+        // Two stars; tight budget forces 2+ parts; leaves should follow
+        // their centers.
+        let mut edges = star_edges(0, 5);
+        edges.extend((7..=11).map(|v| Edge::new(6, v)));
+        let degrees = degrees_of(&edges, 12);
+        let p = plan_partition(
+            PartitionStrategy::Seeded { seed: 1 },
+            &degrees,
+            12,
+            |f| {
+                for e in &edges {
+                    f(*e);
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        check_budget(&p, &degrees, 12);
+        // The anchor-0 group {0..=5} has total load 10 <= 12, so the first
+        // star is co-located in its entirety. (The greedy fill may split the
+        // second group across the boundary — that is allowed.)
+        let part_a = p.part_of(0);
+        assert!((1..=5).all(|v| p.part_of(v) == part_a));
+        assert!(p.num_parts() >= 2);
+    }
+
+    #[test]
+    fn budget_too_small_for_hub() {
+        let edges = star_edges(0, 20);
+        let degrees = degrees_of(&edges, 21);
+        let r = plan_partition(PartitionStrategy::Sequential, &degrees, 10, no_edges);
+        assert!(matches!(r, Err(StorageError::BudgetTooSmall(_))));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = plan_partition(PartitionStrategy::Sequential, &[], 10, no_edges).unwrap();
+        assert_eq!(p.num_parts(), 1);
+        assert!(p.assignment().is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Fixed-width disk records and record files.
+//!
+//! All disk-resident state in this repository — the shrinking graph of
+//! LowerBounding, `G_new` with its per-edge bounds, partition buckets, sort
+//! runs, MapReduce shuffle segments — is stored as flat files of fixed-width
+//! records. Fixed width keeps `scan(N)` literal: `N` bytes streamed through
+//! a `BufReader`, no parsing, no seeking.
+
+use crate::io_model::IoTracker;
+use crate::{Result, StorageError};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use truss_graph::Edge;
+
+/// A fixed-width binary record.
+pub trait FixedRecord: Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Encodes into `buf` (exactly `SIZE` bytes).
+    fn encode(&self, buf: &mut [u8]);
+
+    /// Decodes from `buf` (exactly `SIZE` bytes).
+    fn decode(buf: &[u8]) -> Self;
+
+    /// Primary sort key for external sorting.
+    fn sort_key(&self) -> u128;
+}
+
+/// The per-edge record of the external algorithms.
+///
+/// The `bound` field is reused by stage: Algorithm 3 stores the lower bound
+/// `φ(e)` there, the top-down pipeline stores the upper bound `ψ(e)`.
+/// `class` is the known truss number (`0` = not yet classified); the
+/// top-down algorithm keeps classified edges in `G_new` while they still
+/// support unclassified triangles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRec {
+    /// The canonical edge.
+    pub edge: Edge,
+    /// Support (exact or in-progress, depending on stage).
+    pub sup: u32,
+    /// Truss-number bound (φ in bottom-up, ψ in top-down).
+    pub bound: u32,
+    /// Known truss number; `0` while unclassified.
+    pub class: u32,
+}
+
+impl EdgeRec {
+    /// A record with zeroed payload.
+    pub fn bare(edge: Edge) -> Self {
+        EdgeRec {
+            edge,
+            sup: 0,
+            bound: 0,
+            class: 0,
+        }
+    }
+}
+
+impl FixedRecord for EdgeRec {
+    const SIZE: usize = 20;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.edge.u.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.edge.v.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.sup.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.bound.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.class.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let g = |r: std::ops::Range<usize>| u32::from_le_bytes(buf[r].try_into().unwrap());
+        EdgeRec {
+            edge: Edge {
+                u: g(0..4),
+                v: g(4..8),
+            },
+            sup: g(8..12),
+            bound: g(12..16),
+            class: g(16..20),
+        }
+    }
+
+    fn sort_key(&self) -> u128 {
+        self.edge.key() as u128
+    }
+}
+
+/// A closed, immutable file of `T` records.
+#[derive(Debug)]
+pub struct RecordFile<T> {
+    path: PathBuf,
+    len: u64,
+    tracker: IoTracker,
+    _pd: PhantomData<T>,
+}
+
+/// Disk edge list (`G` / `G_new` on disk).
+pub type EdgeListFile = RecordFile<EdgeRec>;
+
+/// Writer producing an [`EdgeListFile`].
+pub type EdgeListWriter = RecordWriter<EdgeRec>;
+
+impl<T: FixedRecord> RecordFile<T> {
+    /// Starts writing a new record file at `path`.
+    pub fn create(path: PathBuf, tracker: IoTracker) -> Result<RecordWriter<T>> {
+        let file = File::create(&path)?;
+        Ok(RecordWriter {
+            w: BufWriter::new(file),
+            path,
+            count: 0,
+            tracker,
+            _pd: PhantomData,
+        })
+    }
+
+    /// Builds a record file from an iterator in one go.
+    pub fn from_iter(
+        path: PathBuf,
+        tracker: IoTracker,
+        records: impl IntoIterator<Item = T>,
+    ) -> Result<RecordFile<T>> {
+        let mut w = Self::create(path, tracker)?;
+        for r in records {
+            w.push(r)?;
+        }
+        w.finish()
+    }
+
+    /// Opens an existing file, verifying its size is a whole number of
+    /// records.
+    pub fn open(path: PathBuf, tracker: IoTracker) -> Result<RecordFile<T>> {
+        let meta = std::fs::metadata(&path)?;
+        if meta.len() % T::SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "{} has {} bytes, not a multiple of record size {}",
+                path.display(),
+                meta.len(),
+                T::SIZE
+            )));
+        }
+        Ok(RecordFile {
+            path,
+            len: meta.len() / T::SIZE as u64,
+            tracker,
+            _pd: PhantomData,
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size on disk in bytes (`scan` of this file costs `⌈bytes/B⌉` I/Os).
+    pub fn bytes(&self) -> u64 {
+        self.len * T::SIZE as u64
+    }
+
+    /// File path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequentially scans all records, recording the I/O.
+    pub fn scan(&self, mut f: impl FnMut(T)) -> Result<()> {
+        self.tracker.record_scan();
+        self.tracker.record_read(self.bytes());
+        let file = File::open(&self.path)?;
+        let mut r = BufReader::with_capacity(1 << 16, file);
+        let mut buf = vec![0u8; T::SIZE];
+        for i in 0..self.len {
+            r.read_exact(&mut buf).map_err(|_| {
+                StorageError::Corrupt(format!(
+                    "{} truncated at record {i}/{}",
+                    self.path.display(),
+                    self.len
+                ))
+            })?;
+            f(T::decode(&buf));
+        }
+        Ok(())
+    }
+
+    /// Reads the whole file into memory (callers must check the budget).
+    pub fn read_all(&self) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.scan(|r| out.push(r))?;
+        Ok(out)
+    }
+
+    /// Deletes the underlying file.
+    pub fn delete(self) -> Result<()> {
+        std::fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+/// Streaming writer for a [`RecordFile`].
+#[derive(Debug)]
+pub struct RecordWriter<T> {
+    w: BufWriter<File>,
+    path: PathBuf,
+    count: u64,
+    tracker: IoTracker,
+    _pd: PhantomData<T>,
+}
+
+impl<T: FixedRecord> RecordWriter<T> {
+    /// Appends one record.
+    pub fn push(&mut self, rec: T) -> Result<()> {
+        let mut buf = [0u8; 64];
+        debug_assert!(T::SIZE <= 64);
+        rec.encode(&mut buf[..T::SIZE]);
+        self.w.write_all(&buf[..T::SIZE])?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Flushes and seals the file.
+    pub fn finish(mut self) -> Result<RecordFile<T>> {
+        self.w.flush()?;
+        self.tracker.record_write(self.count * T::SIZE as u64);
+        Ok(RecordFile {
+            path: self.path,
+            len: self.count,
+            tracker: self.tracker,
+            _pd: PhantomData,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    fn rec(u: u32, v: u32, sup: u32) -> EdgeRec {
+        EdgeRec {
+            edge: Edge::new(u, v),
+            sup,
+            bound: sup + 1,
+            class: 0,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = EdgeRec {
+            edge: Edge::new(7, 9),
+            sup: 3,
+            bound: 5,
+            class: 4,
+        };
+        let mut buf = [0u8; EdgeRec::SIZE];
+        r.encode(&mut buf);
+        assert_eq!(EdgeRec::decode(&buf), r);
+    }
+
+    #[test]
+    fn write_scan_round_trip() {
+        let scratch = ScratchDir::new().unwrap();
+        let t = IoTracker::new();
+        let recs: Vec<EdgeRec> = (0..100).map(|i| rec(i, i + 1, i % 5)).collect();
+        let f = EdgeListFile::from_iter(scratch.file("e"), t.clone(), recs.iter().copied())
+            .unwrap();
+        assert_eq!(f.len(), 100);
+        assert_eq!(f.bytes(), 2000);
+        let back = f.read_all().unwrap();
+        assert_eq!(back, recs);
+        let stats = t.stats(&crate::IoConfig::default());
+        assert_eq!(stats.bytes_written, 2000);
+        assert_eq!(stats.bytes_read, 2000);
+        assert_eq!(stats.scans, 1);
+    }
+
+    #[test]
+    fn open_rejects_partial_record() {
+        let scratch = ScratchDir::new().unwrap();
+        let p = scratch.file("bad");
+        std::fs::write(&p, [0u8; 30]).unwrap(); // 1.5 records
+        let r = EdgeListFile::open(p, IoTracker::new());
+        assert!(matches!(r, Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_file() {
+        let scratch = ScratchDir::new().unwrap();
+        let f =
+            EdgeListFile::from_iter(scratch.file("e"), IoTracker::new(), std::iter::empty())
+                .unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.read_all().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn delete_removes_file() {
+        let scratch = ScratchDir::new().unwrap();
+        let f = EdgeListFile::from_iter(
+            scratch.file("e"),
+            IoTracker::new(),
+            vec![rec(1, 2, 0)],
+        )
+        .unwrap();
+        let p = f.path().to_path_buf();
+        assert!(p.exists());
+        f.delete().unwrap();
+        assert!(!p.exists());
+    }
+}

@@ -1,0 +1,102 @@
+//! Self-cleaning scratch directories for spill files.
+
+use crate::Result;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory removed on drop.
+///
+/// All disk-resident state of the external algorithms (edge lists, partition
+/// buckets, sort runs) lives in one of these, so an experiment cleans up
+/// after itself even on panic.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    next_file: AtomicU64,
+}
+
+impl ScratchDir {
+    /// Creates a scratch directory under the system temp dir.
+    pub fn new() -> Result<Self> {
+        Self::under(std::env::temp_dir())
+    }
+
+    /// Creates a scratch directory under `base`.
+    pub fn under(base: impl AsRef<Path>) -> Result<Self> {
+        let id = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path = base.as_ref().join(format!(
+            "truss-scratch-{}-{}",
+            std::process::id(),
+            id
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir {
+            path,
+            next_file: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Returns a fresh unique file path with the given label (the file is
+    /// not created).
+    pub fn file(&self, label: &str) -> PathBuf {
+        let id = self.next_file.fetch_add(1, Ordering::Relaxed);
+        self.path.join(format!("{label}-{id}.bin"))
+    }
+
+    /// Total bytes currently on disk in this scratch dir (for peak-disk
+    /// reporting).
+    pub fn disk_usage(&self) -> u64 {
+        std::fs::read_dir(&self.path)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans() {
+        let path;
+        {
+            let s = ScratchDir::new().unwrap();
+            path = s.path().to_path_buf();
+            assert!(path.is_dir());
+            std::fs::write(s.file("x"), b"hello").unwrap();
+            assert!(s.disk_usage() >= 5);
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn unique_files() {
+        let s = ScratchDir::new().unwrap();
+        assert_ne!(s.file("a"), s.file("a"));
+    }
+
+    #[test]
+    fn unique_dirs() {
+        let a = ScratchDir::new().unwrap();
+        let b = ScratchDir::new().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

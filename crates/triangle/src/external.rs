@@ -1,0 +1,454 @@
+//! I/O-efficient support computation over disk-resident graphs.
+//!
+//! This module implements the iterative neighborhood-subgraph pass of
+//! Chu & Cheng \[13, 14\] that both external truss algorithms build on
+//! (stage 1 of TD-bottomup and TD-topdown):
+//!
+//! 1. partition the vertex set so each `NS(P_i)` fits in the memory budget,
+//! 2. distribute edges into per-part bucket files (an edge goes to the
+//!    bucket of each endpoint's part — at most two),
+//! 3. load each bucket, list its local triangles, accumulate per-edge
+//!    supports, and let a [`PartVisitor`] compute any per-part extras (the
+//!    bottom-up algorithm computes local truss numbers here),
+//! 4. *finalize* internal edges (both endpoints in the part) — their
+//!    accumulated support is now exact — and carry cross edges into the next
+//!    iteration via an external-sort merge that sums partial supports.
+//!
+//! **Why the supports are exact** (`DESIGN.md` §5.1): every triangle is
+//! counted exactly once — in the iteration where two of its vertices first
+//! share a part, which is also the iteration its first edge is finalized;
+//! a bucket's complete triangles always have ≥ 2 internal vertices, and a
+//! triangle with ≥ 2 vertices in `P_i` is complete only in `P_i`'s bucket.
+//! Hence when an edge is finalized, every triangle containing it has been
+//! counted, and no triangle is counted twice.
+
+use truss_graph::subgraph::{from_parent_edges, NeighborhoodSubgraph};
+use truss_graph::{CsrGraph, VertexId};
+use truss_storage::ext_sort::external_sort;
+use truss_storage::partition::{plan_partition, PartitionStrategy};
+use truss_storage::record::{EdgeRec, RecordFile};
+use truss_storage::{EdgeListFile, IoConfig, IoTracker, Result, ScratchDir, StorageError};
+
+use crate::list::for_each_triangle;
+
+/// Per-part hook invoked after the driver has accumulated this part's
+/// triangle contributions into `recs[i].sup`.
+///
+/// `recs[i]` corresponds to local edge id `i` of `ns.sub.graph` (the driver
+/// guarantees this alignment). Implementations may update `recs[i].bound`
+/// (e.g. with local truss numbers) but must combine with the incoming value
+/// (`max`) — cross edges are visited once per incident part and once more in
+/// the iteration where they finalize.
+pub trait PartVisitor {
+    /// Inspects one materialized neighborhood subgraph.
+    fn visit(&mut self, ns: &NeighborhoodSubgraph, recs: &mut [EdgeRec]);
+}
+
+/// A visitor that computes nothing — plain external support counting.
+pub struct NoopVisitor;
+
+impl PartVisitor for NoopVisitor {
+    fn visit(&mut self, _ns: &NeighborhoodSubgraph, _recs: &mut [EdgeRec]) {}
+}
+
+/// Configuration of the partitioned pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PassConfig {
+    /// Memory budget / block size.
+    pub io: IoConfig,
+    /// Partitioner (§5.1 gives three choices; `Random` is the default).
+    pub strategy: PartitionStrategy,
+    /// Bytes charged against the budget per half-edge of a materialized
+    /// part (records + local CSR + per-edge working arrays).
+    pub bytes_per_half_edge: usize,
+    /// Safety cap on iterations (the expected count is `O(m/M)`).
+    pub max_iterations: usize,
+}
+
+impl PassConfig {
+    /// Defaults: random partitioning, 32 bytes per half-edge, 1000-iteration
+    /// cap.
+    pub fn new(io: IoConfig) -> Self {
+        PassConfig {
+            io,
+            strategy: PartitionStrategy::Random { seed: 0x7355 },
+            bytes_per_half_edge: 32,
+            max_iterations: 1000,
+        }
+    }
+}
+
+/// Result of a partitioned pass.
+pub struct PassOutput {
+    /// Every input edge, sorted by edge key, with **exact** support in `sup`
+    /// and the visitor's final `bound`.
+    pub finalized: EdgeListFile,
+    /// Number of partition iterations used.
+    pub iterations: usize,
+    /// Total number of parts materialized across iterations.
+    pub parts_processed: usize,
+}
+
+/// Runs the iterative partitioned support pass. See the module docs.
+///
+/// `input` must be sorted by edge key (the canonical order produced by
+/// [`edge_list_from_graph`] or any `external_sort`). `num_vertices` bounds
+/// the vertex id space; the pass keeps `O(n)` memory for degrees and the
+/// partition map, which is the memory regime of the paper's partitioners.
+pub fn partitioned_support_pass(
+    input: &EdgeListFile,
+    num_vertices: usize,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+    cfg: &PassConfig,
+    visitor: &mut dyn PartVisitor,
+) -> Result<PassOutput> {
+    let budget_half_edges = cfg
+        .io
+        .memory_budget
+        .checked_div(cfg.bytes_per_half_edge)
+        .unwrap_or(0)
+        .max(4);
+
+    let mut finalized =
+        EdgeListFile::create(scratch.file("pass-finalized"), tracker.clone())?;
+    let mut current: Option<EdgeListFile> = None; // None = read from `input`
+    let mut iterations = 0usize;
+    let mut parts_processed = 0usize;
+    let mut stagnant = 0usize;
+
+    loop {
+        let cur_len = current.as_ref().map(|f| f.len()).unwrap_or(input.len());
+        if cur_len == 0 {
+            break;
+        }
+        if iterations >= cfg.max_iterations {
+            return Err(StorageError::BudgetTooSmall(format!(
+                "support pass did not converge in {} iterations ({} edges left)",
+                cfg.max_iterations, cur_len
+            )));
+        }
+        iterations += 1;
+
+        // Degrees of the current (shrunk) graph: one scan.
+        let mut degrees = vec![0u32; num_vertices];
+        scan_current(input, &current, |r| {
+            degrees[r.edge.u as usize] += 1;
+            degrees[r.edge.v as usize] += 1;
+        })?;
+
+        // After a stagnant iteration, reseed randomly to break symmetry.
+        let strategy = if stagnant == 0 && iterations == 1 {
+            cfg.strategy
+        } else {
+            match cfg.strategy {
+                PartitionStrategy::Sequential => PartitionStrategy::Random {
+                    seed: 0xdead ^ iterations as u64,
+                },
+                PartitionStrategy::Random { seed } => PartitionStrategy::Random {
+                    seed: seed.wrapping_add(iterations as u64),
+                },
+                PartitionStrategy::Seeded { seed } => {
+                    if stagnant > 0 {
+                        PartitionStrategy::Random {
+                            seed: seed.wrapping_add(iterations as u64),
+                        }
+                    } else {
+                        PartitionStrategy::Seeded {
+                            seed: seed.wrapping_add(iterations as u64),
+                        }
+                    }
+                }
+            }
+        };
+
+        let partition = plan_partition(strategy, &degrees, budget_half_edges, |f| {
+            scan_current(input, &current, |r| f(r.edge))
+        })?;
+        drop(degrees);
+
+        // Distribute records into bucket files: primary copy to part(u)
+        // (keeps the accumulated support), secondary copy to part(v) with
+        // support zeroed so the survivor merge can sum partial counts.
+        let p = partition.num_parts();
+        let mut buckets = Vec::with_capacity(p);
+        for _ in 0..p {
+            buckets.push(EdgeListFile::create(
+                scratch.file("pass-bucket"),
+                tracker.clone(),
+            )?);
+        }
+        {
+            let mut dist_err: Option<StorageError> = None;
+            scan_current(input, &current, |r| {
+                if dist_err.is_some() {
+                    return;
+                }
+                let pu = partition.part_of(r.edge.u) as usize;
+                let pv = partition.part_of(r.edge.v) as usize;
+                if let Err(e) = buckets[pu].push(r) {
+                    dist_err = Some(e);
+                    return;
+                }
+                if pv != pu {
+                    let secondary = EdgeRec { sup: 0, ..r };
+                    if let Err(e) = buckets[pv].push(secondary) {
+                        dist_err = Some(e);
+                    }
+                }
+            })?;
+            if let Some(e) = dist_err {
+                return Err(e);
+            }
+        }
+        // The previous survivor file is no longer needed.
+        if let Some(old) = current.take() {
+            old.delete()?;
+        }
+
+        let mut survivors =
+            EdgeListFile::create(scratch.file("pass-survivors"), tracker.clone())?;
+        let finalized_before = finalized.len();
+
+        for (part_idx, bucket) in buckets.into_iter().enumerate() {
+            let bucket = bucket.finish()?;
+            if bucket.is_empty() {
+                bucket.delete()?;
+                continue;
+            }
+            parts_processed += 1;
+            let mut recs = bucket.read_all()?;
+            bucket.delete()?;
+
+            let ns = materialize_part(&recs, |v| partition.part_of(v) as usize == part_idx);
+            debug_assert_eq!(ns.sub.graph.num_edges(), recs.len());
+
+            // Accumulate this part's triangles. Complete triangles in a
+            // bucket always have >= 2 internal vertices and occur in exactly
+            // one bucket (module docs), so a plain +1 on all three edges is
+            // globally exact.
+            for_each_triangle(&ns.sub.graph, |_, _, _, e1, e2, e3| {
+                recs[e1 as usize].sup += 1;
+                recs[e2 as usize].sup += 1;
+                recs[e3 as usize].sup += 1;
+            });
+
+            visitor.visit(&ns, &mut recs);
+
+            for (i, rec) in recs.iter().enumerate() {
+                let local = ns.sub.graph.edge(i as u32);
+                if ns.is_internal_edge(local) {
+                    finalized.push(*rec)?;
+                } else {
+                    survivors.push(*rec)?;
+                }
+            }
+        }
+
+        let survivors = survivors.finish()?;
+        stagnant = if finalized.len() == finalized_before {
+            stagnant + 1
+        } else {
+            0
+        };
+        if survivors.is_empty() {
+            survivors.delete()?;
+            break;
+        }
+        // Merge duplicate cross-edge copies: supports add, bounds max.
+        let merged = external_sort(
+            &survivors,
+            scratch,
+            tracker,
+            &cfg.io,
+            Some(merge_partials),
+        )?;
+        survivors.delete()?;
+        current = Some(merged);
+    }
+
+    let finalized = finalized.finish()?;
+    let sorted = external_sort(&finalized, scratch, tracker, &cfg.io, None)?;
+    finalized.delete()?;
+    Ok(PassOutput {
+        finalized: sorted,
+        iterations,
+        parts_processed,
+    })
+}
+
+/// Combiner for the two partial copies of a cross edge.
+fn merge_partials(a: EdgeRec, b: EdgeRec) -> EdgeRec {
+    debug_assert_eq!(a.edge, b.edge);
+    EdgeRec {
+        edge: a.edge,
+        sup: a.sup + b.sup,
+        bound: a.bound.max(b.bound),
+        class: a.class.max(b.class),
+    }
+}
+
+/// Scans either the caller's input (first iteration) or the current survivor
+/// file.
+fn scan_current(
+    input: &EdgeListFile,
+    current: &Option<EdgeListFile>,
+    f: impl FnMut(EdgeRec),
+) -> Result<()> {
+    match current {
+        Some(c) => c.scan(f),
+        None => input.scan(f),
+    }
+}
+
+/// Builds the local neighborhood subgraph for a bucket. Records arrive
+/// sorted by edge key, and the monotone relabeling preserves order, so local
+/// edge id `i` corresponds to `recs[i]`.
+fn materialize_part(
+    recs: &[EdgeRec],
+    is_internal: impl Fn(VertexId) -> bool,
+) -> NeighborhoodSubgraph {
+    debug_assert!(recs.windows(2).all(|w| w[0].edge < w[1].edge));
+    let sub = from_parent_edges(recs.iter().map(|r| r.edge));
+    let internal = sub.to_parent.iter().map(|&p| is_internal(p)).collect();
+    NeighborhoodSubgraph { sub, internal }
+}
+
+/// Convenience: materializes a [`CsrGraph`] as a sorted [`EdgeListFile`]
+/// with zeroed payloads.
+pub fn edge_list_from_graph(
+    g: &CsrGraph,
+    path: std::path::PathBuf,
+    tracker: IoTracker,
+) -> Result<EdgeListFile> {
+    RecordFile::from_iter(
+        path,
+        tracker,
+        g.iter_edges().map(|(_, e)| EdgeRec::bare(e)),
+    )
+}
+
+/// Computes exact supports for every edge of a disk-resident graph and
+/// returns them as a sorted edge file (the `sup` field is filled, `bound`
+/// and `class` are untouched inputs).
+pub fn external_edge_supports(
+    input: &EdgeListFile,
+    num_vertices: usize,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+    cfg: &PassConfig,
+) -> Result<PassOutput> {
+    partitioned_support_pass(input, num_vertices, scratch, tracker, cfg, &mut NoopVisitor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::edge_supports;
+    use truss_graph::generators::classic::complete;
+    use truss_graph::generators::erdos_renyi::gnm;
+    use truss_graph::generators::figures::figure2_graph;
+
+    /// Runs the external pass and checks it matches in-memory supports.
+    fn check_graph(g: &CsrGraph, budget: usize, strategy: PartitionStrategy) -> PassOutput {
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        let input =
+            edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
+        let mut cfg = PassConfig::new(IoConfig {
+            memory_budget: budget,
+            block_size: (budget / 4).max(64),
+        });
+        cfg.strategy = strategy;
+        let out = external_edge_supports(
+            &input,
+            g.num_vertices(),
+            &scratch,
+            &tracker,
+            &cfg,
+        )
+        .unwrap();
+
+        let expect = edge_supports(g);
+        let mut got = Vec::new();
+        out.finalized.scan(|r| got.push(r)).unwrap();
+        assert_eq!(got.len(), g.num_edges());
+        for r in &got {
+            let id = g.edge_id(r.edge.u, r.edge.v).expect("edge exists");
+            assert_eq!(
+                r.sup, expect[id as usize],
+                "support mismatch on {:?}",
+                r.edge
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn matches_in_memory_when_fitting() {
+        let g = figure2_graph();
+        let out = check_graph(&g, 1 << 20, PartitionStrategy::Sequential);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn matches_with_tiny_budget_random() {
+        let g = gnm(60, 400, 5);
+        // ~800 half-edges total; budget of 200 half-edges → ≥ 4 parts.
+        let out = check_graph(&g, 200 * 32, PartitionStrategy::Random { seed: 1 });
+        assert!(out.iterations >= 1);
+        assert!(out.parts_processed >= 2);
+    }
+
+    #[test]
+    fn matches_with_tiny_budget_sequential_and_seeded() {
+        let g = gnm(50, 300, 8);
+        check_graph(&g, 150 * 32, PartitionStrategy::Sequential);
+        check_graph(&g, 150 * 32, PartitionStrategy::Seeded { seed: 9 });
+    }
+
+    #[test]
+    fn clique_supports_external() {
+        let g = complete(20); // every edge support 18
+        let out = check_graph(&g, 300 * 32, PartitionStrategy::Random { seed: 3 });
+        assert!(out.iterations >= 1);
+    }
+
+    #[test]
+    fn multi_iteration_convergence() {
+        // Force many iterations with a very small budget on a larger graph.
+        let g = gnm(120, 1200, 11);
+        let out = check_graph(&g, 130 * 32, PartitionStrategy::Random { seed: 2 });
+        assert!(out.iterations >= 2, "expected multiple iterations");
+    }
+
+    #[test]
+    fn budget_too_small_for_hub_errors() {
+        let g = truss_graph::generators::classic::star(100);
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        let input = edge_list_from_graph(&g, scratch.file("g"), tracker.clone()).unwrap();
+        let cfg = PassConfig::new(IoConfig {
+            memory_budget: 50 * 32, // hub degree 100 > 50 half-edges
+            block_size: 64,
+        });
+        let r = external_edge_supports(&input, g.num_vertices(), &scratch, &tracker, &cfg);
+        assert!(matches!(r, Err(StorageError::BudgetTooSmall(_))));
+    }
+
+    #[test]
+    fn io_stats_recorded() {
+        let g = gnm(40, 200, 4);
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        let input = edge_list_from_graph(&g, scratch.file("g"), tracker.clone()).unwrap();
+        let cfg = PassConfig::new(IoConfig {
+            memory_budget: 100 * 32,
+            block_size: 256,
+        });
+        external_edge_supports(&input, g.num_vertices(), &scratch, &tracker, &cfg).unwrap();
+        let stats = tracker.stats(&cfg.io);
+        assert!(stats.scans >= 3, "expected several scans, got {}", stats.scans);
+        assert!(stats.bytes_read > input.bytes());
+    }
+}

@@ -1,0 +1,21 @@
+//! Triangle counting and listing.
+//!
+//! Truss decomposition begins by computing the *support* of every edge — the
+//! number of triangles containing it (Definition 1). This crate provides:
+//!
+//! * [`count::edge_supports`] — in-memory support computation by
+//!   merge-intersection over sorted adjacency lists, `O(m^1.5)` on the
+//!   compact-forward orientation (Schank \[27\], Latapy \[20\]),
+//! * [`list::for_each_triangle`] — in-memory triangle listing with a
+//!   callback,
+//! * [`external::external_edge_supports`] — the I/O-efficient, partition
+//!   based support computation of Chu & Cheng \[13, 14\] used by stage 1 of
+//!   both external algorithms.
+
+pub mod count;
+pub mod external;
+pub mod list;
+
+pub use count::{edge_supports, triangle_count};
+pub use external::external_edge_supports;
+pub use list::for_each_triangle;

@@ -1,0 +1,278 @@
+//! `truss` — command-line truss decomposition.
+//!
+//! ```text
+//! truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES] <input.snap>
+//! truss ktruss --k K <input.snap>
+//! truss topt --t T [--memory BYTES] <input.snap>
+//! truss stats <input.snap>
+//! truss generate --dataset NAME [--scale F] [--seed S] <output.snap>
+//! ```
+//!
+//! Inputs are SNAP-style edge lists (`u v` per line, `#` comments) or the
+//! binary format (by `.bin` extension). Decomposition output is TSV
+//! `u <tab> v <tab> trussness` on stdout; diagnostics go to stderr.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+use truss_decomposition::core::bottom_up::{bottom_up_decompose, BottomUpConfig};
+use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naive};
+use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
+use truss_decomposition::core::TrussDecomposition;
+use truss_decomposition::graph::generators::datasets::dataset_by_name;
+use truss_decomposition::graph::metrics::{average_local_clustering, degree_stats};
+use truss_decomposition::graph::{io as gio, CsrGraph};
+use truss_decomposition::mapreduce::twiddling::mr_truss_decompose;
+use truss_decomposition::storage::IoConfig;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES] <input>
+  truss ktruss --k K <input>
+  truss topt --t T [--memory BYTES] <input>
+  truss stats <input>
+  truss generate --dataset NAME [--scale F] [--seed S] <output>
+inputs: SNAP text edge lists, or the binary format for *.bin paths";
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn input(&self) -> Result<&str, String> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| "missing input path".to_string())
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = raw.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "decompose" => cmd_decompose(&args),
+        "ktruss" => cmd_ktruss(&args),
+        "topt" => cmd_topt(&args),
+        "stats" => cmd_stats(&args),
+        "generate" => cmd_generate(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let g = if path.ends_with(".bin") {
+        gio::read_binary(file).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        gio::read_snap(file).map_err(|e| format!("{path}: {e}"))?
+    };
+    eprintln!(
+        "loaded {path}: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(g)
+}
+
+fn io_config(args: &Args, g: &CsrGraph) -> Result<IoConfig, String> {
+    let default_budget = (g.num_edges() * 20 / 4)
+        .max(truss_decomposition::core::minimum_budget(g, 64))
+        .max(1 << 16);
+    let budget: usize = args
+        .get_parsed("memory")?
+        .unwrap_or(default_budget)
+        .max(truss_decomposition::core::minimum_budget(g, 64));
+    Ok(IoConfig {
+        memory_budget: budget,
+        block_size: (budget / 64).max(4096),
+    })
+}
+
+fn print_decomposition(g: &CsrGraph, d: &TrussDecomposition) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for (id, e) in g.iter_edges() {
+        writeln!(out, "{}\t{}\t{}", e.u, e.v, d.edge_trussness(id))
+            .map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("k_max = {}", d.k_max());
+    for (k, size) in d.class_sizes() {
+        eprintln!("  Φ_{k}: {size} edges");
+    }
+    Ok(())
+}
+
+fn cmd_decompose(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.input()?)?;
+    let algo = args.get("algo").unwrap_or("inmem+");
+    let d = match algo {
+        "inmem" => truss_decompose_naive(&g),
+        "inmem+" => truss_decompose(&g),
+        "bottomup" => {
+            let io = io_config(args, &g)?;
+            let (d, report) =
+                bottom_up_decompose(&g, &BottomUpConfig::new(io)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "bottom-up: {} rounds, {} lower-bound iterations, {} blocks of I/O",
+                report.rounds,
+                report.lower_bound_iterations,
+                report.io.total_blocks()
+            );
+            d
+        }
+        "topdown" => {
+            let io = io_config(args, &g)?;
+            let (res, report) =
+                top_down_decompose(&g, &TopDownConfig::new(io)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "top-down: {} rounds, k_1st = {}, {} blocks of I/O",
+                report.rounds,
+                report.k_first,
+                report.io.total_blocks()
+            );
+            res.to_decomposition(&g)
+                .ok_or("top-down did not complete")?
+        }
+        "mr" => {
+            let io = io_config(args, &g)?;
+            let (d, report) = mr_truss_decompose(&g, io).map_err(|e| e.to_string())?;
+            eprintln!(
+                "mapreduce: {} jobs, {} shuffled records",
+                report.stats.jobs, report.stats.shuffled_records
+            );
+            d
+        }
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    print_decomposition(&g, &d)
+}
+
+fn cmd_ktruss(args: &Args) -> Result<(), String> {
+    let k: u32 = args
+        .get_parsed("k")?
+        .ok_or("--k is required")?;
+    if k < 2 {
+        return Err("--k must be at least 2".into());
+    }
+    let g = load_graph(args.input()?)?;
+    let ids = truss_decomposition::core::truss::peel_to_k_truss(&g, k);
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for id in &ids {
+        let e = g.edge(*id);
+        writeln!(out, "{}\t{}", e.u, e.v).map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("{}-truss: {} edges", k, ids.len());
+    Ok(())
+}
+
+fn cmd_topt(args: &Args) -> Result<(), String> {
+    let t: u32 = args.get_parsed("t")?.ok_or("--t is required")?;
+    let g = load_graph(args.input()?)?;
+    let io = io_config(args, &g)?;
+    let (res, report) = top_down_decompose(&g, &TopDownConfig::new(io).top_t(t))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "k_max = {}, k_1st = {}, {} rounds",
+        res.k_max, report.k_first, report.rounds
+    );
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for (kk, edges) in res.classes.iter().rev() {
+        for e in edges {
+            writeln!(out, "{}\t{}\t{}", e.u, e.v, kk).map_err(|e| e.to_string())?;
+        }
+        eprintln!("  Φ_{kk}: {} edges", edges.len());
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.input()?)?;
+    let ds = degree_stats(&g);
+    let d = truss_decompose(&g);
+    let cores = truss_decomposition::core::core_decomposition::core_decompose(&g);
+    println!("vertices      {}", g.num_vertices());
+    println!("edges         {}", g.num_edges());
+    println!("max degree    {}", ds.max);
+    println!("median degree {}", ds.median);
+    println!("clustering    {:.4}", average_local_clustering(&g));
+    println!("k_max (truss) {}", d.k_max());
+    println!("c_max (core)  {}", cores.c_max());
+    println!("triangles     {}", truss_decomposition::triangle::triangle_count(&g));
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let name = args.get("dataset").ok_or("--dataset is required")?;
+    let dataset =
+        dataset_by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale: f64 = args.get_parsed("scale")?.unwrap_or(1.0);
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(0x5eed);
+    let out_path = args.input()?;
+    let g = dataset.build_scaled(dataset.spec().default_scale * scale, seed);
+    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    if out_path.ends_with(".bin") {
+        gio::write_binary(&g, file).map_err(|e| e.to_string())?;
+    } else {
+        gio::write_snap(&g, file).map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "wrote {out_path}: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}

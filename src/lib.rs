@@ -1,0 +1,42 @@
+//! # truss-decomposition
+//!
+//! A from-scratch Rust reproduction of *"Truss Decomposition in Massive
+//! Networks"* (Jia Wang & James Cheng, PVLDB 5(9), 2012).
+//!
+//! The `k`-truss of a graph `G` is the largest subgraph in which every edge
+//! is contained in at least `k − 2` triangles within the subgraph; *truss
+//! decomposition* computes the `k`-truss for all `k`. This crate is a facade
+//! re-exporting the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`graph`] | CSR graphs, generators, formats, metrics |
+//! | [`storage`] | I/O cost model, disk edge lists, partitioners, external sort |
+//! | [`triangle`] | triangle counting/listing (in-memory + external) |
+//! | [`core`] | the paper's algorithms: TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core |
+//! | [`mapreduce`] | single-machine MapReduce engine + Cohen's TD-MR baseline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use truss_decomposition::prelude::*;
+//!
+//! // The paper's running example (Figure 2).
+//! let g = truss_decomposition::graph::generators::figure2_graph();
+//! let decomposition = truss_decompose(&g);
+//! assert_eq!(decomposition.k_max(), 5);
+//! // Every edge of the 5-class forms a clique on {a, b, c, d, e}.
+//! assert_eq!(decomposition.class(5).len(), 10);
+//! ```
+
+pub use truss_core as core;
+pub use truss_graph as graph;
+pub use truss_mapreduce as mapreduce;
+pub use truss_storage as storage;
+pub use truss_triangle as triangle;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use truss_core::decompose::{truss_decompose, TrussDecomposition};
+    pub use truss_graph::{CsrGraph, Edge, EdgeId, GraphBuilder, VertexId};
+}

@@ -1,0 +1,136 @@
+//! End-to-end tests of the `truss` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn truss_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_truss"))
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("truss-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Writes the Figure 2 graph as a SNAP file and returns the path.
+fn figure2_file() -> PathBuf {
+    let path = temp_file("figure2.snap");
+    let g = truss_decomposition::graph::generators::figure2_graph();
+    let f = std::fs::File::create(&path).unwrap();
+    truss_decomposition::graph::io::write_snap(&g, f).unwrap();
+    path
+}
+
+#[test]
+fn decompose_outputs_tsv_with_trussness() {
+    let input = figure2_file();
+    for algo in ["inmem", "inmem+", "bottomup", "topdown"] {
+        let out = truss_bin()
+            .args(["decompose", "--algo", algo, input.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo}: {:?}", out);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 26, "{algo}: one line per edge");
+        // Class sizes recoverable from the TSV.
+        let fives = lines.iter().filter(|l| l.ends_with("\t5")).count();
+        assert_eq!(fives, 10, "{algo}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("k_max = 5"), "{algo}: {stderr}");
+    }
+}
+
+#[test]
+fn ktruss_extracts_subgraph() {
+    let input = figure2_file();
+    let out = truss_bin()
+        .args(["ktruss", "--k", "5", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 10, "the K5");
+}
+
+#[test]
+fn topt_reports_top_classes() {
+    let input = figure2_file();
+    let out = truss_bin()
+        .args(["topt", "--t", "2", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("k_max = 5"), "{stderr}");
+    assert!(stderr.contains("Φ_5: 10 edges"), "{stderr}");
+}
+
+#[test]
+fn generate_then_stats_round_trip() {
+    let path = temp_file("gen.snap");
+    let out = truss_bin()
+        .args([
+            "generate",
+            "--dataset",
+            "p2p",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = truss_bin()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("k_max"), "{stdout}");
+    assert!(stdout.contains("triangles"), "{stdout}");
+}
+
+#[test]
+fn binary_format_by_extension() {
+    let path = temp_file("gen.bin");
+    assert!(truss_bin()
+        .args(["generate", "--dataset", "hep", "--scale", "0.01", path.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = truss_bin()
+        .args(["decompose", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown subcommand.
+    let out = truss_bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    // Missing input.
+    let out = truss_bin().args(["decompose"]).output().unwrap();
+    assert!(!out.status.success());
+    // Nonexistent file.
+    let out = truss_bin()
+        .args(["decompose", "/nonexistent/graph.snap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error"), "{stderr}");
+    // Bad k.
+    let input = figure2_file();
+    let out = truss_bin()
+        .args(["ktruss", "--k", "1", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

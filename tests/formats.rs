@@ -1,0 +1,102 @@
+//! Cross-format round trips and the decomposition's invariance under
+//! relabeling and serialization.
+
+use truss_decomposition::core::decompose::truss_decompose;
+use truss_decomposition::graph::generators as gen;
+use truss_decomposition::graph::{io as gio, permute};
+
+#[test]
+fn snap_binary_metis_round_trips_agree() {
+    let g = gen::overlapping_communities(
+        gen::CommunityConfig {
+            n: 90,
+            communities: 9,
+            min_size: 3,
+            max_size: 10,
+            size_exponent: 2.0,
+            density: 1.0,
+            background_edges: 80,
+        },
+        5,
+    );
+    let mut snap = Vec::new();
+    gio::write_snap(&g, &mut snap).unwrap();
+    let mut binary = Vec::new();
+    gio::write_binary(&g, &mut binary).unwrap();
+    let mut metis = Vec::new();
+    gio::write_metis(&g, &mut metis).unwrap();
+
+    let g_binary = gio::read_binary(&binary[..]).unwrap();
+    let g_metis = gio::read_metis(&metis[..]).unwrap();
+    assert_eq!(g.edges(), g_binary.edges());
+    assert_eq!(g.edges(), g_metis.edges());
+    // SNAP compacts ids, so compare via decomposition class sizes.
+    let g_snap = gio::read_snap(&snap[..]).unwrap();
+    assert_eq!(
+        truss_decompose(&g).class_sizes(),
+        truss_decompose(&g_snap).class_sizes()
+    );
+}
+
+#[test]
+fn decomposition_invariant_under_relabeling() {
+    let g = gen::erdos_renyi::gnm(70, 450, 13);
+    let base = truss_decompose(&g);
+    for perm in [permute::degree_order(&g), permute::bfs_order(&g)] {
+        let g2 = perm.relabel(&g);
+        let d2 = truss_decompose(&g2);
+        assert_eq!(base.class_sizes(), d2.class_sizes());
+        assert_eq!(base.k_max(), d2.k_max());
+        // Per-edge: trussness of (u,v) equals trussness of (perm u, perm v).
+        for (id, e) in g.iter_edges() {
+            let id2 = g2.edge_id(perm.apply(e.u), perm.apply(e.v)).unwrap();
+            assert_eq!(base.edge_trussness(id), d2.edge_trussness(id2));
+        }
+    }
+}
+
+#[test]
+fn external_core_matches_in_memory_on_datasets() {
+    use truss_decomposition::core::core_decomposition::core_decompose;
+    use truss_decomposition::core::core_external::external_core_decompose;
+    use truss_decomposition::storage::{IoConfig, IoTracker, ScratchDir};
+    use truss_decomposition::triangle::external::edge_list_from_graph;
+
+    for dataset in [
+        truss_decomposition::graph::generators::datasets::Dataset::Hep,
+        truss_decomposition::graph::generators::datasets::Dataset::Btc,
+    ] {
+        let scale = (6_000.0 / dataset.spec().paper.edges as f64).min(0.05);
+        let g = dataset.build_scaled(scale, 5);
+        let exact = core_decompose(&g);
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        let edges = edge_list_from_graph(&g, scratch.file("g"), tracker.clone()).unwrap();
+        let io = IoConfig::with_budget(1 << 14);
+        let (ext, _) =
+            external_core_decompose(&edges, g.num_vertices(), &scratch, &tracker, &io)
+                .unwrap();
+        assert_eq!(ext.core_numbers(), exact.core_numbers());
+    }
+}
+
+#[test]
+fn topdown_without_cleanup_still_correct() {
+    use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
+    use truss_decomposition::storage::IoConfig;
+
+    let g = gen::erdos_renyi::gnm(50, 340, 4);
+    let exact = truss_decompose(&g);
+    for (kinit, cleanup) in [(false, false), (true, false), (false, true)] {
+        let mut cfg = TopDownConfig::new(IoConfig::with_budget(1 << 20));
+        cfg.use_kinit = kinit;
+        cfg.use_cleanup = cleanup;
+        let (res, _) = top_down_decompose(&g, &cfg).unwrap();
+        assert!(res.complete);
+        assert_eq!(
+            res.to_decomposition(&g).unwrap().trussness(),
+            exact.trussness(),
+            "kinit={kinit} cleanup={cleanup}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Golden tests against every worked example in the paper.
+
+use std::collections::BTreeMap;
+use truss_decomposition::core::bottom_up::{bottom_up_decompose, BottomUpConfig};
+use truss_decomposition::core::core_decomposition::core_decompose;
+use truss_decomposition::core::decompose::truss_decompose;
+use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
+use truss_decomposition::core::truss::{truss_subgraph, truss_subgraph_edges};
+use truss_decomposition::graph::generators::figures::*;
+use truss_decomposition::graph::metrics::average_local_clustering;
+use truss_decomposition::graph::subgraph;
+use truss_decomposition::graph::Edge;
+use truss_decomposition::storage::IoConfig;
+
+/// Example 2: the exact k-classes of Figure 2.
+#[test]
+fn example2_classes() {
+    let g = figure2_graph();
+    let d = truss_decompose(&g);
+    assert_eq!(d.k_max(), 5);
+    assert_eq!(d.classes_as_edges(&g), figure2_classes());
+}
+
+/// Example 1 / Figure 1: 3-core vs 4-truss of the manager graph.
+#[test]
+fn example1_manager_graph() {
+    let g = manager_graph();
+    let d = truss_decompose(&g);
+    let cores = core_decompose(&g);
+
+    // No 5-truss, no 4-core.
+    assert_eq!(d.k_max(), 4);
+    assert_eq!(cores.c_max(), 3);
+
+    // The 4-truss is exactly the union of the five 4-cliques.
+    assert_eq!(truss_subgraph_edges(&g, &d, 4), manager_graph_4truss());
+
+    // The 3-core drops only the small periphery (vertices 6 and 9).
+    let core3: Vec<u32> = cores.core_vertices(3);
+    assert_eq!(core3.len(), 19);
+    assert!(!core3.contains(&5) && !core3.contains(&8)); // ids 6,9 are 5,8 zero-based
+
+    // CC(G) < CC(3-core) < CC(4-truss) — the "truss filters the core" story.
+    let cc_g = average_local_clustering(&g);
+    let three_core = subgraph::induced(&g, &core3);
+    let cc_core = average_local_clustering(&three_core.graph);
+    let cc_truss = average_local_clustering(&truss_subgraph(&g, &d, 4));
+    assert!(
+        cc_g < cc_core && cc_core < cc_truss,
+        "CC ordering violated: {cc_g:.3} / {cc_core:.3} / {cc_truss:.3}"
+    );
+    assert!(cc_truss > 0.75, "4-truss should be strongly clustered");
+}
+
+/// Example 3: local decomposition of NS(P1) under the fixed partition gives
+/// local 2-class {(d,l), (g,l)} and local 4-class on the rest.
+#[test]
+fn example3_partition_local_classes() {
+    let g = figure2_graph();
+    let parts = figure2_partition();
+
+    let name_edge = |e: Edge, ns: &subgraph::NeighborhoodSubgraph| -> (usize, usize) {
+        let p = ns.sub.parent_edge(e);
+        (p.u as usize, p.v as usize)
+    };
+
+    // NS(P1), P1 = {a, b, c, l}.
+    let ns1 = subgraph::neighborhood(&g, &parts[0]);
+    assert_eq!(ns1.sub.graph.num_edges(), 11);
+    let local1 = truss_decompose(&ns1.sub.graph);
+    let mut class2: Vec<(usize, usize)> = ns1
+        .sub
+        .graph
+        .iter_edges()
+        .filter(|&(id, _)| local1.edge_trussness(id) == 2)
+        .map(|(_, e)| name_edge(e, &ns1))
+        .collect();
+    class2.sort_unstable();
+    // (d,l) = (3,11) and (g,l) = (6,11).
+    assert_eq!(class2, vec![(3, 11), (6, 11)]);
+    // Everything else is local class 4 ("the remaining edges belong to Φ4(P1)").
+    for (id, _) in ns1.sub.graph.iter_edges() {
+        let t = local1.edge_trussness(id);
+        assert!(t == 2 || t == 4, "unexpected local class {t}");
+    }
+
+    // NS(P2), P2 = {d, e, f, g}: local Φ2(P2) = {(f,i), (f,j)}.
+    let ns2 = subgraph::neighborhood(&g, &parts[1]);
+    let local2 = truss_decompose(&ns2.sub.graph);
+    let mut class2: Vec<(usize, usize)> = ns2
+        .sub
+        .graph
+        .iter_edges()
+        .filter(|&(id, _)| local2.edge_trussness(id) == 2)
+        .map(|(_, e)| name_edge(e, &ns2))
+        .collect();
+    class2.sort_unstable();
+    // (f,i) = (5,8), (f,j) = (5,9).
+    assert_eq!(class2, vec![(5, 8), (5, 9)]);
+}
+
+/// Examples 4–5: top-down with t = 2 computes Φ5 = K5{a..e} and
+/// Φ4 = K4{f,h,i,j}, exactly as the paper walks through.
+#[test]
+fn example5_top_down_walkthrough() {
+    let g = figure2_graph();
+    let mut cfg = TopDownConfig::new(IoConfig::with_budget(1 << 20)).top_t(2);
+    cfg.use_kinit = false;
+    let (res, report) = top_down_decompose(&g, &cfg).unwrap();
+    assert_eq!(report.k_first, 5, "ψ bounds are tight on Figure 2");
+    assert_eq!(res.k_max, 5);
+    assert!(!res.complete);
+    let expected: BTreeMap<u32, Vec<Edge>> = figure2_classes()
+        .into_iter()
+        .filter(|&(k, _)| k >= 4)
+        .collect();
+    assert_eq!(res.classes, expected);
+}
+
+/// Example 3 continued: the bottom-up pipeline reproduces the same classes
+/// under a budget that forces the three-part regime.
+#[test]
+fn example3_bottom_up_small_budget() {
+    let g = figure2_graph();
+    // ~28 edges total; budget for roughly a third of the graph.
+    let cfg = BottomUpConfig::new(IoConfig {
+        memory_budget: 20 * 64,
+        block_size: 64,
+    });
+    let (d, report) = bottom_up_decompose(&g, &cfg).unwrap();
+    assert_eq!(d.classes_as_edges(&g), figure2_classes());
+    assert!(report.lower_bound_iterations >= 1);
+}

@@ -1,0 +1,104 @@
+//! Property-based tests (proptest) of the decomposition invariants on
+//! random graphs.
+
+use proptest::prelude::*;
+use truss_decomposition::core::core_decomposition::core_decompose;
+use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naive};
+use truss_decomposition::core::truss::{is_k_truss, peel_to_k_truss, truss_subgraph_edges};
+use truss_decomposition::graph::{CsrGraph, Edge};
+use truss_decomposition::triangle::count::{edge_supports, triangle_count};
+
+/// Strategy: a random simple graph with up to `n` vertices and `m` raw edges.
+fn arb_graph(n: u32, m: usize) -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0..n, 0..n), 1..m).prop_map(|pairs| {
+        let edges: Vec<Edge> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(a, b))
+            .collect();
+        CsrGraph::from_edges(edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Definition: every edge of the k-truss has ≥ k−2 triangles inside it.
+    #[test]
+    fn truss_satisfies_definition(g in arb_graph(40, 300)) {
+        let d = truss_decompose(&g);
+        for k in 2..=d.k_max() {
+            let edges = truss_subgraph_edges(&g, &d, k);
+            prop_assert!(is_k_truss(&edges, k), "k = {k}");
+        }
+    }
+
+    /// Maximality: the claimed k-truss equals the peeling fixpoint.
+    #[test]
+    fn truss_is_maximal(g in arb_graph(32, 200)) {
+        let d = truss_decompose(&g);
+        for k in 2..=d.k_max() + 1 {
+            let mut claimed = d.truss_edge_ids(k);
+            claimed.sort_unstable();
+            let mut actual = peel_to_k_truss(&g, k);
+            actual.sort_unstable();
+            prop_assert_eq!(&claimed, &actual, "k = {}", k);
+        }
+    }
+
+    /// Hierarchy: T_{k+1} ⊆ T_k.
+    #[test]
+    fn trusses_are_nested(g in arb_graph(40, 300)) {
+        let d = truss_decompose(&g);
+        for k in 2..=d.k_max() {
+            let upper = d.truss_edge_ids(k + 1);
+            let lower: std::collections::HashSet<u32> =
+                d.truss_edge_ids(k).into_iter().collect();
+            prop_assert!(upper.iter().all(|e| lower.contains(e)));
+        }
+    }
+
+    /// Algorithm 1 and Algorithm 2 agree.
+    #[test]
+    fn naive_equals_improved(g in arb_graph(36, 260)) {
+        let a = truss_decompose(&g);
+        let b = truss_decompose_naive(&g);
+        prop_assert_eq!(a.trussness(), b.trussness());
+    }
+
+    /// A k-truss is a (k−1)-core (§1): every vertex of T_k has core number
+    /// ≥ k−1.
+    #[test]
+    fn truss_inside_core(g in arb_graph(40, 300)) {
+        let d = truss_decompose(&g);
+        let cores = core_decompose(&g);
+        for id in d.truss_edge_ids(d.k_max()) {
+            let e = g.edge(id);
+            prop_assert!(cores.core_of(e.u) >= d.k_max() - 1);
+            prop_assert!(cores.core_of(e.v) >= d.k_max() - 1);
+        }
+    }
+
+    /// Support bookkeeping: Σ sup(e) = 3 · #triangles, and trussness of an
+    /// edge never exceeds sup(e) + 2.
+    #[test]
+    fn supports_consistent(g in arb_graph(40, 300)) {
+        let sup = edge_supports(&g);
+        let total: u64 = sup.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(total, 3 * triangle_count(&g));
+        let d = truss_decompose(&g);
+        for (i, &s) in sup.iter().enumerate() {
+            prop_assert!(d.edge_trussness(i as u32) <= s + 2);
+        }
+    }
+
+    /// k_max lower-bounds the largest clique: an n-clique forces k_max ≥ n.
+    #[test]
+    fn planted_clique_bounds_kmax(g in arb_graph(36, 150), size in 4u32..9) {
+        let planted = truss_decomposition::graph::generators::planted::planted_clique(
+            &g, size as usize, 99,
+        );
+        let d = truss_decompose(&planted);
+        prop_assert!(d.k_max() >= size);
+    }
+}
