@@ -16,9 +16,7 @@ use truss_graph::generators::datasets::Dataset;
 use truss_storage::partition::PartitionStrategy;
 use truss_storage::record::{EdgeRec, FixedRecord};
 use truss_storage::{IoConfig, IoTracker, ScratchDir};
-use truss_triangle::external::{
-    edge_list_from_graph, external_edge_supports, PassConfig,
-};
+use truss_triangle::external::{edge_list_from_graph, external_edge_supports, PassConfig};
 
 fn bench_edge_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_edge_index");
@@ -56,8 +54,7 @@ fn bench_partitioner(c: &mut Criterion) {
             b.iter(|| {
                 let scratch = ScratchDir::new().unwrap();
                 let tracker = IoTracker::new();
-                let input =
-                    edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
+                let input = edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
                 let mut cfg = PassConfig::new(IoConfig {
                     memory_budget: budget,
                     block_size: (budget / 16).max(1024),

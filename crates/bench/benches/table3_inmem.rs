@@ -14,7 +14,12 @@ fn bench_table3(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
-    for dataset in [Dataset::Wiki, Dataset::Amazon, Dataset::Skitter, Dataset::Blog] {
+    for dataset in [
+        Dataset::Wiki,
+        Dataset::Amazon,
+        Dataset::Skitter,
+        Dataset::Blog,
+    ] {
         let g = bench_graph(dataset, BenchScale::Tiny);
         let name = dataset.spec().name;
         group.bench_with_input(BenchmarkId::new("TD-inmem", name), &g, |b, g| {

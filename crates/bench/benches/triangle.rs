@@ -9,9 +9,7 @@ use truss_bench::tables::external_io_config;
 use truss_graph::generators::datasets::Dataset;
 use truss_storage::{IoTracker, ScratchDir};
 use truss_triangle::count::{edge_supports, edge_supports_by_intersection};
-use truss_triangle::external::{
-    edge_list_from_graph, external_edge_supports, PassConfig,
-};
+use truss_triangle::external::{edge_list_from_graph, external_edge_supports, PassConfig};
 
 fn bench_triangle(c: &mut Criterion) {
     let mut group = c.benchmark_group("triangle_supports");
@@ -32,8 +30,7 @@ fn bench_triangle(c: &mut Criterion) {
             b.iter(|| {
                 let scratch = ScratchDir::new().unwrap();
                 let tracker = IoTracker::new();
-                let input =
-                    edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
+                let input = edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
                 let cfg = PassConfig::new(io);
                 black_box(
                     external_edge_supports(&input, g.num_vertices(), &scratch, &tracker, &cfg)

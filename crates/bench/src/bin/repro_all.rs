@@ -12,4 +12,6 @@ fn main() {
     tables::table4(scale).print("Table 4: TD-bottomup vs TD-MR");
     tables::table5(scale).print("Table 5: TD-topdown vs TD-bottomup");
     tables::table6(scale).print("Table 6: k_max-truss vs c_max-core");
+    tables::table_engines(scale)
+        .print("Engine registry: all five algorithms through TrussEngine::run");
 }

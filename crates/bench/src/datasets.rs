@@ -22,7 +22,10 @@ pub fn scale_factor(scale: BenchScale) -> f64 {
         BenchScale::Default => 1.0,
     };
     // A global override for exploration: TRUSS_SCALE=0.25 repro_table4 …
-    match std::env::var("TRUSS_SCALE").ok().and_then(|s| s.parse::<f64>().ok()) {
+    match std::env::var("TRUSS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
         Some(mult) if mult > 0.0 => base * mult,
         _ => base,
     }

@@ -5,21 +5,21 @@
 //! `repro_*` binaries are thin wrappers; `repro_all` runs everything and is
 //! the source of `EXPERIMENTS.md`.
 
-use crate::datasets::{bench_graph, BenchScale};
+use crate::datasets::{bench_graph, scale_factor, BenchScale};
 use crate::table::TableWriter;
 use crate::{bytes_h, count_h, secs, time};
-use truss_core::bottom_up::{bottom_up_decompose, BottomUpConfig};
 use truss_core::core_decomposition::{cmax_core_subgraph, core_decompose};
-use truss_core::decompose::naive::truss_decompose_naive_with_memory;
-use truss_core::decompose::{truss_decompose, truss_decompose_with, ImprovedConfig};
+use truss_core::decompose::truss_decompose;
 use truss_core::top_down::{top_down_decompose, TopDownConfig};
 use truss_core::truss::truss_subgraph;
+use truss_decomposition::engine::{
+    registry, AlgorithmKind, EngineConfig, EngineInput, EngineRegistry,
+};
 use truss_graph::generators::datasets::{all_datasets, Dataset};
 use truss_graph::metrics::{average_local_clustering, degree_stats};
 use truss_graph::CsrGraph;
 use truss_storage::record::{EdgeRec, FixedRecord};
 use truss_storage::IoConfig;
-use truss_mapreduce::twiddling::mr_truss_decompose;
 
 /// External-memory configuration for a graph: `M` is an eighth of the
 /// graph's on-disk size (so the out-of-core paths genuinely run), but at
@@ -42,11 +42,45 @@ pub fn external_io_config(g: &CsrGraph) -> IoConfig {
     }
 }
 
+/// Engine configuration for the experiment tables: [`external_io_config`]'s
+/// I/O model, support-stat collection off (the tables time the algorithms,
+/// not the reporting pass).
+pub fn external_engine_config(g: &CsrGraph) -> EngineConfig {
+    let mut config = EngineConfig::with_io(external_io_config(g));
+    config.collect_support_stats = false;
+    config
+}
+
+/// Runs `kind` from `engines` on `g`, panicking with the algorithm name on
+/// failure (tables have no error channel).
+fn run_engine(
+    engines: &EngineRegistry,
+    kind: AlgorithmKind,
+    g: &CsrGraph,
+    config: &EngineConfig,
+) -> (truss_core::TrussDecomposition, truss_core::EngineReport) {
+    engines
+        .get(kind)
+        .unwrap_or_else(|| panic!("{kind} not registered"))
+        .run(EngineInput::Graph(g), config)
+        .unwrap_or_else(|e| panic!("{kind}: {e}"))
+}
+
 /// Table 2 — dataset statistics, paper vs. synthetic analogue.
 pub fn table2(scale: BenchScale) -> TableWriter {
     let mut t = TableWriter::new(vec![
-        "dataset", "|V| paper", "|V| ours", "|E| paper", "|E| ours", "size", "dmax p",
-        "dmax ours", "dmed p", "dmed ours", "kmax p", "kmax ours",
+        "dataset",
+        "|V| paper",
+        "|V| ours",
+        "|E| paper",
+        "|E| ours",
+        "size",
+        "dmax p",
+        "dmax ours",
+        "dmed p",
+        "dmed ours",
+        "kmax p",
+        "kmax ours",
     ]);
     for d in all_datasets() {
         let spec = d.spec();
@@ -81,20 +115,28 @@ pub fn table3(scale: BenchScale) -> TableWriter {
         "mem TD-inmem",
         "mem TD-inmem+",
     ]);
-    for d in [Dataset::Wiki, Dataset::Amazon, Dataset::Skitter, Dataset::Blog] {
+    let engines = registry();
+    for d in [
+        Dataset::Wiki,
+        Dataset::Amazon,
+        Dataset::Skitter,
+        Dataset::Blog,
+    ] {
         let g = bench_graph(d, scale);
-        let ((naive, naive_mem), t_naive) = time(|| truss_decompose_naive_with_memory(&g));
-        let ((improved, improved_mem), t_improved) =
-            time(|| truss_decompose_with(&g, ImprovedConfig::default()));
+        let mut config = EngineConfig::sized_for(&g);
+        config.collect_support_stats = false;
+        let (naive, naive_rep) = run_engine(&engines, AlgorithmKind::Inmem, &g, &config);
+        let (improved, improved_rep) = run_engine(&engines, AlgorithmKind::InmemPlus, &g, &config);
         assert_eq!(naive.trussness(), improved.trussness());
-        let speedup = t_naive.as_secs_f64() / t_improved.as_secs_f64().max(1e-9);
+        let speedup =
+            naive_rep.wall_time.as_secs_f64() / improved_rep.wall_time.as_secs_f64().max(1e-9);
         t.row(vec![
             d.spec().name.to_string(),
-            secs(t_naive),
-            secs(t_improved),
+            secs(naive_rep.wall_time),
+            secs(improved_rep.wall_time),
             format!("{speedup:.1}"),
-            bytes_h(naive_mem as u64),
-            bytes_h(improved_mem as u64),
+            bytes_h(naive_rep.peak_memory_estimate as u64),
+            bytes_h(improved_rep.peak_memory_estimate as u64),
         ]);
     }
     t
@@ -111,35 +153,39 @@ pub fn table4(scale: BenchScale) -> TableWriter {
         "bu rounds",
         "MR jobs",
     ]);
-    for d in [Dataset::P2p, Dataset::Hep, Dataset::Lj, Dataset::Btc, Dataset::Web] {
+    let engines = registry();
+    for d in [
+        Dataset::P2p,
+        Dataset::Hep,
+        Dataset::Lj,
+        Dataset::Btc,
+        Dataset::Web,
+    ] {
         let g = bench_graph(d, scale);
-        let io = external_io_config(&g);
-        let cfg = BottomUpConfig::new(io);
-        let ((_bu, report), t_bu) =
-            time(|| bottom_up_decompose(&g, &cfg).expect("bottom-up"));
+        let config = external_engine_config(&g);
+        let (_bu, bu_rep) = run_engine(&engines, AlgorithmKind::BottomUp, &g, &config);
 
         let (mr_time, mr_jobs) = if matches!(d, Dataset::P2p | Dataset::Hep) {
             // TD-MR runs on a 5% slice: the paper used a 20-node cluster and
             // still needed hours; our single-machine simulation of the same
             // round structure shows the orders-of-magnitude gap at any size.
             let slice = d.build_scaled(d.spec().default_scale * 0.05, 0x5eed);
-            let exact = truss_core::decompose::truss_decompose(&slice);
-            let ((mr, mr_report), t_mr) =
-                time(|| mr_truss_decompose(&slice, io).expect("mapreduce"));
+            let (exact, _) = run_engine(&engines, AlgorithmKind::InmemPlus, &slice, &config);
+            let (mr, mr_rep) = run_engine(&engines, AlgorithmKind::MapReduce, &slice, &config);
             assert_eq!(mr.trussness(), exact.trussness());
             (
-                format!("{} (5% slice)", secs(t_mr)),
-                mr_report.stats.jobs.to_string(),
+                format!("{} (5% slice)", secs(mr_rep.wall_time)),
+                mr_rep.mr_jobs.unwrap_or(0).to_string(),
             )
         } else {
             ("-".to_string(), "-".to_string())
         };
         t.row(vec![
             d.spec().name.to_string(),
-            secs(t_bu),
+            secs(bu_rep.wall_time),
             mr_time,
-            report.io.total_blocks().to_string(),
-            report.rounds.to_string(),
+            bu_rep.io.total_blocks().to_string(),
+            bu_rep.rounds.unwrap_or(0).to_string(),
             mr_jobs,
         ]);
     }
@@ -156,31 +202,68 @@ pub fn table5(scale: BenchScale) -> TableWriter {
         "kmax",
         "k_1st",
     ]);
+    let engines = registry();
     for d in [Dataset::Lj, Dataset::Btc, Dataset::Web] {
         let g = bench_graph(d, scale);
         let io = external_io_config(&g);
+        let config = external_engine_config(&g);
 
+        // Top-t runs stay on the algorithm entry point: a truncated run has
+        // no full decomposition, so it cannot go through `TrussEngine::run`.
         let cfg_top20 = TopDownConfig::new(io).top_t(20);
         let ((res20, rep20), t_top20) =
             time(|| top_down_decompose(&g, &cfg_top20).expect("topdown-20"));
 
-        let cfg_all = TopDownConfig::new(io);
-        let ((res_all, _), t_all) =
-            time(|| top_down_decompose(&g, &cfg_all).expect("topdown-all"));
-        assert!(res_all.complete);
-
-        let cfg_bu = BottomUpConfig::new(io);
-        let ((bu, _), t_bu) = time(|| bottom_up_decompose(&g, &cfg_bu).expect("bottom-up"));
-        assert_eq!(res_all.k_max, bu.k_max());
+        let (_all, all_rep) = run_engine(&engines, AlgorithmKind::TopDown, &g, &config);
+        let (bu, bu_rep) = run_engine(&engines, AlgorithmKind::BottomUp, &g, &config);
+        assert_eq!(all_rep.k_max, bu.k_max());
         assert_eq!(res20.k_max, bu.k_max());
 
         t.row(vec![
             d.spec().name.to_string(),
             secs(t_top20),
-            secs(t_all),
-            secs(t_bu),
+            secs(all_rep.wall_time),
+            secs(bu_rep.wall_time),
             bu.k_max().to_string(),
             rep20.k_first.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The unified engine table (not in the paper): every registered
+/// [`AlgorithmKind`] through the `TrussEngine` registry on one dataset
+/// slice small enough for the TD-MR baseline, cross-checked edge-for-edge.
+pub fn table_engines(scale: BenchScale) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "engine",
+        "paper name",
+        "time (s)",
+        "peak mem",
+        "I/O blocks",
+        "kmax",
+        "triangles",
+    ]);
+    let engines = registry();
+    let spec = Dataset::P2p.spec();
+    let g = Dataset::P2p.build_scaled(spec.default_scale * scale_factor(scale) * 0.5, 0x5eed);
+    let mut config = external_engine_config(&g);
+    config.collect_support_stats = true;
+    let mut reference: Option<Vec<u32>> = None;
+    for kind in AlgorithmKind::all() {
+        let (d, rep) = run_engine(&engines, kind, &g, &config);
+        match &reference {
+            Some(r) => assert_eq!(r.as_slice(), d.trussness(), "{kind} disagrees"),
+            None => reference = Some(d.trussness().to_vec()),
+        }
+        t.row(vec![
+            kind.name().to_string(),
+            kind.paper_name().to_string(),
+            secs(rep.wall_time),
+            bytes_h(rep.peak_memory_estimate as u64),
+            rep.io.total_blocks().to_string(),
+            rep.k_max.to_string(),
+            rep.triangles.map_or("-".to_string(), |x| x.to_string()),
         ]);
     }
     t
@@ -189,7 +272,11 @@ pub fn table5(scale: BenchScale) -> TableWriter {
 /// Table 6 — the `k_max`-truss `T` vs the `c_max`-core `C`.
 pub fn table6(scale: BenchScale) -> TableWriter {
     let mut t = TableWriter::new(vec![
-        "dataset", "V_T/V_C", "E_T/E_C", "kmax/cmax", "CC_T/CC_C",
+        "dataset",
+        "V_T/V_C",
+        "E_T/E_C",
+        "kmax/cmax",
+        "CC_T/CC_C",
     ]);
     for d in [
         Dataset::Amazon,
@@ -261,7 +348,11 @@ pub fn figures_report() -> String {
                 )
             })
             .collect();
-        out.push_str(&format!("Φ{k} ({:2} edges): {}\n", edges.len(), names.join(" ")));
+        out.push_str(&format!(
+            "Φ{k} ({:2} edges): {}\n",
+            edges.len(),
+            names.join(" ")
+        ));
     }
 
     // Example 3: the fixed partition and local truss numbers.
@@ -323,6 +414,14 @@ mod tests {
         let s = t.render("t2");
         assert!(s.contains("p2p"));
         assert!(s.contains("web"));
+    }
+
+    #[test]
+    fn engine_table_covers_all_kinds() {
+        let s = table_engines(BenchScale::Tiny).render("engines");
+        for kind in AlgorithmKind::all() {
+            assert!(s.contains(kind.paper_name()), "{kind} missing from\n{s}");
+        }
     }
 
     #[test]

@@ -27,9 +27,7 @@ use truss_graph::subgraph::from_parent_edges;
 use truss_graph::{CsrGraph, Edge, VertexId};
 use truss_storage::partition::{plan_partition, PartitionStrategy};
 use truss_storage::record::EdgeRec;
-use truss_storage::{
-    EdgeListFile, IoConfig, IoStats, IoTracker, Result, ScratchDir, StorageError,
-};
+use truss_storage::{EdgeListFile, IoConfig, IoStats, IoTracker, Result, ScratchDir, StorageError};
 use truss_triangle::external::{edge_list_from_graph, PassConfig};
 use truss_triangle::list::for_each_triangle;
 
@@ -94,19 +92,22 @@ pub fn bottom_up_decompose(
     cfg: &BottomUpConfig,
 ) -> Result<(TrussDecomposition, BottomUpReport)> {
     let scratch = ScratchDir::new()?;
+    bottom_up_decompose_in(g, cfg, &scratch)
+}
+
+/// [`bottom_up_decompose`] with caller-provided scratch space (the engine
+/// layer routes its configured scratch directory here).
+pub fn bottom_up_decompose_in(
+    g: &CsrGraph,
+    cfg: &BottomUpConfig,
+    scratch: &ScratchDir,
+) -> Result<(TrussDecomposition, BottomUpReport)> {
     let tracker = IoTracker::new();
     let input = edge_list_from_graph(g, scratch.file("input"), tracker.clone())?;
 
     let mut pass_cfg = PassConfig::new(cfg.io);
     pass_cfg.strategy = cfg.strategy;
-    let lb = lower_bounding(
-        &input,
-        g.num_vertices(),
-        &scratch,
-        &tracker,
-        &pass_cfg,
-        true,
-    )?;
+    let lb = lower_bounding(&input, g.num_vertices(), scratch, &tracker, &pass_cfg, true)?;
 
     let mut report = BottomUpReport {
         lower_bound_iterations: lb.iterations,
@@ -181,7 +182,7 @@ pub fn bottom_up_decompose(
         } else {
             // Procedure 9 (H exceeds memory): pair-sweep.
             report.oversized_rounds += 1;
-            peel_candidate_pair_sweep(&g_new, &in_uk, n, k, cfg, &scratch, &tracker)?
+            peel_candidate_pair_sweep(&g_new, &in_uk, n, k, cfg, scratch, &tracker)?
         };
 
         if !phi_k.is_empty() {
@@ -408,10 +409,7 @@ fn peel_pair_bucket(
                 let (lo, hi) = if cu <= cv { (cu, cv) } else { (cv, cu) };
                 lo == i && hi == j
             };
-            pair_owned
-                && canonical
-                && in_uk[pu as usize]
-                && in_uk[pv as usize]
+            pair_owned && canonical && in_uk[pu as usize] && in_uk[pv as usize]
         })
         .collect();
 

@@ -37,7 +37,11 @@ pub fn max_clique(g: &CsrGraph, d: &TrussDecomposition) -> MaxCliqueResult {
     let mut levels_searched = 0usize;
     if g.num_edges() == 0 {
         return MaxCliqueResult {
-            clique: if g.num_vertices() > 0 { vec![0] } else { vec![] },
+            clique: if g.num_vertices() > 0 {
+                vec![0]
+            } else {
+                vec![]
+            },
             truss_bound: 2,
             levels_searched: 0,
         };
@@ -226,14 +230,14 @@ mod tests {
         assert!(n <= 20);
         let mut best = 0usize;
         for mask in 1u32..(1 << n) {
-            let members: Vec<VertexId> =
-                (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            let members: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
             if members.len() <= best {
                 continue;
             }
-            let ok = members.iter().enumerate().all(|(i, &a)| {
-                members[i + 1..].iter().all(|&b| g.has_edge(a, b))
-            });
+            let ok = members
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| members[i + 1..].iter().all(|&b| g.has_edge(a, b)));
             if ok {
                 best = members.len();
             }

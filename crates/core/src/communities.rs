@@ -81,11 +81,7 @@ impl UnionFind {
 }
 
 /// Connected components of the k-truss, as communities.
-pub fn truss_communities(
-    g: &CsrGraph,
-    d: &TrussDecomposition,
-    k: u32,
-) -> Vec<TrussCommunity> {
+pub fn truss_communities(g: &CsrGraph, d: &TrussDecomposition, k: u32) -> Vec<TrussCommunity> {
     let mut uf = UnionFind::new(g.num_vertices());
     let edge_ids: Vec<EdgeId> = d.truss_edge_ids(k);
     for &id in &edge_ids {
@@ -196,10 +192,12 @@ mod tests {
         // Every community at level k+1 is vertex-contained in some level-k
         // community.
         for upper in all.iter().filter(|c| c.k > 2) {
-            let found = all
-                .iter()
-                .filter(|c| c.k == upper.k - 1)
-                .any(|lower| upper.vertices.iter().all(|v| lower.vertices.binary_search(v).is_ok()));
+            let found = all.iter().filter(|c| c.k == upper.k - 1).any(|lower| {
+                upper
+                    .vertices
+                    .iter()
+                    .all(|v| lower.vertices.binary_search(v).is_ok())
+            });
             assert!(found, "level-{} community not nested", upper.k);
         }
     }

@@ -187,7 +187,9 @@ mod tests {
             }
             // Random decrements of unpopped positive-support edges.
             for _ in 0..3 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let cand = (x >> 33) as usize % 500;
                 if !popped[cand] && current[cand] > 0 {
                     b.decrement(cand as EdgeId);

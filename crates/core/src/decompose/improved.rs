@@ -42,10 +42,7 @@ pub fn truss_decompose(g: &CsrGraph) -> TrussDecomposition {
 
 /// Algorithm 2 with explicit configuration. Returns the decomposition and
 /// the peak tracked heap usage in bytes (Table 3's memory column).
-pub fn truss_decompose_with(
-    g: &CsrGraph,
-    config: ImprovedConfig,
-) -> (TrussDecomposition, usize) {
+pub fn truss_decompose_with(g: &CsrGraph, config: ImprovedConfig) -> (TrussDecomposition, usize) {
     let m = g.num_edges();
     // Step 2: supports via O(m^1.5) triangle counting [27, 20].
     let sup = edge_supports(g);
@@ -56,11 +53,7 @@ pub fn truss_decompose_with(
 
     // Step 8's hash table over E_G (packed key -> edge id).
     let index: Option<FxHashMap<u64, EdgeId>> = match config.edge_index {
-        EdgeIndexKind::Hash => Some(
-            g.iter_edges()
-                .map(|(id, e)| (e.key(), id))
-                .collect(),
-        ),
+        EdgeIndexKind::Hash => Some(g.iter_edges().map(|(id, e)| (e.key(), id)).collect()),
         EdgeIndexKind::BinarySearch => None,
     };
 

@@ -1,0 +1,683 @@
+//! The unified `TrussEngine` layer: one entry point over every
+//! decomposition algorithm in the workspace.
+//!
+//! Consumers (the `truss` CLI, the benchmark tables, the consistency test
+//! suite) do not hand-wire algorithm entry points any more — they look an
+//! engine up in an [`EngineRegistry`] by [`AlgorithmKind`] or name and call
+//! [`TrussEngine::run`], getting back the decomposition plus a uniform
+//! [`EngineReport`] (wall time, peak-memory estimate, [`IoStats`] from the
+//! storage layer's `IoTracker`, triangle/support counters).
+//!
+//! This crate registers the four algorithms it owns (TD-inmem, TD-inmem+,
+//! TD-bottomup, TD-topdown) via [`EngineRegistry::core`]. The TD-MR
+//! baseline lives in `truss-mapreduce`, which *depends on* this crate, so
+//! its engine cannot be constructed here; the `truss-decomposition` facade
+//! crate assembles the full five-engine registry
+//! (`truss_decomposition::engine::registry()`). Later parallel or
+//! streaming engines (e.g. PKT-style shared-memory decomposition) slot in
+//! the same way: implement [`TrussEngine`], register, and every consumer
+//! picks the new algorithm up without code changes.
+
+use crate::bottom_up::{bottom_up_decompose_in, minimum_budget, BottomUpConfig};
+use crate::decompose::naive::truss_decompose_naive_with_memory;
+use crate::decompose::{truss_decompose_with, ImprovedConfig, TrussDecomposition};
+use crate::top_down::{top_down_decompose_in, TopDownConfig};
+use std::borrow::Cow;
+use std::fmt;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use truss_graph::{io as gio, CsrGraph, GraphError};
+use truss_storage::{IoConfig, IoStats, ScratchDir, StorageError};
+use truss_triangle::count::edge_supports;
+
+/// Every decomposition algorithm the workspace knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Algorithm 1 — Cohen's in-memory algorithm (*TD-inmem*).
+    Inmem,
+    /// Algorithm 2 — the improved in-memory algorithm (*TD-inmem+*).
+    InmemPlus,
+    /// Algorithm 4 — I/O-efficient bottom-up decomposition (*TD-bottomup*).
+    BottomUp,
+    /// Algorithm 7 — top-down decomposition (*TD-topdown*).
+    TopDown,
+    /// Cohen's graph-twiddling MapReduce baseline (*TD-MR*).
+    MapReduce,
+}
+
+impl AlgorithmKind {
+    /// Every kind, in the paper's presentation order.
+    pub fn all() -> [AlgorithmKind; 5] {
+        [
+            AlgorithmKind::Inmem,
+            AlgorithmKind::InmemPlus,
+            AlgorithmKind::BottomUp,
+            AlgorithmKind::TopDown,
+            AlgorithmKind::MapReduce,
+        ]
+    }
+
+    /// Canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Inmem => "inmem",
+            AlgorithmKind::InmemPlus => "inmem+",
+            AlgorithmKind::BottomUp => "bottomup",
+            AlgorithmKind::TopDown => "topdown",
+            AlgorithmKind::MapReduce => "mr",
+        }
+    }
+
+    /// The paper's name for the algorithm.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Inmem => "TD-inmem",
+            AlgorithmKind::InmemPlus => "TD-inmem+",
+            AlgorithmKind::BottomUp => "TD-bottomup",
+            AlgorithmKind::TopDown => "TD-topdown",
+            AlgorithmKind::MapReduce => "TD-MR",
+        }
+    }
+
+    /// Parses a CLI name (canonical names plus a few aliases).
+    pub fn parse(s: &str) -> Option<AlgorithmKind> {
+        match s {
+            "inmem" | "naive" => Some(AlgorithmKind::Inmem),
+            "inmem+" | "improved" => Some(AlgorithmKind::InmemPlus),
+            "bottomup" | "bottom-up" => Some(AlgorithmKind::BottomUp),
+            "topdown" | "top-down" => Some(AlgorithmKind::TopDown),
+            "mr" | "mapreduce" => Some(AlgorithmKind::MapReduce),
+            _ => None,
+        }
+    }
+
+    /// True for the external-memory algorithms (they spill to scratch disk
+    /// and report nonzero [`IoStats`]).
+    pub fn is_external(self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::BottomUp | AlgorithmKind::TopDown | AlgorithmKind::MapReduce
+        )
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Uniform engine configuration.
+///
+/// The external engines obey `io.memory_budget` (clamped up to the
+/// smallest budget the algorithm can run under, see
+/// [`minimum_budget`]) and spill into `scratch_dir`. `threads` is
+/// recorded for forward compatibility: every current engine is
+/// sequential (the paper's algorithms are single-machine, single-core),
+/// so values above 1 are accepted but unused until parallel engines land.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Memory budget `M` and block size `B` for the external algorithms.
+    pub io: IoConfig,
+    /// Scratch-space root; `None` uses the system temp dir.
+    pub scratch_dir: Option<PathBuf>,
+    /// Requested worker threads (current engines are sequential).
+    pub threads: usize,
+    /// Compute the triangle/support counters for the report (one extra
+    /// O(m^1.5) in-memory pass; skip for very large graphs).
+    pub collect_support_stats: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            io: IoConfig::default(),
+            scratch_dir: None,
+            threads: 1,
+            collect_support_stats: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration with an explicit I/O model.
+    pub fn with_io(io: IoConfig) -> Self {
+        EngineConfig {
+            io,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Default configuration with an explicit memory budget and the
+    /// standard block-size heuristic (`budget/64`, floored at 4 KiB) —
+    /// the single source of truth for callers overriding only `M`.
+    pub fn with_budget(budget: usize) -> Self {
+        EngineConfig::with_io(IoConfig {
+            memory_budget: budget,
+            block_size: (budget / 64).max(4096),
+        })
+    }
+
+    /// A budget sized for `g` the way the CLI defaults are: a quarter of
+    /// the graph's 20-byte-per-edge on-disk footprint, floored at the
+    /// algorithmic minimum and 64 KiB.
+    pub fn sized_for(g: &CsrGraph) -> Self {
+        let budget = (g.num_edges() * 20 / 4)
+            .max(minimum_budget(g, 64))
+            .max(1 << 16);
+        EngineConfig::with_budget(budget)
+    }
+
+    /// The I/O model actually used for `g`: the configured budget clamped
+    /// up to [`minimum_budget`] so the external engines can always run.
+    pub fn effective_io(&self, g: &CsrGraph) -> IoConfig {
+        let budget = self.io.memory_budget.max(minimum_budget(g, 64));
+        IoConfig {
+            memory_budget: budget,
+            block_size: self.io.block_size.clamp(1, (budget / 2).max(1)),
+        }
+    }
+
+    /// Opens the scratch directory this configuration asks for.
+    pub fn open_scratch(&self) -> Result<ScratchDir, StorageError> {
+        match &self.scratch_dir {
+            Some(base) => ScratchDir::under(base),
+            None => ScratchDir::new(),
+        }
+    }
+}
+
+/// What an engine run produced, uniformly across algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Canonical name of the algorithm that ran.
+    pub algorithm: String,
+    /// End-to-end wall time of the algorithm proper (excludes input
+    /// loading and the optional support-stats pass).
+    pub wall_time: Duration,
+    /// Peak memory estimate in bytes: tracked heap for the in-memory
+    /// algorithms, the effective memory budget `M` for the external ones.
+    pub peak_memory_estimate: usize,
+    /// Worker threads used (1 for all current engines).
+    pub threads_used: usize,
+    /// Disk traffic recorded by the storage layer's `IoTracker` (zero for
+    /// the in-memory algorithms — they never touch disk).
+    pub io: IoStats,
+    /// Largest `k` with a non-empty class.
+    pub k_max: u32,
+    /// Triangle count of the input (when support stats were collected).
+    pub triangles: Option<u64>,
+    /// Σ sup(e) over all edges = 3 × triangles (when collected).
+    pub support_sum: Option<u64>,
+    /// Algorithm rounds: k-rounds for the external algorithms, peeling
+    /// iterations for TD-MR.
+    pub rounds: Option<u64>,
+    /// LowerBounding iterations (TD-bottomup only).
+    pub lower_bound_iterations: Option<u64>,
+    /// Initial upper bound `k_1st` (TD-topdown only).
+    pub k_first: Option<u32>,
+    /// MapReduce jobs executed (TD-MR only).
+    pub mr_jobs: Option<u64>,
+    /// Records through the MapReduce shuffle (TD-MR only).
+    pub mr_shuffled_records: Option<u64>,
+}
+
+impl EngineReport {
+    /// A report skeleton for `kind` — engine implementations (including
+    /// out-of-crate ones) start from this and fill in their specifics.
+    pub fn base_for(kind: AlgorithmKind, wall_time: Duration) -> Self {
+        EngineReport {
+            algorithm: kind.name().to_string(),
+            wall_time,
+            threads_used: 1,
+            ..EngineReport::default()
+        }
+    }
+
+    /// Serializes the report as a single JSON object (hand-rolled — the
+    /// workspace carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".to_string(), |x| x.to_string())
+        }
+        format!(
+            concat!(
+                "{{\"algorithm\":\"{}\",\"wall_time_secs\":{:.6},",
+                "\"peak_memory_estimate\":{},\"threads_used\":{},",
+                "\"k_max\":{},",
+                "\"io\":{{\"bytes_read\":{},\"bytes_written\":{},",
+                "\"blocks_read\":{},\"blocks_written\":{},",
+                "\"read_ops\":{},\"write_ops\":{},\"scans\":{},",
+                "\"total_blocks\":{}}},",
+                "\"triangles\":{},\"support_sum\":{},\"rounds\":{},",
+                "\"lower_bound_iterations\":{},\"k_first\":{},",
+                "\"mr_jobs\":{},\"mr_shuffled_records\":{}}}"
+            ),
+            self.algorithm,
+            self.wall_time.as_secs_f64(),
+            self.peak_memory_estimate,
+            self.threads_used,
+            self.k_max,
+            self.io.bytes_read,
+            self.io.bytes_written,
+            self.io.blocks_read,
+            self.io.blocks_written,
+            self.io.read_ops,
+            self.io.write_ops,
+            self.io.scans,
+            self.io.total_blocks(),
+            opt(self.triangles),
+            opt(self.support_sum),
+            opt(self.rounds),
+            opt(self.lower_bound_iterations),
+            opt(self.k_first.map(u64::from)),
+            opt(self.mr_jobs),
+            opt(self.mr_shuffled_records),
+        )
+    }
+}
+
+/// Errors from the engine layer.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The storage substrate failed (external algorithms).
+    Storage(StorageError),
+    /// Loading the input graph failed.
+    Load(GraphError),
+    /// Opening the input path failed.
+    Input(PathBuf, std::io::Error),
+    /// The engine ran but produced no usable decomposition.
+    Incomplete(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Load(e) => write!(f, "{e}"),
+            EngineError::Input(p, e) => write!(f, "{}: {e}", p.display()),
+            EngineError::Incomplete(m) => write!(f, "incomplete run: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Load(e) => Some(e),
+            EngineError::Input(_, e) => Some(e),
+            EngineError::Incomplete(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Load(e)
+    }
+}
+
+/// Convenience alias.
+pub type EngineResult<T> = std::result::Result<T, EngineError>;
+
+/// Input to an engine run: an in-memory graph or a path to load.
+///
+/// Paths ending in `.bin` are read in the binary format, anything else as
+/// a SNAP text edge list — the same convention the CLI uses.
+pub enum EngineInput<'a> {
+    /// An already-loaded graph.
+    Graph(&'a CsrGraph),
+    /// A path to a SNAP (or, by `.bin` extension, binary) edge list.
+    Path(&'a Path),
+}
+
+impl<'a> EngineInput<'a> {
+    /// Materializes the graph (borrowing when already in memory).
+    pub fn load(&self) -> EngineResult<Cow<'a, CsrGraph>> {
+        match self {
+            EngineInput::Graph(g) => Ok(Cow::Borrowed(g)),
+            EngineInput::Path(p) => {
+                let file = File::open(p).map_err(|e| EngineError::Input(p.to_path_buf(), e))?;
+                let g = if p.extension().is_some_and(|x| x == "bin") {
+                    gio::read_binary(file)?
+                } else {
+                    gio::read_snap(file)?
+                };
+                Ok(Cow::Owned(g))
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a CsrGraph> for EngineInput<'a> {
+    fn from(g: &'a CsrGraph) -> Self {
+        EngineInput::Graph(g)
+    }
+}
+
+impl<'a> From<&'a Path> for EngineInput<'a> {
+    fn from(p: &'a Path) -> Self {
+        EngineInput::Path(p)
+    }
+}
+
+/// A truss-decomposition algorithm behind the uniform interface.
+pub trait TrussEngine {
+    /// Which algorithm this engine runs.
+    fn kind(&self) -> AlgorithmKind;
+
+    /// Canonical CLI name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Runs the algorithm on `input` under `config`.
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)>;
+}
+
+/// Fills the input-derived counters shared by every engine.
+///
+/// Engine implementations (including out-of-crate ones like TD-MR) call
+/// this once after the timed section.
+pub fn finish_report(
+    report: &mut EngineReport,
+    g: &CsrGraph,
+    d: &TrussDecomposition,
+    config: &EngineConfig,
+) {
+    report.k_max = d.k_max();
+    if config.collect_support_stats {
+        let sum: u64 = edge_supports(g).iter().map(|&s| s as u64).sum();
+        report.support_sum = Some(sum);
+        report.triangles = Some(sum / 3);
+    }
+}
+
+/// TD-inmem (Algorithm 1).
+pub struct InmemEngine;
+
+impl TrussEngine for InmemEngine {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Inmem
+    }
+
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)> {
+        let g = input.load()?;
+        let start = Instant::now();
+        let (d, peak) = truss_decompose_naive_with_memory(&g);
+        let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_memory_estimate = peak;
+        finish_report(&mut report, &g, &d, config);
+        Ok((d, report))
+    }
+}
+
+/// TD-inmem+ (Algorithm 2).
+pub struct InmemPlusEngine;
+
+impl TrussEngine for InmemPlusEngine {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::InmemPlus
+    }
+
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)> {
+        let g = input.load()?;
+        let start = Instant::now();
+        let (d, peak) = truss_decompose_with(&g, ImprovedConfig::default());
+        let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_memory_estimate = peak;
+        finish_report(&mut report, &g, &d, config);
+        Ok((d, report))
+    }
+}
+
+/// TD-bottomup (Algorithm 4).
+pub struct BottomUpEngine;
+
+impl TrussEngine for BottomUpEngine {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::BottomUp
+    }
+
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)> {
+        let g = input.load()?;
+        let io = config.effective_io(&g);
+        let scratch = config.open_scratch()?;
+        let cfg = BottomUpConfig::new(io);
+        let start = Instant::now();
+        let (d, algo_report) = bottom_up_decompose_in(&g, &cfg, &scratch)?;
+        let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_memory_estimate = io.memory_budget;
+        report.io = algo_report.io;
+        report.rounds = Some(algo_report.rounds as u64);
+        report.lower_bound_iterations = Some(algo_report.lower_bound_iterations as u64);
+        finish_report(&mut report, &g, &d, config);
+        Ok((d, report))
+    }
+}
+
+/// TD-topdown (Algorithm 7), run to completion so it yields a full
+/// decomposition. (Top-t runs stay on [`crate::top_down::top_down_decompose`]
+/// directly — a truncated run has no `TrussDecomposition` to return.)
+pub struct TopDownEngine;
+
+impl TrussEngine for TopDownEngine {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::TopDown
+    }
+
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)> {
+        let g = input.load()?;
+        let io = config.effective_io(&g);
+        let scratch = config.open_scratch()?;
+        let cfg = TopDownConfig::new(io);
+        let start = Instant::now();
+        let (res, algo_report) = top_down_decompose_in(&g, &cfg, &scratch)?;
+        let wall = start.elapsed();
+        let d = res.to_decomposition(&g).ok_or_else(|| {
+            EngineError::Incomplete("top-down did not classify every edge".into())
+        })?;
+        let mut report = EngineReport::base_for(self.kind(), wall);
+        report.peak_memory_estimate = io.memory_budget;
+        report.io = algo_report.io;
+        report.rounds = Some(algo_report.rounds as u64);
+        report.k_first = Some(algo_report.k_first);
+        finish_report(&mut report, &g, &d, config);
+        Ok((d, report))
+    }
+}
+
+/// Ordered collection of engines, looked up by kind or name.
+pub struct EngineRegistry {
+    engines: Vec<Box<dyn TrussEngine>>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EngineRegistry {
+            engines: Vec::new(),
+        }
+    }
+
+    /// The four engines implemented in this crate, in
+    /// [`AlgorithmKind::all`] order. The facade crate extends this with
+    /// TD-MR; see the module docs.
+    pub fn core() -> Self {
+        let mut r = EngineRegistry::new();
+        r.register(Box::new(InmemEngine));
+        r.register(Box::new(InmemPlusEngine));
+        r.register(Box::new(BottomUpEngine));
+        r.register(Box::new(TopDownEngine));
+        r
+    }
+
+    /// Adds an engine (replacing any existing engine of the same kind).
+    pub fn register(&mut self, engine: Box<dyn TrussEngine>) {
+        self.engines.retain(|e| e.kind() != engine.kind());
+        self.engines.push(engine);
+    }
+
+    /// Looks an engine up by kind.
+    pub fn get(&self, kind: AlgorithmKind) -> Option<&dyn TrussEngine> {
+        self.engines
+            .iter()
+            .find(|e| e.kind() == kind)
+            .map(|e| e.as_ref())
+    }
+
+    /// Looks an engine up by CLI name or alias. Falls back to matching the
+    /// engines' own [`TrussEngine::name`], so an engine registered under a
+    /// name [`AlgorithmKind::parse`] does not know is still reachable.
+    pub fn by_name(&self, name: &str) -> Option<&dyn TrussEngine> {
+        match AlgorithmKind::parse(name) {
+            Some(kind) => self.get(kind),
+            None => self
+                .engines
+                .iter()
+                .find(|e| e.name() == name)
+                .map(|e| e.as_ref()),
+        }
+    }
+
+    /// Iterates registered engines in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn TrussEngine> {
+        self.engines.iter().map(|e| e.as_ref())
+    }
+
+    /// Kinds registered, in registration order.
+    pub fn kinds(&self) -> Vec<AlgorithmKind> {
+        self.engines.iter().map(|e| e.kind()).collect()
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when no engine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> Self {
+        EngineRegistry::core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::generators::figure2_graph;
+
+    #[test]
+    fn kinds_round_trip_names() {
+        assert_eq!(AlgorithmKind::all().len(), 5);
+        for kind in AlgorithmKind::all() {
+            assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            AlgorithmKind::parse("improved"),
+            Some(AlgorithmKind::InmemPlus)
+        );
+        assert_eq!(AlgorithmKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn core_registry_runs_all_four_identically() {
+        let g = figure2_graph();
+        let registry = EngineRegistry::core();
+        assert_eq!(registry.len(), 4);
+        let config = EngineConfig::sized_for(&g);
+        for engine in registry.iter() {
+            let (d, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();
+            assert_eq!(d.k_max(), 5, "{}", engine.name());
+            assert_eq!(report.k_max, 5);
+            assert_eq!(report.triangles, Some(19));
+            assert_eq!(report.support_sum, Some(57));
+            if engine.kind().is_external() {
+                assert!(report.io.total_blocks() > 0, "{}", engine.name());
+            } else {
+                assert_eq!(report.io.total_blocks(), 0, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_dir_is_honored_and_cleaned() {
+        let g = figure2_graph();
+        let base = std::env::temp_dir().join(format!("truss-engine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut config = EngineConfig::sized_for(&g);
+        config.scratch_dir = Some(base.clone());
+        let engine = BottomUpEngine;
+        let (d, _) = engine.run(EngineInput::Graph(&g), &config).unwrap();
+        assert_eq!(d.k_max(), 5);
+        // The scratch subdirectory is removed after the run.
+        assert_eq!(std::fs::read_dir(&base).unwrap().count(), 0);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let g = figure2_graph();
+        let engine = TopDownEngine;
+        let (_, report) = engine
+            .run(EngineInput::Graph(&g), &EngineConfig::sized_for(&g))
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"algorithm\":\"topdown\""));
+        assert!(json.contains("\"k_max\":5"));
+        assert!(json.contains("\"mr_jobs\":null"));
+        assert!(!json.contains("\"total_blocks\":0"));
+    }
+
+    #[test]
+    fn input_from_path() {
+        let g = figure2_graph();
+        let path =
+            std::env::temp_dir().join(format!("truss-engine-in-{}.snap", std::process::id()));
+        gio::write_snap(&g, File::create(&path).unwrap()).unwrap();
+        let engine = InmemPlusEngine;
+        let (d, _) = engine
+            .run(EngineInput::Path(&path), &EngineConfig::default())
+            .unwrap();
+        assert_eq!(d.k_max(), 5);
+        std::fs::remove_file(&path).unwrap();
+        let err = engine
+            .run(EngineInput::Path(&path), &EngineConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Input(..)));
+    }
+}

@@ -20,6 +20,7 @@ pub mod communities;
 pub mod core_decomposition;
 pub mod core_external;
 pub mod decompose;
+pub mod engine;
 pub mod lower_bound;
 pub mod spectrum;
 mod sweep;
@@ -27,11 +28,16 @@ pub mod top_down;
 pub mod truss;
 pub mod upper_bound;
 
-pub use bottom_up::{bottom_up_decompose, minimum_budget, BottomUpConfig, BottomUpReport};
+pub use bottom_up::{
+    bottom_up_decompose, bottom_up_decompose_in, minimum_budget, BottomUpConfig, BottomUpReport,
+};
 pub use clique::{max_clique, MaxCliqueResult};
 pub use communities::{truss_communities, truss_hierarchy, TrussCommunity};
 pub use core_decomposition::{core_decompose, CoreDecomposition};
 pub use core_external::{external_core_decompose, ExternalCoreReport};
-pub use spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
 pub use decompose::{truss_decompose, truss_decompose_naive, TrussDecomposition};
-pub use top_down::{top_down_decompose, TopDownConfig, TopDownReport};
+pub use engine::{
+    AlgorithmKind, EngineConfig, EngineInput, EngineRegistry, EngineReport, TrussEngine,
+};
+pub use spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
+pub use top_down::{top_down_decompose, top_down_decompose_in, TopDownConfig, TopDownReport};

@@ -138,10 +138,7 @@ mod tests {
             compute_phi,
         )
         .unwrap();
-        (
-            out.phi2.read_all().unwrap(),
-            out.g_new.read_all().unwrap(),
-        )
+        (out.phi2.read_all().unwrap(), out.g_new.read_all().unwrap())
     }
 
     #[test]

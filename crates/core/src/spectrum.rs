@@ -137,7 +137,10 @@ mod tests {
         assert_eq!(s.class_sizes, vec![(2, 1), (3, 9), (4, 6), (5, 10)]);
         // T2 = 26 edges, T3 = 25, T4 = 16, T5 = 10.
         assert_eq!(
-            s.truss_sizes.iter().map(|&(k, e, _)| (k, e)).collect::<Vec<_>>(),
+            s.truss_sizes
+                .iter()
+                .map(|&(k, e, _)| (k, e))
+                .collect::<Vec<_>>(),
             vec![(2, 26), (3, 25), (4, 16), (5, 10)]
         );
         // T5 has 5 vertices.

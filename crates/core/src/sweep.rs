@@ -139,8 +139,7 @@ mod tests {
             rec(4, 5),
             rec(6, 7),
         ];
-        let h = RecordFile::from_iter(scratch.file("h"), tracker.clone(), recs.clone())
-            .unwrap();
+        let h = RecordFile::from_iter(scratch.file("h"), tracker.clone(), recs.clone()).unwrap();
         let degrees = {
             let mut d = vec![0u32; 8];
             for r in &recs {
@@ -163,7 +162,10 @@ mod tests {
         for i in 0..p {
             for j in i..p {
                 let bucket = load_pair(&files, i, j, &peeled).unwrap();
-                assert!(bucket.windows(2).all(|w| w[0].edge < w[1].edge), "sorted+dedup");
+                assert!(
+                    bucket.windows(2).all(|w| w[0].edge < w[1].edge),
+                    "sorted+dedup"
+                );
                 for r in bucket {
                     let (cu, cv) = (partition.part_of(r.edge.u), partition.part_of(r.edge.v));
                     let canonical = (cu.min(cv), cu.max(cv)) == (i, j);
@@ -189,8 +191,7 @@ mod tests {
         let partition =
             plan_partition(PartitionStrategy::Sequential, &degrees, 100, |_| Ok(())).unwrap();
         let files =
-            distribute_parts(&h, &FxHashSet::default(), &partition, &scratch, &tracker)
-                .unwrap();
+            distribute_parts(&h, &FxHashSet::default(), &partition, &scratch, &tracker).unwrap();
         let mut peeled = FxHashSet::default();
         peeled.insert(Edge::new(0, 1).key());
         let bucket = load_pair(&files, 0, 0, &peeled).unwrap();

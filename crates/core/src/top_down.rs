@@ -43,9 +43,7 @@ use truss_graph::subgraph::from_parent_edges;
 use truss_graph::{CsrGraph, Edge, VertexId};
 use truss_storage::partition::{plan_partition, PartitionStrategy};
 use truss_storage::record::EdgeRec;
-use truss_storage::{
-    EdgeListFile, IoConfig, IoStats, IoTracker, Result, ScratchDir, StorageError,
-};
+use truss_storage::{EdgeListFile, IoConfig, IoStats, IoTracker, Result, ScratchDir, StorageError};
 use truss_triangle::external::{edge_list_from_graph, PassConfig};
 use truss_triangle::list::for_each_triangle;
 
@@ -148,6 +146,16 @@ pub fn top_down_decompose(
     cfg: &TopDownConfig,
 ) -> Result<(TopDownResult, TopDownReport)> {
     let scratch = ScratchDir::new()?;
+    top_down_decompose_in(g, cfg, &scratch)
+}
+
+/// [`top_down_decompose`] with caller-provided scratch space (the engine
+/// layer routes its configured scratch directory here).
+pub fn top_down_decompose_in(
+    g: &CsrGraph,
+    cfg: &TopDownConfig,
+    scratch: &ScratchDir,
+) -> Result<(TopDownResult, TopDownReport)> {
     let tracker = IoTracker::new();
     let input = edge_list_from_graph(g, scratch.file("input"), tracker.clone())?;
     let n = g.num_vertices();
@@ -155,14 +163,14 @@ pub fn top_down_decompose(
     // Step 1: supports + Φ2 (Algorithm 3 without φ), then Step 2: ψ.
     let mut pass_cfg = PassConfig::new(cfg.io);
     pass_cfg.strategy = cfg.strategy;
-    let lb = lower_bounding(&input, n, &scratch, &tracker, &pass_cfg, false)?;
+    let lb = lower_bounding(&input, n, scratch, &tracker, &pass_cfg, false)?;
     let phi2: Vec<Edge> = {
         let mut v = Vec::new();
         lb.phi2.scan(|r| v.push(r.edge))?;
         lb.phi2.delete()?;
         v
     };
-    let mut g_new = upper_bounding(&lb.g_new, &scratch, &tracker, &cfg.io)?;
+    let mut g_new = upper_bounding(&lb.g_new, scratch, &tracker, &cfg.io)?;
     lb.g_new.delete()?;
 
     let mut report = TopDownReport::default();
@@ -229,9 +237,9 @@ pub fn top_down_decompose(
                     k_max = k_max.max(t);
                 }
                 unclassified -= newly.len() as u64;
-                g_new = apply_classes(&g_new, &newly, &scratch, &tracker)?;
+                g_new = apply_classes(&g_new, &newly, scratch, &tracker)?;
                 if cfg.use_cleanup {
-                    g_new = cleanup_classified(&g_new, edge_budget, &scratch, &tracker)?;
+                    g_new = cleanup_classified(&g_new, edge_budget, scratch, &tracker)?;
                 }
                 k = ki.saturating_sub(1);
             }
@@ -272,7 +280,7 @@ pub fn top_down_decompose(
         } else {
             // Procedure 10 (pair-sweep).
             report.oversized_rounds += 1;
-            proc10_pair_sweep(&g_new, &in_uk, n, k, cfg, &scratch, &tracker)?
+            proc10_pair_sweep(&g_new, &in_uk, n, k, cfg, scratch, &tracker)?
         };
 
         if !phi_k.is_empty() {
@@ -280,10 +288,10 @@ pub fn top_down_decompose(
             let newly: Vec<(Edge, u32)> = phi_k.iter().map(|&e| (e, k)).collect();
             unclassified -= newly.len() as u64;
             classes.insert(k, phi_k);
-            g_new = apply_classes(&g_new, &newly, &scratch, &tracker)?;
+            g_new = apply_classes(&g_new, &newly, scratch, &tracker)?;
             if cfg.use_cleanup {
-                    g_new = cleanup_classified(&g_new, edge_budget, &scratch, &tracker)?;
-                }
+                g_new = cleanup_classified(&g_new, edge_budget, scratch, &tracker)?;
+            }
         }
         k -= 1;
     }
@@ -730,8 +738,7 @@ mod tests {
         assert_eq!(res.k_max, exact.k_max());
         for k in (exact.k_max() - t + 1)..=exact.k_max() {
             let expected: Vec<Edge> = {
-                let mut v: Vec<Edge> =
-                    exact.class(k).into_iter().map(|id| g.edge(id)).collect();
+                let mut v: Vec<Edge> = exact.class(k).into_iter().map(|id| g.edge(id)).collect();
                 v.sort_unstable();
                 v
             };

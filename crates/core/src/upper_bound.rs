@@ -91,8 +91,7 @@ pub fn upper_bounding(
     io: &IoConfig,
 ) -> Result<EdgeListFile> {
     // Emit one copy per endpoint.
-    let mut sides =
-        RecordFile::<VertexSideRec>::create(scratch.file("ub-sides"), tracker.clone())?;
+    let mut sides = RecordFile::<VertexSideRec>::create(scratch.file("ub-sides"), tracker.clone())?;
     let mut err: Option<truss_storage::StorageError> = None;
     g_new.scan(|rec| {
         if err.is_some() {
@@ -120,8 +119,8 @@ pub fn upper_bounding(
     let mut group_owner: Option<u32> = None;
     let mut err: Option<truss_storage::StorageError> = None;
     let flush = |owner: Option<u32>,
-                     group: &mut Vec<EdgeRec>,
-                     out: &mut truss_storage::record::RecordWriter<EdgeRec>|
+                 group: &mut Vec<EdgeRec>,
+                 out: &mut truss_storage::record::RecordWriter<EdgeRec>|
      -> Result<()> {
         let _ = owner;
         if group.is_empty() {
@@ -130,10 +129,7 @@ pub fn upper_bounding(
         let sups: Vec<u32> = group.iter().map(|r| r.sup).collect();
         let xs = per_edge_h_excluding(&sups);
         for (rec, x) in group.iter().zip(xs) {
-            out.push(EdgeRec {
-                bound: x,
-                ..*rec
-            })?;
+            out.push(EdgeRec { bound: x, ..*rec })?;
         }
         group.clear();
         Ok(())
@@ -225,8 +221,7 @@ mod tests {
         let input = edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
         let io = IoConfig::with_budget(1 << 20);
         let cfg = PassConfig::new(io);
-        let lb = lower_bounding(&input, g.num_vertices(), &scratch, &tracker, &cfg, false)
-            .unwrap();
+        let lb = lower_bounding(&input, g.num_vertices(), &scratch, &tracker, &cfg, false).unwrap();
         let psi = upper_bounding(&lb.g_new, &scratch, &tracker, &io).unwrap();
         psi.read_all().unwrap()
     }
@@ -280,8 +275,7 @@ mod tests {
             block_size: 256,
         };
         let cfg = PassConfig::new(io);
-        let lb = lower_bounding(&input, g.num_vertices(), &scratch, &tracker, &cfg, false)
-            .unwrap();
+        let lb = lower_bounding(&input, g.num_vertices(), &scratch, &tracker, &cfg, false).unwrap();
         let psi_small = upper_bounding(&lb.g_new, &scratch, &tracker, &io).unwrap();
         let small = psi_small.read_all().unwrap();
         let big = psi_for(&g);

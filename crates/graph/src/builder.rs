@@ -83,7 +83,8 @@ impl GraphBuilder {
         // old id -> new id via binary search over `used` keeps memory at
         // O(#used) instead of O(max id).
         let relabel = |old: VertexId| -> VertexId {
-            used.binary_search(&old).expect("endpoint must be in used set") as VertexId
+            used.binary_search(&old)
+                .expect("endpoint must be in used set") as VertexId
         };
         let mut edges: Vec<Edge> = self
             .edges
@@ -114,7 +115,10 @@ mod tests {
     #[test]
     fn dedups_and_drops_self_loops() {
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(2, 2).add_edge(1, 2);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(2, 2)
+            .add_edge(1, 2);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(2, 2));

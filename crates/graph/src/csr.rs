@@ -49,12 +49,11 @@ impl CsrGraph {
     /// sorted and duplicate-free. This is the cheap path used by the builder
     /// and the disk loaders.
     pub fn from_sorted_dedup_edges(edges: Vec<Edge>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+deduped");
-        let n = edges
-            .iter()
-            .map(|e| e.v as usize + 1)
-            .max()
-            .unwrap_or(0);
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+deduped"
+        );
+        let n = edges.iter().map(|e| e.v as usize + 1).max().unwrap_or(0);
 
         let mut degree = vec![0usize; n];
         for e in &edges {

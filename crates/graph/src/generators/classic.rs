@@ -31,7 +31,9 @@ pub fn cycle(n: usize) -> CsrGraph {
 
 /// Path `P_n` with `n` vertices and `n−1` edges.
 pub fn path(n: usize) -> CsrGraph {
-    let edges: Vec<Edge> = (1..n as VertexId).map(|i| Edge { u: i - 1, v: i }).collect();
+    let edges: Vec<Edge> = (1..n as VertexId)
+        .map(|i| Edge { u: i - 1, v: i })
+        .collect();
     CsrGraph::from_sorted_dedup_edges(edges)
 }
 
@@ -106,7 +108,10 @@ mod tests {
         let g = complete_bipartite(3, 4);
         assert_eq!(g.num_vertices(), 7);
         assert_eq!(g.num_edges(), 12);
-        assert_eq!(crate::metrics::triangles_per_vertex(&g).iter().sum::<u64>(), 0);
+        assert_eq!(
+            crate::metrics::triangles_per_vertex(&g).iter().sum::<u64>(),
+            0
+        );
     }
 
     #[test]

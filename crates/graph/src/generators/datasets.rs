@@ -141,55 +141,118 @@ pub fn dataset_by_name(name: &str) -> Option<Dataset> {
 static P2P_SPEC: DatasetSpec = DatasetSpec {
     name: "p2p",
     description: "Gnutella peer-to-peer network (SNAP)",
-    paper: PaperStats { vertices: 6_300, edges: 41_600, dmax: 97, dmed: 3, kmax: 5, cmax: None },
+    paper: PaperStats {
+        vertices: 6_300,
+        edges: 41_600,
+        dmax: 97,
+        dmed: 3,
+        kmax: 5,
+        cmax: None,
+    },
     default_scale: 1.0,
 };
 static HEP_SPEC: DatasetSpec = DatasetSpec {
     name: "hep",
     description: "High-energy-physics collaboration network (SNAP)",
-    paper: PaperStats { vertices: 9_900, edges: 52_000, dmax: 65, dmed: 3, kmax: 32, cmax: None },
+    paper: PaperStats {
+        vertices: 9_900,
+        edges: 52_000,
+        dmax: 65,
+        dmed: 3,
+        kmax: 32,
+        cmax: None,
+    },
     default_scale: 1.0,
 };
 static AMAZON_SPEC: DatasetSpec = DatasetSpec {
     name: "amazon",
     description: "Amazon product co-purchasing network (SNAP)",
-    paper: PaperStats { vertices: 400_000, edges: 3_400_000, dmax: 2_752, dmed: 10, kmax: 11, cmax: Some(10) },
+    paper: PaperStats {
+        vertices: 400_000,
+        edges: 3_400_000,
+        dmax: 2_752,
+        dmed: 10,
+        kmax: 11,
+        cmax: Some(10),
+    },
     default_scale: 1.0 / 16.0,
 };
 static WIKI_SPEC: DatasetSpec = DatasetSpec {
     name: "wiki",
     description: "Wikipedia talk network (SNAP)",
-    paper: PaperStats { vertices: 2_400_000, edges: 5_000_000, dmax: 100_029, dmed: 1, kmax: 53, cmax: Some(131) },
+    paper: PaperStats {
+        vertices: 2_400_000,
+        edges: 5_000_000,
+        dmax: 100_029,
+        dmed: 1,
+        kmax: 53,
+        cmax: Some(131),
+    },
     default_scale: 1.0 / 32.0,
 };
 static SKITTER_SPEC: DatasetSpec = DatasetSpec {
     name: "skitter",
     description: "Skitter autonomous-systems internet topology (SNAP)",
-    paper: PaperStats { vertices: 1_700_000, edges: 11_000_000, dmax: 35_455, dmed: 5, kmax: 68, cmax: Some(111) },
+    paper: PaperStats {
+        vertices: 1_700_000,
+        edges: 11_000_000,
+        dmax: 35_455,
+        dmed: 5,
+        kmax: 68,
+        cmax: Some(111),
+    },
     default_scale: 1.0 / 32.0,
 };
 static BLOG_SPEC: DatasetSpec = DatasetSpec {
     name: "blog",
     description: "Technorati blog network",
-    paper: PaperStats { vertices: 1_000_000, edges: 12_800_000, dmax: 6_154, dmed: 2, kmax: 49, cmax: Some(86) },
+    paper: PaperStats {
+        vertices: 1_000_000,
+        edges: 12_800_000,
+        dmax: 6_154,
+        dmed: 2,
+        kmax: 49,
+        cmax: Some(86),
+    },
     default_scale: 1.0 / 32.0,
 };
 static LJ_SPEC: DatasetSpec = DatasetSpec {
     name: "lj",
     description: "LiveJournal friendship network (SNAP)",
-    paper: PaperStats { vertices: 4_800_000, edges: 69_000_000, dmax: 20_333, dmed: 5, kmax: 362, cmax: Some(372) },
+    paper: PaperStats {
+        vertices: 4_800_000,
+        edges: 69_000_000,
+        dmax: 20_333,
+        dmed: 5,
+        kmax: 362,
+        cmax: Some(372),
+    },
     default_scale: 1.0 / 128.0,
 };
 static BTC_SPEC: DatasetSpec = DatasetSpec {
     name: "btc",
     description: "Billion Triple Challenge RDF graph",
-    paper: PaperStats { vertices: 165_000_000, edges: 773_000_000, dmax: 1_637_619, dmed: 1, kmax: 7, cmax: Some(641) },
+    paper: PaperStats {
+        vertices: 165_000_000,
+        edges: 773_000_000,
+        dmax: 1_637_619,
+        dmed: 1,
+        kmax: 7,
+        cmax: Some(641),
+    },
     default_scale: 1.0 / 2048.0,
 };
 static WEB_SPEC: DatasetSpec = DatasetSpec {
     name: "web",
     description: "UK web graph (Yahoo! webspam corpus)",
-    paper: PaperStats { vertices: 106_000_000, edges: 1_092_000_000, dmax: 36_484, dmed: 2, kmax: 166, cmax: Some(165) },
+    paper: PaperStats {
+        vertices: 106_000_000,
+        edges: 1_092_000_000,
+        dmax: 36_484,
+        dmed: 2,
+        kmax: 166,
+        cmax: Some(165),
+    },
     default_scale: 1.0 / 2048.0,
 };
 
@@ -214,12 +277,7 @@ fn expected_community_edges(min_size: usize, max_size: usize, exponent: f64, den
 }
 
 /// Plants cliques of the given sizes over vertices `0..n`, appending edges.
-fn plant_cliques(
-    edges: &mut Vec<Edge>,
-    n: usize,
-    sizes: &[usize],
-    r: &mut rand::rngs::StdRng,
-) {
+fn plant_cliques(edges: &mut Vec<Edge>, n: usize, sizes: &[usize], r: &mut rand::rngs::StdRng) {
     for &size in sizes {
         let size = size.min(n);
         let mut members: Vec<VertexId> = Vec::with_capacity(size);
@@ -411,7 +469,12 @@ fn rdf_like(n: usize, m: usize, kmax: usize, seed: u64) -> CsrGraph {
         edges.push(Edge::new(h, v));
     }
     // A few small cliques give the tiny truss spectrum (k_max = 7).
-    plant_cliques(&mut edges, n, &[kmax, kmax.saturating_sub(1).max(3), 4, 4], &mut r);
+    plant_cliques(
+        &mut edges,
+        n,
+        &[kmax, kmax.saturating_sub(1).max(3), 4, 4],
+        &mut r,
+    );
     CsrGraph::from_edges(edges)
 }
 

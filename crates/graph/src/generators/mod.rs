@@ -17,9 +17,9 @@ pub mod watts_strogatz;
 
 pub use barabasi_albert::barabasi_albert;
 pub use classic::{complete, complete_bipartite, cycle, grid, path, star};
-pub use datasets::{Dataset, DatasetSpec, all_datasets, dataset_by_name};
+pub use datasets::{all_datasets, dataset_by_name, Dataset, DatasetSpec};
 pub use erdos_renyi::{gnm, gnp};
-pub use figures::{figure2_graph, figure2_classes, manager_graph};
+pub use figures::{figure2_classes, figure2_graph, manager_graph};
 pub use planted::{overlapping_communities, planted_clique, CommunityConfig};
 pub use rmat::{rmat, RmatConfig};
 pub use watts_strogatz::watts_strogatz;

@@ -41,7 +41,11 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
         break (n, m, fmt);
     };
     if let Some(f) = fmt {
-        if f.trim_start_matches('0').chars().any(|c| c != '0') && f != "0" && f != "00" && f != "000" {
+        if f.trim_start_matches('0').chars().any(|c| c != '0')
+            && f != "0"
+            && f != "00"
+            && f != "000"
+        {
             return Err(GraphError::Parse(format!(
                 "weighted METIS format {f:?} is not supported"
             )));
@@ -62,9 +66,9 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
             continue;
         }
         for tok in trimmed.split_whitespace() {
-            let nbr: u64 = tok
-                .parse()
-                .map_err(|_| GraphError::Parse(format!("vertex {}: bad neighbor {tok:?}", vertex + 1)))?;
+            let nbr: u64 = tok.parse().map_err(|_| {
+                GraphError::Parse(format!("vertex {}: bad neighbor {tok:?}", vertex + 1))
+            })?;
             if nbr == 0 || nbr > n {
                 return Err(GraphError::Parse(format!(
                     "vertex {}: neighbor {nbr} out of range 1..={n}",

@@ -111,8 +111,8 @@ pub fn bfs_order(g: &CsrGraph) -> Permutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::erdos_renyi::gnm;
     use crate::generators::classic::star;
+    use crate::generators::erdos_renyi::gnm;
 
     #[test]
     fn identity_is_noop() {
@@ -191,11 +191,7 @@ mod tests {
         let g = crate::generators::classic::path(50);
         let p = bfs_order(&g);
         let g2 = p.relabel(&g);
-        let max_span = g2
-            .iter_edges()
-            .map(|(_, e)| e.v - e.u)
-            .max()
-            .unwrap();
+        let max_span = g2.iter_edges().map(|(_, e)| e.v - e.u).max().unwrap();
         assert!(max_span <= 2, "span {max_span}");
     }
 }

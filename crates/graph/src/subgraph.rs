@@ -35,9 +35,11 @@ pub fn from_parent_edges(edges: impl IntoIterator<Item = Edge>) -> Subgraph {
     }
     used.sort_unstable();
     used.dedup();
-    let relabel =
-        |old: VertexId| -> VertexId { used.binary_search(&old).unwrap() as VertexId };
-    let local: Vec<Edge> = es.iter().map(|e| Edge::new(relabel(e.u), relabel(e.v))).collect();
+    let relabel = |old: VertexId| -> VertexId { used.binary_search(&old).unwrap() as VertexId };
+    let local: Vec<Edge> = es
+        .iter()
+        .map(|e| Edge::new(relabel(e.u), relabel(e.v)))
+        .collect();
     debug_assert!(local.windows(2).all(|w| w[0] < w[1]));
     Subgraph {
         graph: CsrGraph::from_sorted_dedup_edges(local),
@@ -87,11 +89,7 @@ pub fn neighborhood(g: &CsrGraph, u: &[VertexId]) -> NeighborhoodSubgraph {
         .filter(|(_, e)| member[e.u as usize] || member[e.v as usize])
         .map(|(_, e)| e);
     let sub = from_parent_edges(edges);
-    let internal = sub
-        .to_parent
-        .iter()
-        .map(|&p| member[p as usize])
-        .collect();
+    let internal = sub.to_parent.iter().map(|&p| member[p as usize]).collect();
     NeighborhoodSubgraph { sub, internal }
 }
 

@@ -61,9 +61,7 @@ impl FixedRecord for KvRec {
     fn sort_key(&self) -> u128 {
         // Group by key; deterministic tag order inside the group. The
         // payload is included so the shuffle is fully deterministic.
-        ((self.key as u128) << 64)
-            | ((self.tag as u128) << 32)
-            | (self.vals[0] as u128)
+        ((self.key as u128) << 64) | ((self.tag as u128) << 32) | (self.vals[0] as u128)
     }
 }
 
@@ -129,12 +127,17 @@ where
 impl MapReduce {
     /// Creates a fresh engine.
     pub fn new(io: IoConfig) -> Result<Self> {
-        Ok(MapReduce {
-            scratch: ScratchDir::new()?,
+        Ok(Self::new_in(io, ScratchDir::new()?))
+    }
+
+    /// Creates an engine over caller-provided scratch space.
+    pub fn new_in(io: IoConfig, scratch: ScratchDir) -> Self {
+        MapReduce {
+            scratch,
             tracker: IoTracker::new(),
             io,
             stats: MrStats::default(),
-        })
+        }
     }
 
     /// Engine statistics so far.

@@ -10,7 +10,9 @@
 //! magnitude (Table 4), without needing a cluster. See `DESIGN.md` §4.3.
 
 pub mod engine;
+pub mod truss_engine;
 pub mod twiddling;
 
 pub use engine::{Job, MapReduce, MrStats};
-pub use twiddling::{mr_truss_decompose, mr_ktruss, MrTrussReport};
+pub use truss_engine::MrEngine;
+pub use twiddling::{mr_ktruss, mr_truss_decompose, mr_truss_decompose_in, MrTrussReport};

@@ -203,7 +203,11 @@ fn peel_iteration(
                     } else {
                         TAG_DROPPED
                     };
-                    emit.emit(KvRec::new(key, tag, [edge_rec.vals[0], edge_rec.vals[1], sup, 0]));
+                    emit.emit(KvRec::new(
+                        key,
+                        tag,
+                        [edge_rec.vals[0], edge_rec.vals[1], sup, 0],
+                    ));
                 }
             },
         },
@@ -211,8 +215,7 @@ fn peel_iteration(
     counts.delete()?;
 
     // Split survivors from dropped (a local filter pass, not an MR job).
-    let mut survivors =
-        RecordFile::<KvRec>::create(mr.scratch().file("mr-edges"), mr.tracker())?;
+    let mut survivors = RecordFile::<KvRec>::create(mr.scratch().file("mr-edges"), mr.tracker())?;
     let mut dropped = Vec::new();
     let mut err: Option<StorageError> = None;
     joined.scan(|rec| {
@@ -241,7 +244,10 @@ fn peel_iteration(
 /// Computes the `k`-truss edge set with the MR pipeline (iterate until no
 /// edge is dropped).
 pub fn mr_ktruss(g: &CsrGraph, k: u32, io: IoConfig) -> Result<(Vec<Edge>, MrTrussReport)> {
-    assert!(g.num_vertices() < (1 << 31), "vertex ids must fit in 31 bits");
+    assert!(
+        g.num_vertices() < (1 << 31),
+        "vertex ids must fit in 31 bits"
+    );
     let mut mr = MapReduce::new(io)?;
     let mut edges = mr.input_file(
         g.iter_edges()
@@ -272,8 +278,21 @@ pub fn mr_truss_decompose(
     g: &CsrGraph,
     io: IoConfig,
 ) -> Result<(TrussDecomposition, MrTrussReport)> {
-    assert!(g.num_vertices() < (1 << 31), "vertex ids must fit in 31 bits");
-    let mut mr = MapReduce::new(io)?;
+    mr_truss_decompose_in(g, io, truss_storage::ScratchDir::new()?)
+}
+
+/// [`mr_truss_decompose`] with caller-provided scratch space (the engine
+/// layer routes its configured scratch directory here).
+pub fn mr_truss_decompose_in(
+    g: &CsrGraph,
+    io: IoConfig,
+    scratch: truss_storage::ScratchDir,
+) -> Result<(TrussDecomposition, MrTrussReport)> {
+    assert!(
+        g.num_vertices() < (1 << 31),
+        "vertex ids must fit in 31 bits"
+    );
+    let mut mr = MapReduce::new_in(io, scratch);
     let mut edges = mr.input_file(
         g.iter_edges()
             .map(|(_, e)| KvRec::new(e.key(), TAG_EDGE, [e.u, e.v, 0, 0])),

@@ -221,8 +221,7 @@ mod tests {
             bound: a.bound.max(b.bound),
             ..a
         };
-        let sorted =
-            external_sort(&input, &scratch, &t, &tiny_config(), Some(max_bound)).unwrap();
+        let sorted = external_sort(&input, &scratch, &t, &tiny_config(), Some(max_bound)).unwrap();
         let all = sorted.read_all().unwrap();
         assert_eq!(all.len(), 10);
         for r in &all {
@@ -235,8 +234,7 @@ mod tests {
     fn empty_input() {
         let scratch = ScratchDir::new().unwrap();
         let t = IoTracker::new();
-        let input =
-            RecordFile::<EdgeRec>::from_iter(scratch.file("in"), t.clone(), []).unwrap();
+        let input = RecordFile::<EdgeRec>::from_iter(scratch.file("in"), t.clone(), []).unwrap();
         let sorted = external_sort(&input, &scratch, &t, &tiny_config(), None).unwrap();
         assert!(sorted.is_empty());
     }

@@ -79,10 +79,7 @@ pub fn plan_partition<F>(
 where
     F: FnOnce(&mut dyn FnMut(Edge)) -> Result<()>,
 {
-    if let Some(v) = degrees
-        .iter()
-        .position(|&d| d as usize > budget_half_edges)
-    {
+    if let Some(v) = degrees.iter().position(|&d| d as usize > budget_half_edges) {
         return Err(StorageError::BudgetTooSmall(format!(
             "vertex {v} has degree {} > per-part budget {budget_half_edges}; \
              NS({{{v}}}) alone cannot fit in memory",
@@ -186,8 +183,7 @@ mod tests {
     fn sequential_respects_budget() {
         let edges = star_edges(0, 9);
         let degrees = degrees_of(&edges, 10);
-        let p =
-            plan_partition(PartitionStrategy::Sequential, &degrees, 9, no_edges).unwrap();
+        let p = plan_partition(PartitionStrategy::Sequential, &degrees, 9, no_edges).unwrap();
         check_budget(&p, &degrees, 9);
         assert!(p.num_parts() >= 2);
     }
@@ -220,17 +216,12 @@ mod tests {
         let mut edges = star_edges(0, 6);
         edges.push(Edge::new(5, 6));
         let degrees = degrees_of(&edges, 7);
-        let p = plan_partition(
-            PartitionStrategy::Seeded { seed: 1 },
-            &degrees,
-            100,
-            |f| {
-                for e in &edges {
-                    f(*e);
-                }
-                Ok(())
-            },
-        )
+        let p = plan_partition(PartitionStrategy::Seeded { seed: 1 }, &degrees, 100, |f| {
+            for e in &edges {
+                f(*e);
+            }
+            Ok(())
+        })
         .unwrap();
         // Budget is large: everything in one part.
         assert_eq!(p.num_parts(), 1);
@@ -243,17 +234,12 @@ mod tests {
         let mut edges = star_edges(0, 5);
         edges.extend((7..=11).map(|v| Edge::new(6, v)));
         let degrees = degrees_of(&edges, 12);
-        let p = plan_partition(
-            PartitionStrategy::Seeded { seed: 1 },
-            &degrees,
-            12,
-            |f| {
-                for e in &edges {
-                    f(*e);
-                }
-                Ok(())
-            },
-        )
+        let p = plan_partition(PartitionStrategy::Seeded { seed: 1 }, &degrees, 12, |f| {
+            for e in &edges {
+                f(*e);
+            }
+            Ok(())
+        })
         .unwrap();
         check_budget(&p, &degrees, 12);
         // The anchor-0 group {0..=5} has total load 10 <= 12, so the first

@@ -280,8 +280,8 @@ mod tests {
         let scratch = ScratchDir::new().unwrap();
         let t = IoTracker::new();
         let recs: Vec<EdgeRec> = (0..100).map(|i| rec(i, i + 1, i % 5)).collect();
-        let f = EdgeListFile::from_iter(scratch.file("e"), t.clone(), recs.iter().copied())
-            .unwrap();
+        let f =
+            EdgeListFile::from_iter(scratch.file("e"), t.clone(), recs.iter().copied()).unwrap();
         assert_eq!(f.len(), 100);
         assert_eq!(f.bytes(), 2000);
         let back = f.read_all().unwrap();
@@ -304,9 +304,8 @@ mod tests {
     #[test]
     fn empty_file() {
         let scratch = ScratchDir::new().unwrap();
-        let f =
-            EdgeListFile::from_iter(scratch.file("e"), IoTracker::new(), std::iter::empty())
-                .unwrap();
+        let f = EdgeListFile::from_iter(scratch.file("e"), IoTracker::new(), std::iter::empty())
+            .unwrap();
         assert!(f.is_empty());
         assert_eq!(f.read_all().unwrap(), vec![]);
     }
@@ -314,12 +313,8 @@ mod tests {
     #[test]
     fn delete_removes_file() {
         let scratch = ScratchDir::new().unwrap();
-        let f = EdgeListFile::from_iter(
-            scratch.file("e"),
-            IoTracker::new(),
-            vec![rec(1, 2, 0)],
-        )
-        .unwrap();
+        let f = EdgeListFile::from_iter(scratch.file("e"), IoTracker::new(), vec![rec(1, 2, 0)])
+            .unwrap();
         let p = f.path().to_path_buf();
         assert!(p.exists());
         f.delete().unwrap();

@@ -26,11 +26,9 @@ impl ScratchDir {
     /// Creates a scratch directory under `base`.
     pub fn under(base: impl AsRef<Path>) -> Result<Self> {
         let id = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
-        let path = base.as_ref().join(format!(
-            "truss-scratch-{}-{}",
-            std::process::id(),
-            id
-        ));
+        let path = base
+            .as_ref()
+            .join(format!("truss-scratch-{}-{}", std::process::id(), id));
         std::fs::create_dir_all(&path)?;
         Ok(ScratchDir {
             path,

@@ -110,8 +110,7 @@ pub fn partitioned_support_pass(
         .unwrap_or(0)
         .max(4);
 
-    let mut finalized =
-        EdgeListFile::create(scratch.file("pass-finalized"), tracker.clone())?;
+    let mut finalized = EdgeListFile::create(scratch.file("pass-finalized"), tracker.clone())?;
     let mut current: Option<EdgeListFile> = None; // None = read from `input`
     let mut iterations = 0usize;
     let mut parts_processed = 0usize;
@@ -206,8 +205,7 @@ pub fn partitioned_support_pass(
             old.delete()?;
         }
 
-        let mut survivors =
-            EdgeListFile::create(scratch.file("pass-survivors"), tracker.clone())?;
+        let mut survivors = EdgeListFile::create(scratch.file("pass-survivors"), tracker.clone())?;
         let finalized_before = finalized.len();
 
         for (part_idx, bucket) in buckets.into_iter().enumerate() {
@@ -256,13 +254,7 @@ pub fn partitioned_support_pass(
             break;
         }
         // Merge duplicate cross-edge copies: supports add, bounds max.
-        let merged = external_sort(
-            &survivors,
-            scratch,
-            tracker,
-            &cfg.io,
-            Some(merge_partials),
-        )?;
+        let merged = external_sort(&survivors, scratch, tracker, &cfg.io, Some(merge_partials))?;
         survivors.delete()?;
         current = Some(merged);
     }
@@ -321,11 +313,7 @@ pub fn edge_list_from_graph(
     path: std::path::PathBuf,
     tracker: IoTracker,
 ) -> Result<EdgeListFile> {
-    RecordFile::from_iter(
-        path,
-        tracker,
-        g.iter_edges().map(|(_, e)| EdgeRec::bare(e)),
-    )
+    RecordFile::from_iter(path, tracker, g.iter_edges().map(|(_, e)| EdgeRec::bare(e)))
 }
 
 /// Computes exact supports for every edge of a disk-resident graph and
@@ -353,21 +341,14 @@ mod tests {
     fn check_graph(g: &CsrGraph, budget: usize, strategy: PartitionStrategy) -> PassOutput {
         let scratch = ScratchDir::new().unwrap();
         let tracker = IoTracker::new();
-        let input =
-            edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
+        let input = edge_list_from_graph(g, scratch.file("g"), tracker.clone()).unwrap();
         let mut cfg = PassConfig::new(IoConfig {
             memory_budget: budget,
             block_size: (budget / 4).max(64),
         });
         cfg.strategy = strategy;
-        let out = external_edge_supports(
-            &input,
-            g.num_vertices(),
-            &scratch,
-            &tracker,
-            &cfg,
-        )
-        .unwrap();
+        let out =
+            external_edge_supports(&input, g.num_vertices(), &scratch, &tracker, &cfg).unwrap();
 
         let expect = edge_supports(g);
         let mut got = Vec::new();
@@ -448,7 +429,11 @@ mod tests {
         });
         external_edge_supports(&input, g.num_vertices(), &scratch, &tracker, &cfg).unwrap();
         let stats = tracker.stats(&cfg.io);
-        assert!(stats.scans >= 3, "expected several scans, got {}", stats.scans);
+        assert!(
+            stats.scans >= 3,
+            "expected several scans, got {}",
+            stats.scans
+        );
         assert!(stats.bytes_read > input.bytes());
     }
 }

@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn k4_has_four_triangles() {
         let tris = collect_triangles(&complete(4));
-        assert_eq!(
-            tris,
-            vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]]
-        );
+        assert_eq!(tris, vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]]);
     }
 
     #[test]

@@ -41,7 +41,10 @@ fn main() {
     if let Some(ki) = report.k_init {
         println!("k_init batching solved the band k ≥ {ki} in one in-memory pass");
     }
-    println!("rounds: {}, candidate edges total: {}", report.rounds, report.candidate_edges_total);
+    println!(
+        "rounds: {}, candidate edges total: {}",
+        report.rounds, report.candidate_edges_total
+    );
 
     println!("\ntop-{t} k-classes (the backbone):");
     for (k, edges) in result.classes.iter().rev().take(t as usize) {

@@ -40,10 +40,16 @@ fn main() {
     let (decomposition, report) = bottom_up_decompose(&g, &cfg).expect("bottom-up");
 
     println!("\nk_max = {}", decomposition.k_max());
-    println!("lower-bounding iterations : {}", report.lower_bound_iterations);
+    println!(
+        "lower-bounding iterations : {}",
+        report.lower_bound_iterations
+    );
     println!("k-rounds                  : {}", report.rounds);
     println!("oversized candidates      : {}", report.oversized_rounds);
-    println!("candidate edges total     : {}", report.candidate_edges_total);
+    println!(
+        "candidate edges total     : {}",
+        report.candidate_edges_total
+    );
     println!("\nI/O (Aggarwal–Vitter model):");
     println!("  scans        : {}", report.io.scans);
     println!("  blocks read  : {}", report.io.blocks_read);

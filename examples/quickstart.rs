@@ -26,7 +26,11 @@ fn main() {
     b.add_edge(0, 8).add_edge(8, 9).add_edge(9, 2);
     let g = b.build();
 
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // The paper's Algorithm 2 (TD-inmem+): O(m^1.5).
     let decomposition = truss_decompose(&g);
@@ -47,6 +51,9 @@ fn main() {
     // Per-edge truss numbers are directly addressable.
     let (a, bb) = (0u32, 1u32);
     let id = g.edge_id(a, bb).unwrap();
-    println!("trussness of ({a},{bb}) = {}", decomposition.edge_trussness(id));
+    println!(
+        "trussness of ({a},{bb}) = {}",
+        decomposition.edge_trussness(id)
+    );
     assert_eq!(decomposition.k_max(), 5);
 }

@@ -31,7 +31,11 @@ fn main() {
     let core = cmax_core_subgraph(&g, &cores);
 
     println!("\n              k_max-truss   c_max-core");
-    println!("k             {:>11}   {:>10}", decomposition.k_max(), cores.c_max());
+    println!(
+        "k             {:>11}   {:>10}",
+        decomposition.k_max(),
+        cores.c_max()
+    );
     println!(
         "vertices      {:>11}   {:>10}",
         truss.num_vertices(),
@@ -62,7 +66,10 @@ fn main() {
         in_truss.iter().all(|&v| cores.core_of(v) >= k - 1),
         "every k-truss vertex lies in the (k-1)-core"
     );
-    println!("\nverified: the {k}-truss is contained in the {}-core", k - 1);
+    println!(
+        "\nverified: the {k}-truss is contained in the {}-core",
+        k - 1
+    );
 
     // Bound on the maximum clique (§7.4): ω(G) ≤ k_max, usually far tighter
     // than ω(G) ≤ c_max + 1.

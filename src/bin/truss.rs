@@ -1,7 +1,8 @@
 //! `truss` — command-line truss decomposition.
 //!
 //! ```text
-//! truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES] <input.snap>
+//! truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES]
+//!                 [--threads N] [--scratch DIR] [--report json] <input.snap>
 //! truss ktruss --k K <input.snap>
 //! truss topt --t T [--memory BYTES] <input.snap>
 //! truss stats <input.snap>
@@ -10,19 +11,25 @@
 //!
 //! Inputs are SNAP-style edge lists (`u v` per line, `#` comments) or the
 //! binary format (by `.bin` extension). Decomposition output is TSV
-//! `u <tab> v <tab> trussness` on stdout; diagnostics go to stderr.
+//! `u <tab> v <tab> trussness` on stdout; diagnostics go to stderr. With
+//! `--report json`, the engine's [`EngineReport`] is appended to stdout as
+//! one final JSON line after the TSV.
+//!
+//! `decompose` dispatches through the [`TrussEngine`] registry — adding an
+//! engine to `truss_decomposition::engine::registry()` makes it available
+//! here without CLI changes.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use truss_decomposition::core::bottom_up::{bottom_up_decompose, BottomUpConfig};
-use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naive};
 use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
 use truss_decomposition::core::TrussDecomposition;
+use truss_decomposition::engine::{registry, AlgorithmKind, EngineConfig, EngineInput};
 use truss_decomposition::graph::generators::datasets::dataset_by_name;
 use truss_decomposition::graph::metrics::{average_local_clustering, degree_stats};
 use truss_decomposition::graph::{io as gio, CsrGraph};
-use truss_decomposition::mapreduce::twiddling::mr_truss_decompose;
+use truss_decomposition::prelude::truss_decompose;
 use truss_decomposition::storage::IoConfig;
 
 fn main() -> ExitCode {
@@ -38,12 +45,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES] <input>
+  truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES]
+                  [--threads N] [--scratch DIR] [--report json] <input>
   truss ktruss --k K <input>
   truss topt --t T [--memory BYTES] <input>
   truss stats <input>
   truss generate --dataset NAME [--scale F] [--seed S] <output>
-inputs: SNAP text edge lists, or the binary format for *.bin paths";
+inputs: SNAP text edge lists, or the binary format for *.bin paths
+--report json appends the engine report as one JSON line after the TSV";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 struct Args {
@@ -124,26 +133,21 @@ fn load_graph(path: &str) -> Result<CsrGraph, String> {
     Ok(g)
 }
 
+/// The I/O model for `g`: `EngineConfig::sized_for`'s default with an
+/// optional `--memory` override, clamped the same way the engines clamp.
 fn io_config(args: &Args, g: &CsrGraph) -> Result<IoConfig, String> {
-    let default_budget = (g.num_edges() * 20 / 4)
-        .max(truss_decomposition::core::minimum_budget(g, 64))
-        .max(1 << 16);
-    let budget: usize = args
-        .get_parsed("memory")?
-        .unwrap_or(default_budget)
-        .max(truss_decomposition::core::minimum_budget(g, 64));
-    Ok(IoConfig {
-        memory_budget: budget,
-        block_size: (budget / 64).max(4096),
-    })
+    let mut config = EngineConfig::sized_for(g);
+    if let Some(budget) = args.get_parsed::<usize>("memory")? {
+        config.io = EngineConfig::with_budget(budget).io;
+    }
+    Ok(config.effective_io(g))
 }
 
 fn print_decomposition(g: &CsrGraph, d: &TrussDecomposition) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     for (id, e) in g.iter_edges() {
-        writeln!(out, "{}\t{}\t{}", e.u, e.v, d.edge_trussness(id))
-            .map_err(|e| e.to_string())?;
+        writeln!(out, "{}\t{}\t{}", e.u, e.v, d.edge_trussness(id)).map_err(|e| e.to_string())?;
     }
     out.flush().map_err(|e| e.to_string())?;
     eprintln!("k_max = {}", d.k_max());
@@ -153,55 +157,82 @@ fn print_decomposition(g: &CsrGraph, d: &TrussDecomposition) -> Result<(), Strin
     Ok(())
 }
 
+/// `decompose` flags that can be validated before the input is loaded.
+struct DecomposeFlags {
+    json_report: bool,
+    memory: Option<usize>,
+    threads: Option<usize>,
+    scratch: Option<PathBuf>,
+}
+
+impl DecomposeFlags {
+    fn parse(args: &Args) -> Result<Self, String> {
+        let json_report = match args.get("report") {
+            None => false,
+            Some("json") => true,
+            Some(other) => {
+                return Err(format!("unknown --report format {other:?} (expected json)"))
+            }
+        };
+        let threads = args.get_parsed::<usize>("threads")?;
+        if threads == Some(0) {
+            return Err("--threads must be at least 1".into());
+        }
+        Ok(DecomposeFlags {
+            json_report,
+            memory: args.get_parsed("memory")?,
+            threads,
+            scratch: args.get("scratch").map(PathBuf::from),
+        })
+    }
+
+    /// Engine configuration for `g`. Support stats cost an extra O(m^1.5)
+    /// pass, so they are collected only when the report is requested; the
+    /// engines clamp the budget via `EngineConfig::effective_io`.
+    fn engine_config(&self, g: &CsrGraph) -> EngineConfig {
+        let mut config = EngineConfig::sized_for(g);
+        if let Some(budget) = self.memory {
+            config.io = EngineConfig::with_budget(budget).io;
+        }
+        if let Some(threads) = self.threads {
+            config.threads = threads;
+        }
+        config.scratch_dir = self.scratch.clone();
+        config.collect_support_stats = self.json_report;
+        config
+    }
+}
+
 fn cmd_decompose(args: &Args) -> Result<(), String> {
-    let g = load_graph(args.input()?)?;
+    // Validate every flag before the (possibly long) load and run.
+    let flags = DecomposeFlags::parse(args)?;
     let algo = args.get("algo").unwrap_or("inmem+");
-    let d = match algo {
-        "inmem" => truss_decompose_naive(&g),
-        "inmem+" => truss_decompose(&g),
-        "bottomup" => {
-            let io = io_config(args, &g)?;
-            let (d, report) =
-                bottom_up_decompose(&g, &BottomUpConfig::new(io)).map_err(|e| e.to_string())?;
-            eprintln!(
-                "bottom-up: {} rounds, {} lower-bound iterations, {} blocks of I/O",
-                report.rounds,
-                report.lower_bound_iterations,
-                report.io.total_blocks()
-            );
-            d
-        }
-        "topdown" => {
-            let io = io_config(args, &g)?;
-            let (res, report) =
-                top_down_decompose(&g, &TopDownConfig::new(io)).map_err(|e| e.to_string())?;
-            eprintln!(
-                "top-down: {} rounds, k_1st = {}, {} blocks of I/O",
-                report.rounds,
-                report.k_first,
-                report.io.total_blocks()
-            );
-            res.to_decomposition(&g)
-                .ok_or("top-down did not complete")?
-        }
-        "mr" => {
-            let io = io_config(args, &g)?;
-            let (d, report) = mr_truss_decompose(&g, io).map_err(|e| e.to_string())?;
-            eprintln!(
-                "mapreduce: {} jobs, {} shuffled records",
-                report.stats.jobs, report.stats.shuffled_records
-            );
-            d
-        }
-        other => return Err(format!("unknown --algo {other:?}")),
-    };
-    print_decomposition(&g, &d)
+    let engines = registry();
+    let engine = engines.by_name(algo).ok_or_else(|| {
+        let known: Vec<&str> = AlgorithmKind::all().map(AlgorithmKind::name).to_vec();
+        format!("unknown --algo {algo:?} (known: {})", known.join(", "))
+    })?;
+    let g = load_graph(args.input()?)?;
+    let config = flags.engine_config(&g);
+    let (d, report) = engine
+        .run(EngineInput::Graph(&g), &config)
+        .map_err(|e| e.to_string())?;
+    print_decomposition(&g, &d)?;
+    eprintln!(
+        "{}: {:.3}s, peak memory ~{} bytes, {} blocks of I/O",
+        engine.name(),
+        report.wall_time.as_secs_f64(),
+        report.peak_memory_estimate,
+        report.io.total_blocks()
+    );
+    if flags.json_report {
+        println!("{}", report.to_json());
+    }
+    Ok(())
 }
 
 fn cmd_ktruss(args: &Args) -> Result<(), String> {
-    let k: u32 = args
-        .get_parsed("k")?
-        .ok_or("--k is required")?;
+    let k: u32 = args.get_parsed("k")?.ok_or("--k is required")?;
     if k < 2 {
         return Err("--k must be at least 2".into());
     }
@@ -222,8 +253,8 @@ fn cmd_topt(args: &Args) -> Result<(), String> {
     let t: u32 = args.get_parsed("t")?.ok_or("--t is required")?;
     let g = load_graph(args.input()?)?;
     let io = io_config(args, &g)?;
-    let (res, report) = top_down_decompose(&g, &TopDownConfig::new(io).top_t(t))
-        .map_err(|e| e.to_string())?;
+    let (res, report) =
+        top_down_decompose(&g, &TopDownConfig::new(io).top_t(t)).map_err(|e| e.to_string())?;
     eprintln!(
         "k_max = {}, k_1st = {}, {} rounds",
         res.k_max, report.k_first, report.rounds
@@ -251,14 +282,16 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     println!("clustering    {:.4}", average_local_clustering(&g));
     println!("k_max (truss) {}", d.k_max());
     println!("c_max (core)  {}", cores.c_max());
-    println!("triangles     {}", truss_decomposition::triangle::triangle_count(&g));
+    println!(
+        "triangles     {}",
+        truss_decomposition::triangle::triangle_count(&g)
+    );
     Ok(())
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let name = args.get("dataset").ok_or("--dataset is required")?;
-    let dataset =
-        dataset_by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let dataset = dataset_by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let scale: f64 = args.get_parsed("scale")?.unwrap_or(1.0);
     let seed: u64 = args.get_parsed("seed")?.unwrap_or(0x5eed);
     let out_path = args.input()?;

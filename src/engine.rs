@@ -1,0 +1,33 @@
+//! The fully-assembled engine registry: everything from
+//! [`truss_core::engine`] plus the TD-MR baseline.
+//!
+//! `truss-mapreduce` depends on `truss-core`, so the core crate cannot
+//! construct the MR engine itself; this facade module is where the
+//! complete five-engine set lives. All consumers (CLI, benches, tests)
+//! should obtain their registry here.
+
+pub use truss_core::engine::*;
+pub use truss_mapreduce::MrEngine;
+
+/// The full registry: the four core engines plus TD-MR, covering every
+/// [`AlgorithmKind`].
+pub fn registry() -> EngineRegistry {
+    let mut r = EngineRegistry::core();
+    r.register(Box::new(MrEngine));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_kind() {
+        let r = registry();
+        assert_eq!(r.len(), AlgorithmKind::all().len());
+        for kind in AlgorithmKind::all() {
+            assert!(r.get(kind).is_some(), "{kind} missing");
+            assert!(r.by_name(kind.name()).is_some(), "{kind} not found by name");
+        }
+    }
+}

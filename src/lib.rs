@@ -15,6 +15,7 @@
 //! | [`triangle`] | triangle counting/listing (in-memory + external) |
 //! | [`core`] | the paper's algorithms: TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core |
 //! | [`mapreduce`] | single-machine MapReduce engine + Cohen's TD-MR baseline |
+//! | [`engine`] | the unified [`TrussEngine`](engine::TrussEngine) registry over all five algorithms |
 //!
 //! ## Quickstart
 //!
@@ -35,8 +36,13 @@ pub use truss_mapreduce as mapreduce;
 pub use truss_storage as storage;
 pub use truss_triangle as triangle;
 
+pub mod engine;
+
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::engine::{
+        registry, AlgorithmKind, EngineConfig, EngineInput, EngineReport, TrussEngine,
+    };
     pub use truss_core::decompose::{truss_decompose, TrussDecomposition};
     pub use truss_graph::{CsrGraph, Edge, EdgeId, GraphBuilder, VertexId};
 }

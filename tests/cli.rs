@@ -2,9 +2,25 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use truss_decomposition::engine::AlgorithmKind;
 
 fn truss_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_truss"))
+}
+
+/// Extracts an integer field from a one-line JSON object (the workspace
+/// carries no JSON parser; the report format is flat and predictable).
+fn json_u64(json: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let rest = &json[json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {json}"))
+        + key.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{field} not an integer in {json}"))
 }
 
 fn temp_file(name: &str) -> PathBuf {
@@ -25,7 +41,10 @@ fn figure2_file() -> PathBuf {
 #[test]
 fn decompose_outputs_tsv_with_trussness() {
     let input = figure2_file();
-    for algo in ["inmem", "inmem+", "bottomup", "topdown"] {
+    // Every registered engine, not a hand-picked subset: the CLI dispatches
+    // through the registry, so each kind's canonical name must work.
+    for kind in AlgorithmKind::all() {
+        let algo = kind.name();
         let out = truss_bin()
             .args(["decompose", "--algo", algo, input.to_str().unwrap()])
             .output()
@@ -34,12 +53,94 @@ fn decompose_outputs_tsv_with_trussness() {
         let stdout = String::from_utf8(out.stdout).unwrap();
         let lines: Vec<&str> = stdout.lines().collect();
         assert_eq!(lines.len(), 26, "{algo}: one line per edge");
+        // TSV shape: u <tab> v <tab> trussness, all integers.
+        for l in &lines {
+            let cols: Vec<&str> = l.split('\t').collect();
+            assert_eq!(cols.len(), 3, "{algo}: {l:?}");
+            assert!(
+                cols.iter().all(|c| c.parse::<u64>().is_ok()),
+                "{algo}: {l:?}"
+            );
+        }
         // Class sizes recoverable from the TSV.
         let fives = lines.iter().filter(|l| l.ends_with("\t5")).count();
         assert_eq!(fives, 10, "{algo}");
         let stderr = String::from_utf8(out.stderr).unwrap();
         assert!(stderr.contains("k_max = 5"), "{algo}: {stderr}");
     }
+}
+
+#[test]
+fn decompose_report_json_appends_engine_report() {
+    let input = figure2_file();
+    for kind in AlgorithmKind::all() {
+        let algo = kind.name();
+        let out = truss_bin()
+            .args([
+                "decompose",
+                "--algo",
+                algo,
+                "--threads",
+                "2",
+                "--report",
+                "json",
+                input.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo}: {:?}", out);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let lines: Vec<&str> = stdout.lines().collect();
+        // 26 TSV edge lines plus the final JSON report line.
+        assert_eq!(lines.len(), 27, "{algo}");
+        let json = lines.last().unwrap();
+        assert!(
+            json.starts_with('{') && json.ends_with('}'),
+            "{algo}: {json}"
+        );
+        assert!(
+            json.contains(&format!("\"algorithm\":\"{algo}\"")),
+            "{algo}: {json}"
+        );
+        assert_eq!(json_u64(json, "k_max"), 5, "{algo}");
+        // External engines do real disk I/O and report it; in-memory ones
+        // never touch disk.
+        let blocks = json_u64(json, "total_blocks");
+        if kind.is_external() {
+            assert!(blocks > 0, "{algo}: {json}");
+        } else {
+            assert_eq!(blocks, 0, "{algo}: {json}");
+        }
+    }
+}
+
+#[test]
+fn decompose_flag_validation() {
+    let input = figure2_file();
+    let out = truss_bin()
+        .args(["decompose", "--algo", "frobnicate", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown --algo"), "{stderr}");
+    // The error lists the registered names.
+    assert!(
+        stderr.contains("topdown") && stderr.contains("mr"),
+        "{stderr}"
+    );
+
+    let out = truss_bin()
+        .args(["decompose", "--report", "xml", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = truss_bin()
+        .args(["decompose", "--threads", "0", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
 }
 
 #[test]
@@ -98,7 +199,14 @@ fn generate_then_stats_round_trip() {
 fn binary_format_by_extension() {
     let path = temp_file("gen.bin");
     assert!(truss_bin()
-        .args(["generate", "--dataset", "hep", "--scale", "0.01", path.to_str().unwrap()])
+        .args([
+            "generate",
+            "--dataset",
+            "hep",
+            "--scale",
+            "0.01",
+            path.to_str().unwrap()
+        ])
         .output()
         .unwrap()
         .status

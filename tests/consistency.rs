@@ -1,14 +1,17 @@
-//! Cross-algorithm consistency: TD-inmem, TD-inmem+, TD-bottomup,
-//! TD-topdown and TD-MR must produce identical decompositions on a suite of
-//! generators, seeds and memory budgets.
+//! Cross-algorithm consistency: every engine in the registry (TD-inmem,
+//! TD-inmem+, TD-bottomup, TD-topdown, TD-MR) must produce identical
+//! decompositions on a suite of generators, seeds and memory budgets.
+//!
+//! All dispatch goes through `truss_decomposition::engine::registry()` —
+//! a newly registered engine is automatically pulled into every check.
 
-use truss_decomposition::core::bottom_up::{bottom_up_decompose, BottomUpConfig};
-use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naive};
-use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
+use truss_decomposition::core::decompose::TrussDecomposition;
 use truss_decomposition::core::truss::verify_decomposition;
+use truss_decomposition::engine::{
+    registry, AlgorithmKind, EngineConfig, EngineInput, EngineRegistry,
+};
 use truss_decomposition::graph::generators as gen;
 use truss_decomposition::graph::CsrGraph;
-use truss_decomposition::mapreduce::twiddling::mr_truss_decompose;
 use truss_decomposition::storage::IoConfig;
 
 /// The generator suite: name + graph.
@@ -22,10 +25,7 @@ fn suite() -> Vec<(String, CsrGraph)> {
         ("grid".into(), gen::grid(5, 6)),
         ("ws".into(), gen::watts_strogatz(60, 6, 0.2, 5)),
         ("ba".into(), gen::barabasi_albert(80, 3, 9)),
-        (
-            "rmat".into(),
-            gen::rmat(gen::RmatConfig::skewed(7, 600), 4),
-        ),
+        ("rmat".into(), gen::rmat(gen::RmatConfig::skewed(7, 600), 4)),
         (
             "communities".into(),
             gen::overlapping_communities(
@@ -48,89 +48,115 @@ fn suite() -> Vec<(String, CsrGraph)> {
     graphs
 }
 
-#[test]
-fn improved_matches_naive_and_definition() {
-    for (name, g) in suite() {
-        let a = truss_decompose(&g);
-        let b = truss_decompose_naive(&g);
-        assert_eq!(a.trussness(), b.trussness(), "{name}");
-        verify_decomposition(&g, &a).unwrap_or_else(|e| panic!("{name}: {e}"));
-    }
+/// Engine configuration with the given memory budget and stats collection
+/// off (the suite runs hundreds of decompositions). The engines themselves
+/// clamp the budget up to the algorithmic minimum via `effective_io`.
+fn config_with_budget(budget: usize) -> EngineConfig {
+    let mut config = EngineConfig::with_io(IoConfig {
+        memory_budget: budget,
+        block_size: (budget / 8).max(64),
+    });
+    config.collect_support_stats = false;
+    config
 }
 
+/// The TD-MR baseline is slow by design; skip it on larger suite graphs.
+fn runs_on(kind: AlgorithmKind, g: &CsrGraph) -> bool {
+    kind != AlgorithmKind::MapReduce || g.num_edges() <= 400
+}
+
+fn run(
+    engines: &EngineRegistry,
+    kind: AlgorithmKind,
+    g: &CsrGraph,
+    config: &EngineConfig,
+    label: &str,
+) -> TrussDecomposition {
+    let engine = engines
+        .get(kind)
+        .unwrap_or_else(|| panic!("{kind} missing"));
+    let (d, report) = engine
+        .run(EngineInput::Graph(g), config)
+        .unwrap_or_else(|e| panic!("{label}: {kind}: {e}"));
+    assert_eq!(report.k_max, d.k_max(), "{label}: {kind} report k_max");
+    d
+}
+
+/// Every pair of registered engines agrees edge-for-edge, and the common
+/// result satisfies the k-truss definition.
 #[test]
-fn bottom_up_matches_improved() {
+fn all_engines_agree_pairwise() {
+    let engines = registry();
+    assert!(engines.len() >= 5, "expected all five paper algorithms");
     for (name, g) in suite() {
-        let exact = truss_decompose(&g);
-        for budget in [1usize << 20, 6 * 1024] {
-            let budget = budget.max(truss_decomposition::core::minimum_budget(&g, 64));
-            let cfg = BottomUpConfig::new(IoConfig {
-                memory_budget: budget,
-                block_size: (budget / 8).max(64),
-            });
-            let (d, _) = bottom_up_decompose(&g, &cfg)
-                .unwrap_or_else(|e| panic!("{name} budget {budget}: {e}"));
-            assert_eq!(d.trussness(), exact.trussness(), "{name} budget {budget}");
+        let config = config_with_budget(1 << 20);
+        let results: Vec<(AlgorithmKind, TrussDecomposition)> = engines
+            .kinds()
+            .into_iter()
+            .filter(|&kind| runs_on(kind, &g))
+            .map(|kind| (kind, run(&engines, kind, &g, &config, &name)))
+            .collect();
+        assert!(results.len() >= 4, "{name}: too few engines ran");
+        verify_decomposition(&g, &results[0].1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (i, (kind_a, a)) in results.iter().enumerate() {
+            for (kind_b, b) in &results[i + 1..] {
+                assert_eq!(a.trussness(), b.trussness(), "{name}: {kind_a} vs {kind_b}");
+            }
         }
     }
 }
 
+/// The external engines stay correct when the budget is squeezed far below
+/// the graph size (exercising partitioned pair-sweep paths).
 #[test]
-fn top_down_matches_improved() {
+fn external_engines_survive_tiny_budgets() {
+    let engines = registry();
     for (name, g) in suite() {
-        let exact = truss_decompose(&g);
-        for budget in [1usize << 20, 6 * 1024] {
-            let budget = budget.max(truss_decomposition::core::minimum_budget(&g, 64));
-            let cfg = TopDownConfig::new(IoConfig {
-                memory_budget: budget,
-                block_size: (budget / 8).max(64),
-            });
-            let (res, _) = top_down_decompose(&g, &cfg)
-                .unwrap_or_else(|e| panic!("{name} budget {budget}: {e}"));
-            assert!(res.complete, "{name} budget {budget}");
-            let d = res.to_decomposition(&g).unwrap();
-            assert_eq!(d.trussness(), exact.trussness(), "{name} budget {budget}");
+        let exact = run(
+            &engines,
+            AlgorithmKind::InmemPlus,
+            &g,
+            &config_with_budget(1 << 20),
+            &name,
+        );
+        let tiny = config_with_budget(6 * 1024);
+        for kind in [AlgorithmKind::BottomUp, AlgorithmKind::TopDown] {
+            let d = run(&engines, kind, &g, &tiny, &name);
+            assert_eq!(
+                d.trussness(),
+                exact.trussness(),
+                "{name}: {kind} tiny budget"
+            );
         }
-    }
-}
-
-#[test]
-fn mapreduce_matches_improved_on_small_graphs() {
-    // The MR baseline is slow by design; exercise it on the smaller suite.
-    for (name, g) in suite() {
-        if g.num_edges() > 400 {
-            continue;
-        }
-        let exact = truss_decompose(&g);
-        let (d, _) = mr_truss_decompose(&g, IoConfig::with_budget(1 << 16))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(d.trussness(), exact.trussness(), "{name}");
     }
 }
 
 #[test]
 fn dataset_analogues_consistent() {
     use truss_decomposition::graph::generators::datasets::all_datasets;
+    let engines = registry();
     for dataset in all_datasets() {
         // Cap the test size: the paper-scale edge counts differ by 4 orders
         // of magnitude, so choose the scale per dataset for ~8K edges.
         let scale = (8_000.0 / dataset.spec().paper.edges as f64).min(0.05);
         let g = dataset.build_scaled(scale, 77);
         let name = dataset.spec().name;
-        let exact = truss_decompose(&g);
+        let exact = run(
+            &engines,
+            AlgorithmKind::InmemPlus,
+            &g,
+            &config_with_budget(1 << 24),
+            name,
+        );
         verify_decomposition(&g, &exact).unwrap_or_else(|e| panic!("{name}: {e}"));
         // A budget that keeps candidate subgraphs in memory (the planted
         // near-cliques of the lj/web analogues dominate at tiny scales and
         // debug-mode pair-sweeps over them are prohibitively slow); stage 1
         // still partitions since its parts charge ~64 B per edge.
-        let budget = (g.num_edges() * 80)
-            .max(truss_decomposition::core::minimum_budget(&g, 64))
-            .max(1 << 14);
-        let cfg = BottomUpConfig::new(IoConfig {
-            memory_budget: budget,
-            block_size: (budget / 16).max(512),
-        });
-        let (d, _) = bottom_up_decompose(&g, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let budget = (g.num_edges() * 80).max(1 << 14);
+        let mut config = config_with_budget(budget);
+        config.io.block_size = (budget / 16).max(512);
+        let d = run(&engines, AlgorithmKind::BottomUp, &g, &config, name);
         assert_eq!(d.trussness(), exact.trussness(), "{name}");
     }
 }

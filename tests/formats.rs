@@ -38,6 +38,57 @@ fn snap_binary_metis_round_trips_agree() {
     );
 }
 
+/// SNAP → binary → SNAP chained round trip: vertex/edge counts and the
+/// full trussness vector survive every hop.
+#[test]
+fn snap_binary_snap_chain_preserves_counts_and_trussness() {
+    let g = gen::erdos_renyi::gnm(80, 520, 21);
+
+    let mut snap1 = Vec::new();
+    gio::write_snap(&g, &mut snap1).unwrap();
+    // First hop may compact ids (SNAP cannot represent isolated vertices);
+    // every later hop must be exactly stable.
+    let g1 = gio::read_snap(&snap1[..]).unwrap();
+
+    let mut bin = Vec::new();
+    gio::write_binary(&g1, &mut bin).unwrap();
+    let g2 = gio::read_binary(&bin[..]).unwrap();
+    assert_eq!(g1.num_vertices(), g2.num_vertices());
+    assert_eq!(g1.num_edges(), g2.num_edges());
+    assert_eq!(g1.edges(), g2.edges());
+
+    let mut snap2 = Vec::new();
+    gio::write_snap(&g2, &mut snap2).unwrap();
+    let g3 = gio::read_snap(&snap2[..]).unwrap();
+    assert_eq!(g1.num_vertices(), g3.num_vertices());
+    assert_eq!(g1.num_edges(), g3.num_edges());
+    assert_eq!(g1.edges(), g3.edges());
+
+    let base = truss_decompose(&g1);
+    assert_eq!(base.trussness(), truss_decompose(&g2).trussness());
+    assert_eq!(base.trussness(), truss_decompose(&g3).trussness());
+    // And against the original graph, counts survive modulo compaction.
+    assert_eq!(g.num_edges(), g1.num_edges());
+    assert_eq!(base.class_sizes(), truss_decompose(&g).class_sizes());
+}
+
+/// METIS import preserves counts (including isolated vertices — the format
+/// carries an explicit vertex count) and the per-edge trussness.
+#[test]
+fn metis_import_preserves_counts_and_trussness() {
+    let g = gen::watts_strogatz(70, 6, 0.3, 8);
+    let mut metis = Vec::new();
+    gio::write_metis(&g, &mut metis).unwrap();
+    let g2 = gio::read_metis(&metis[..]).unwrap();
+    assert_eq!(g.num_vertices(), g2.num_vertices());
+    assert_eq!(g.num_edges(), g2.num_edges());
+    assert_eq!(g.edges(), g2.edges());
+    assert_eq!(
+        truss_decompose(&g).trussness(),
+        truss_decompose(&g2).trussness()
+    );
+}
+
 #[test]
 fn decomposition_invariant_under_relabeling() {
     let g = gen::erdos_renyi::gnm(70, 450, 13);
@@ -74,8 +125,7 @@ fn external_core_matches_in_memory_on_datasets() {
         let edges = edge_list_from_graph(&g, scratch.file("g"), tracker.clone()).unwrap();
         let io = IoConfig::with_budget(1 << 14);
         let (ext, _) =
-            external_core_decompose(&edges, g.num_vertices(), &scratch, &tracker, &io)
-                .unwrap();
+            external_core_decompose(&edges, g.num_vertices(), &scratch, &tracker, &io).unwrap();
         assert_eq!(ext.core_numbers(), exact.core_numbers());
     }
 }

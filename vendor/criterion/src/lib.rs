@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate, providing the API surface
+//! this workspace's benches use: [`Criterion::benchmark_group`], group
+//! configuration (`sample_size` / `warm_up_time` / `measurement_time`),
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`, [`BenchmarkId`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Two modes:
+//! * **quick** (default, what `cargo test` would hit): every benchmark body
+//!   runs once, so benches double as smoke tests without measurement noise.
+//! * **measured** (`--bench` on the command line, passed by `cargo bench`):
+//!   warm-up followed by timed batches; mean per-iteration time is printed.
+
+use std::fmt::Display;
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measured: bool,
+}
+
+impl Default for Criterion {
+    /// Measured mode iff `--bench` is on the command line (`cargo bench`
+    /// passes it; plain execution and `cargo test` do not).
+    fn default() -> Self {
+        Criterion {
+            measured: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let group = self.benchmark_group(name);
+        let mut b = Bencher {
+            measured: group.criterion.measured,
+            sample_size: group.sample_size,
+            warm_up_time: group.warm_up_time,
+            measurement_time: group.measurement_time,
+            label: name.to_string(),
+        };
+        f(&mut b);
+        group.finish();
+    }
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (measured mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement (measured mode).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement duration target (measured mode).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher(&id.id);
+        f(&mut b, input);
+        self
+    }
+
+    /// Benchmarks a closure without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.bencher(&id.id);
+        f(&mut b);
+        self
+    }
+
+    fn bencher(&self, id: &str) -> Bencher {
+        Bencher {
+            measured: self.criterion.measured,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            label: format!("{}/{}", self.name, id),
+        }
+    }
+
+    /// Ends the group (report separator in measured mode).
+    pub fn finish(self) {
+        if self.criterion.measured {
+            println!();
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark body.
+pub struct Bencher {
+    measured: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    label: String,
+}
+
+impl Bencher {
+    /// Runs the routine: once in quick mode, warm-up + timed samples in
+    /// measured mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measured {
+            bb(routine());
+            return;
+        }
+        // Warm-up, also estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            bb(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters_per_sample = ((self.measurement_time.as_secs_f64() / self.sample_size as f64)
+            / per_iter.max(1e-9))
+        .max(1.0) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                bb(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+        }
+        let mean = total.as_secs_f64() / iters.max(1) as f64;
+        println!("{:<60} {:>12}  ({iters} iters)", self.label, humanize(mean));
+    }
+}
+
+fn humanize(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_bodies_once() {
+        let mut c = Criterion { measured: false };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).warm_up_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn humanize_units() {
+        assert!(humanize(2.0).ends_with(" s"));
+        assert!(humanize(2e-3).ends_with(" ms"));
+        assert!(humanize(2e-6).ends_with(" µs"));
+        assert!(humanize(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `proptest` crate, providing the API surface
+//! this workspace's property tests use: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), [`prop_assert!`] / [`prop_assert_eq!`],
+//! [`Strategy`] with `prop_map` / `prop_filter_map`, integer-range and
+//! tuple strategies, and [`prop::collection::vec`].
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with the generated values unreduced) and a fixed per-test seed derived
+//! from the test name, so failures reproduce deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Test-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test body runs on.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Per-test driver: the RNG values are drawn from.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner; the seed is derived from the test name.
+    pub fn new(_config: &ProptestConfig, name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.start + 1 >= range.end {
+            return range.start;
+        }
+        self.rng.gen_range(range)
+    }
+}
+
+/// A generator of values for one test argument.
+///
+/// `new_value` returns `None` when a filter rejected the draw; the test
+/// loop retries (bounded) instead of counting the case.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn new_value(&self, runner: &mut TestRunner) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps through `f`, rejecting draws where `f` returns `None`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Rejects draws failing the predicate.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Option<O> {
+        self.inner.new_value(runner).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Option<O> {
+        self.inner.new_value(runner).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        self.inner.new_value(runner).filter(|v| (self.f)(v))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> Option<$t> {
+                assert!(self.start < self.end, "strategy on empty range");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + (runner.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Option<Self::Value> {
+                Some(($(self.$idx.new_value(runner)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths in `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Option<Vec<S::Value>> {
+            let len = runner.usize_in(self.size.clone());
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Retry filtered elements locally so sparse filters don't
+                // reject whole vectors.
+                let mut attempts = 0;
+                loop {
+                    if let Some(v) = self.element.new_value(runner) {
+                        out.push(v);
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > 1000 {
+                        return None;
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Namespace mirror of real proptest's `prop::` paths.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts inside a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(&config, stringify!($name));
+            let strategy = ( $($strat,)+ );
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases.saturating_mul(200).saturating_add(10_000),
+                    "proptest shim: too many rejected draws in {}",
+                    stringify!($name),
+                );
+                let Some(($($arg,)+)) = $crate::Strategy::new_value(&strategy, &mut runner)
+                else {
+                    continue;
+                };
+                accepted += 1;
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut runner = crate::TestRunner::new(&cfg, "bounds");
+        let strat = (3u32..9, 0usize..5);
+        for _ in 0..200 {
+            let (a, b) = Strategy::new_value(&strat, &mut runner).unwrap();
+            assert!((3..9).contains(&a));
+            assert!(b < 5);
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects() {
+        let cfg = ProptestConfig::default();
+        let mut runner = crate::TestRunner::new(&cfg, "fm");
+        let strat = (0u32..2).prop_filter_map("odd only", |x| (x == 1).then_some(x));
+        let mut saw_reject = false;
+        let mut saw_accept = false;
+        for _ in 0..100 {
+            match Strategy::new_value(&strat, &mut runner) {
+                Some(v) => {
+                    assert_eq!(v, 1);
+                    saw_accept = true;
+                }
+                None => saw_reject = true,
+            }
+        }
+        assert!(saw_accept && saw_reject);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: vec sizes and mapped values respect bounds.
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0u32..10, 1..20), x in 5u8..6) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert_eq!(x, 5);
+        }
+    }
+}
