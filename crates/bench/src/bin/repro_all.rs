@@ -13,5 +13,7 @@ fn main() {
     tables::table5(scale).print("Table 5: TD-topdown vs TD-bottomup");
     tables::table6(scale).print("Table 6: k_max-truss vs c_max-core");
     tables::table_engines(scale)
-        .print("Engine registry: all five algorithms through TrussEngine::run");
+        .print("Engine registry: all six algorithms through TrussEngine::run");
+    tables::table_scaling(scale)
+        .print("Thread scaling: parallel (PKT) at 1/2/4/8 threads vs serial inmem+");
 }

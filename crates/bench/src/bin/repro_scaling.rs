@@ -1,0 +1,10 @@
+//! Regenerates the thread-scaling table: the parallel (PKT-style) engine
+//! at 1/2/4/8 threads against the serial TD-inmem+ baseline.
+//! Scale via `TRUSS_SCALE=<mult>` (default 1.0 of the dataset's spec scale).
+
+use truss_bench::datasets::BenchScale;
+
+fn main() {
+    truss_bench::tables::table_scaling(BenchScale::Default)
+        .print("Thread scaling: parallel (PKT) at 1/2/4/8 threads vs serial inmem+");
+}

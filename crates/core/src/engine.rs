@@ -8,15 +8,16 @@
 //! [`EngineReport`] (wall time, peak-memory estimate, [`IoStats`] from the
 //! storage layer's `IoTracker`, triangle/support counters).
 //!
-//! This crate registers the four algorithms it owns (TD-inmem, TD-inmem+,
-//! TD-bottomup, TD-topdown) via [`EngineRegistry::core`]. The TD-MR
-//! baseline lives in `truss-mapreduce`, which *depends on* this crate, so
-//! its engine cannot be constructed here; the `truss-decomposition` facade
-//! crate assembles the full five-engine registry
-//! (`truss_decomposition::engine::registry()`). Later parallel or
-//! streaming engines (e.g. PKT-style shared-memory decomposition) slot in
-//! the same way: implement [`TrussEngine`], register, and every consumer
-//! picks the new algorithm up without code changes.
+//! This crate registers the five algorithms it owns (TD-inmem, TD-inmem+,
+//! TD-bottomup, TD-topdown, and the PKT-style parallel engine from
+//! [`crate::parallel`]) via [`EngineRegistry::core`]. The TD-MR baseline
+//! lives in `truss-mapreduce`, which *depends on* this crate, so its
+//! engine cannot be constructed here; the `truss-decomposition` facade
+//! crate assembles the full six-engine registry
+//! (`truss_decomposition::engine::registry()`). Later engines (e.g.
+//! streaming or distributed decompositions) slot in the same way:
+//! implement [`TrussEngine`], register, and every consumer picks the new
+//! algorithm up without code changes.
 
 use crate::bottom_up::{bottom_up_decompose_in, minimum_budget, BottomUpConfig};
 use crate::decompose::naive::truss_decompose_naive_with_memory;
@@ -44,17 +45,22 @@ pub enum AlgorithmKind {
     TopDown,
     /// Cohen's graph-twiddling MapReduce baseline (*TD-MR*).
     MapReduce,
+    /// PKT-style shared-memory parallel peeling (Kabir & Madduri) — not in
+    /// the paper; see [`crate::parallel`].
+    Parallel,
 }
 
 impl AlgorithmKind {
-    /// Every kind, in the paper's presentation order.
-    pub fn all() -> [AlgorithmKind; 5] {
+    /// Every kind: the paper's five in presentation order, then the
+    /// parallel engine.
+    pub fn all() -> [AlgorithmKind; 6] {
         [
             AlgorithmKind::Inmem,
             AlgorithmKind::InmemPlus,
             AlgorithmKind::BottomUp,
             AlgorithmKind::TopDown,
             AlgorithmKind::MapReduce,
+            AlgorithmKind::Parallel,
         ]
     }
 
@@ -66,10 +72,12 @@ impl AlgorithmKind {
             AlgorithmKind::BottomUp => "bottomup",
             AlgorithmKind::TopDown => "topdown",
             AlgorithmKind::MapReduce => "mr",
+            AlgorithmKind::Parallel => "parallel",
         }
     }
 
-    /// The paper's name for the algorithm.
+    /// The literature's name for the algorithm (the paper's *TD-\** names;
+    /// *PKT* for the parallel engine, after Kabir & Madduri).
     pub fn paper_name(self) -> &'static str {
         match self {
             AlgorithmKind::Inmem => "TD-inmem",
@@ -77,6 +85,7 @@ impl AlgorithmKind {
             AlgorithmKind::BottomUp => "TD-bottomup",
             AlgorithmKind::TopDown => "TD-topdown",
             AlgorithmKind::MapReduce => "TD-MR",
+            AlgorithmKind::Parallel => "PKT",
         }
     }
 
@@ -88,6 +97,7 @@ impl AlgorithmKind {
             "bottomup" | "bottom-up" => Some(AlgorithmKind::BottomUp),
             "topdown" | "top-down" => Some(AlgorithmKind::TopDown),
             "mr" | "mapreduce" => Some(AlgorithmKind::MapReduce),
+            "parallel" | "pkt" => Some(AlgorithmKind::Parallel),
             _ => None,
         }
     }
@@ -112,17 +122,18 @@ impl fmt::Display for AlgorithmKind {
 ///
 /// The external engines obey `io.memory_budget` (clamped up to the
 /// smallest budget the algorithm can run under, see
-/// [`minimum_budget`]) and spill into `scratch_dir`. `threads` is
-/// recorded for forward compatibility: every current engine is
-/// sequential (the paper's algorithms are single-machine, single-core),
-/// so values above 1 are accepted but unused until parallel engines land.
+/// [`minimum_budget`]) and spill into `scratch_dir`. `threads` drives the
+/// parallel engine's worker count ([`crate::pool::ThreadPool`]); the
+/// paper's five algorithms are sequential and ignore it, reporting
+/// [`EngineReport::threads_used`] `= 1`.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Memory budget `M` and block size `B` for the external algorithms.
     pub io: IoConfig,
     /// Scratch-space root; `None` uses the system temp dir.
     pub scratch_dir: Option<PathBuf>,
-    /// Requested worker threads (current engines are sequential).
+    /// Worker threads for the parallel engine (`0` = machine width;
+    /// serial engines ignore this).
     pub threads: usize,
     /// Compute the triangle/support counters for the report (one extra
     /// O(m^1.5) in-memory pass; skip for very large graphs).
@@ -199,7 +210,10 @@ pub struct EngineReport {
     /// Peak memory estimate in bytes: tracked heap for the in-memory
     /// algorithms, the effective memory budget `M` for the external ones.
     pub peak_memory_estimate: usize,
-    /// Worker threads used (1 for all current engines).
+    /// Effective worker threads the run actually used: 1 for the serial
+    /// engines regardless of [`EngineConfig::threads`], the pool width for
+    /// the parallel engine — so `--report json` output distinguishes the
+    /// runs of a scaling sweep.
     pub threads_used: usize,
     /// Disk traffic recorded by the storage layer's `IoTracker` (zero for
     /// the in-memory algorithms — they never touch disk).
@@ -226,6 +240,8 @@ pub struct EngineReport {
 impl EngineReport {
     /// A report skeleton for `kind` — engine implementations (including
     /// out-of-crate ones) start from this and fill in their specifics.
+    /// `threads_used` starts at 1 (correct for every serial engine); the
+    /// parallel engine overwrites it with its pool width.
     pub fn base_for(kind: AlgorithmKind, wall_time: Duration) -> Self {
         EngineReport {
             algorithm: kind.name().to_string(),
@@ -516,6 +532,23 @@ impl TrussEngine for TopDownEngine {
 }
 
 /// Ordered collection of engines, looked up by kind or name.
+///
+/// Consumers never hand-wire algorithm entry points: look an engine up,
+/// run it, and read the uniform report.
+///
+/// ```
+/// use truss_core::engine::{EngineConfig, EngineInput, EngineRegistry};
+///
+/// let g = truss_graph::generators::figure2_graph();
+/// let engines = EngineRegistry::core();
+/// let engine = engines.by_name("inmem+").expect("registered");
+/// let (decomposition, report) = engine
+///     .run(EngineInput::Graph(&g), &EngineConfig::sized_for(&g))
+///     .unwrap();
+/// assert_eq!(decomposition.k_max(), 5);
+/// assert_eq!(report.k_max, 5);
+/// assert_eq!(report.threads_used, 1); // TD-inmem+ is serial
+/// ```
 pub struct EngineRegistry {
     engines: Vec<Box<dyn TrussEngine>>,
 }
@@ -528,15 +561,17 @@ impl EngineRegistry {
         }
     }
 
-    /// The four engines implemented in this crate, in
-    /// [`AlgorithmKind::all`] order. The facade crate extends this with
-    /// TD-MR; see the module docs.
+    /// The five engines implemented in this crate (the four serial
+    /// algorithms plus the parallel engine), in [`AlgorithmKind::all`]
+    /// order. The facade crate extends this with TD-MR; see the module
+    /// docs.
     pub fn core() -> Self {
         let mut r = EngineRegistry::new();
         r.register(Box::new(InmemEngine));
         r.register(Box::new(InmemPlusEngine));
         r.register(Box::new(BottomUpEngine));
         r.register(Box::new(TopDownEngine));
+        r.register(Box::new(crate::parallel::ParallelEngine));
         r
     }
 
@@ -602,7 +637,7 @@ mod tests {
 
     #[test]
     fn kinds_round_trip_names() {
-        assert_eq!(AlgorithmKind::all().len(), 5);
+        assert_eq!(AlgorithmKind::all().len(), 6);
         for kind in AlgorithmKind::all() {
             assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
         }
@@ -610,14 +645,15 @@ mod tests {
             AlgorithmKind::parse("improved"),
             Some(AlgorithmKind::InmemPlus)
         );
+        assert_eq!(AlgorithmKind::parse("pkt"), Some(AlgorithmKind::Parallel));
         assert_eq!(AlgorithmKind::parse("nope"), None);
     }
 
     #[test]
-    fn core_registry_runs_all_four_identically() {
+    fn core_registry_runs_all_five_identically() {
         let g = figure2_graph();
         let registry = EngineRegistry::core();
-        assert_eq!(registry.len(), 4);
+        assert_eq!(registry.len(), 5);
         let config = EngineConfig::sized_for(&g);
         for engine in registry.iter() {
             let (d, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();

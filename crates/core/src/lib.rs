@@ -1,4 +1,5 @@
-//! The truss-decomposition algorithms of Wang & Cheng (VLDB 2012).
+//! The truss-decomposition algorithms of Wang & Cheng (VLDB 2012), plus a
+//! PKT-style shared-memory parallel engine.
 //!
 //! | paper | here |
 //! |-------|------|
@@ -9,10 +10,15 @@
 //! | Procedure 6 (UpperBounding) | [`upper_bound`] |
 //! | Algorithm 7 + Procedures 8 & 10 (*TD-topdown*) | [`top_down`] |
 //! | k-core decomposition (§7.4 baseline) | [`core_decomposition`] |
+//! | *PKT* (Kabir & Madduri, not in the paper) | [`parallel`] |
 //!
-//! All algorithms produce the same [`decompose::TrussDecomposition`]; the
+//! All algorithms produce the same [`decompose::TrussDecomposition`] and
+//! sit behind the uniform [`engine::TrussEngine`] registry; the
 //! integration test suite checks them against each other on hundreds of
-//! graphs.
+//! graphs. The parallel engine runs on the std-only fork-join pool in
+//! [`pool`].
+
+#![warn(missing_docs)]
 
 pub mod bottom_up;
 pub mod clique;
@@ -22,6 +28,8 @@ pub mod core_external;
 pub mod decompose;
 pub mod engine;
 pub mod lower_bound;
+pub mod parallel;
+pub mod pool;
 pub mod spectrum;
 mod sweep;
 pub mod top_down;
@@ -39,5 +47,7 @@ pub use decompose::{truss_decompose, truss_decompose_naive, TrussDecomposition};
 pub use engine::{
     AlgorithmKind, EngineConfig, EngineInput, EngineRegistry, EngineReport, TrussEngine,
 };
+pub use parallel::{parallel_truss_decompose, ParallelEngine};
+pub use pool::ThreadPool;
 pub use spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
 pub use top_down::{top_down_decompose, top_down_decompose_in, TopDownConfig, TopDownReport};

@@ -1,0 +1,140 @@
+//! Shared-memory parallel truss decomposition (PKT-style).
+//!
+//! The paper's algorithms are single-core; this module adds the sixth
+//! registered engine, [`AlgorithmKind::Parallel`], following Kabir &
+//! Madduri's PKT (*Shared-memory Graph Truss Decomposition*): support
+//! initialization by parallel triangle counting
+//! ([`truss_triangle::par::edge_supports_par`]), then bulk-synchronous
+//! level peeling where every edge whose support sits at or below `k − 2`
+//! is peeled concurrently — see [`peel`] for the frontier,
+//! epoch-array and once-per-triangle decrement machinery.
+//!
+//! Work runs on the std-only fork-join pool in [`crate::pool`], honoring
+//! [`EngineConfig::threads`] (`0` = machine width), and the engine is the
+//! one place [`crate::engine::EngineReport::threads_used`] reports a value
+//! other than 1. The decomposition is bit-identical to every serial
+//! engine — the consistency suite cross-checks it pairwise against all
+//! five.
+//!
+//! ```
+//! use truss_core::engine::{EngineConfig, EngineInput, EngineRegistry};
+//!
+//! let g = truss_graph::generators::figure2_graph();
+//! let engines = EngineRegistry::core();
+//! let engine = engines.by_name("parallel").unwrap();
+//! let mut config = EngineConfig::default();
+//! config.threads = 4;
+//! let (d, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();
+//! assert_eq!(d.k_max(), 5);
+//! assert_eq!(report.threads_used, 4);
+//! ```
+
+pub mod peel;
+
+use crate::decompose::TrussDecomposition;
+use crate::engine::{
+    finish_report, AlgorithmKind, EngineConfig, EngineInput, EngineReport, EngineResult,
+    TrussEngine,
+};
+use crate::pool::ThreadPool;
+use peel::PeelStats;
+use std::time::Instant;
+use truss_graph::CsrGraph;
+use truss_triangle::par::edge_supports_par;
+
+/// Decomposes `g` with `threads` workers (`0` = machine width).
+///
+/// Convenience wrapper over [`parallel_truss_decompose_with`]; the result
+/// is identical to [`crate::decompose::truss_decompose`].
+pub fn parallel_truss_decompose(g: &CsrGraph, threads: usize) -> TrussDecomposition {
+    parallel_truss_decompose_with(g, &ThreadPool::new(threads)).0
+}
+
+/// Decomposes `g` on an existing pool, also returning the peak-memory
+/// estimate in bytes and the peeling phase counters.
+pub fn parallel_truss_decompose_with(
+    g: &CsrGraph,
+    pool: &ThreadPool,
+) -> (TrussDecomposition, usize, PeelStats) {
+    let m = g.num_edges();
+    let sup = edge_supports_par(g, pool.threads());
+    // The graph, the three m-sized u32 arrays (support, epoch state,
+    // trussness) and the frontier buffers.
+    let peak = g.heap_bytes() + 3 * 4 * m + 4 * m;
+    let (trussness, stats) = peel::peel(g, sup, pool);
+    (TrussDecomposition::from_trussness(trussness), peak, stats)
+}
+
+/// PKT-style shared-memory parallel decomposition behind the uniform
+/// [`TrussEngine`] interface.
+pub struct ParallelEngine;
+
+impl TrussEngine for ParallelEngine {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Parallel
+    }
+
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)> {
+        let g = input.load()?;
+        let pool = ThreadPool::new(config.threads);
+        let start = Instant::now();
+        let (d, peak, stats) = parallel_truss_decompose_with(&g, &pool);
+        let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.threads_used = pool.threads();
+        report.peak_memory_estimate = peak;
+        report.rounds = Some(stats.levels as u64);
+        finish_report(&mut report, &g, &d, config);
+        Ok((d, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::generators::figure2_graph;
+
+    #[test]
+    fn engine_reports_effective_threads_and_no_io() {
+        let g = figure2_graph();
+        let engine = ParallelEngine;
+        for threads in [1usize, 2, 4] {
+            let config = EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            };
+            let (d, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();
+            assert_eq!(d.k_max(), 5);
+            assert_eq!(report.algorithm, "parallel");
+            assert_eq!(report.threads_used, threads);
+            assert_eq!(report.io.total_blocks(), 0);
+            assert_eq!(report.rounds, Some(4));
+            assert!(report.peak_memory_estimate > 0);
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_machine_width() {
+        let g = figure2_graph();
+        let config = EngineConfig {
+            threads: 0,
+            ..EngineConfig::default()
+        };
+        let (_, report) = ParallelEngine.run(EngineInput::Graph(&g), &config).unwrap();
+        assert!(report.threads_used >= 1);
+    }
+
+    #[test]
+    fn matches_serial_on_dataset_analogue() {
+        let d = truss_graph::generators::datasets::Dataset::P2p;
+        let g = d.build_scaled(d.spec().default_scale * 0.02, 42);
+        let serial = crate::decompose::truss_decompose(&g);
+        for threads in [2, 8] {
+            let par = parallel_truss_decompose(&g, threads);
+            assert_eq!(par.trussness(), serial.trussness(), "{threads} threads");
+        }
+    }
+}

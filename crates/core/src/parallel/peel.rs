@@ -1,0 +1,258 @@
+//! The level-synchronous peeling core of the parallel engine.
+//!
+//! One *level* per trussness value `k`: every alive edge with
+//! `sup(e) ≤ k − 2` belongs to the `k`-class, and peeling it can drop other
+//! edges' supports to the threshold, so a level runs as a sequence of
+//! bulk-synchronous *sub-iterations* — process the whole frontier in
+//! parallel, collect the edges that crossed the threshold, repeat until the
+//! level drains. This is the PKT schedule (Kabir & Madduri): the serial
+//! algorithm's total order over edge removals is relaxed to a partial order
+//! that only keeps what trussness actually depends on, which is why the
+//! result is identical to the sequential peel.
+//!
+//! Shared state is two atomic arrays:
+//!
+//! * `sup` — current support, decremented with `fetch_sub`. The thread
+//!   whose decrement moves an edge from `k − 1` to `k − 2` (there is
+//!   exactly one: RMW operations on one location are totally ordered)
+//!   schedules it for the next sub-iteration, so no edge enters a frontier
+//!   twice.
+//! * `state` — the *epoch* (global sub-iteration counter) at which an edge
+//!   was scheduled, or `UNSCHEDULED`. Epochs only grow, so during epoch
+//!   `t` an edge is peeled iff `state < t`, frontier iff `state == t`, and
+//!   alive otherwise. This is the scheduled/processed array that prevents
+//!   double-peeling without any locking.
+//!
+//! When a triangle's last three edges die together, supports must still
+//! drop exactly once per dying triangle. For a triangle `{e, f, x}` seen
+//! while processing frontier edge `e`:
+//!
+//! * `f` or `x` already peeled → the triangle died earlier, skip;
+//! * `f` and `x` both in the frontier → all three edges peel now, nothing
+//!   to decrement;
+//! * only `f` in the frontier → `x` survives and must lose the triangle
+//!   once, although both `e` and `f` observe it: the smaller edge id does
+//!   the decrement;
+//! * neither in the frontier → `e` alone observes the death, decrement
+//!   both.
+//!
+//! `Relaxed` ordering suffices throughout: scheduling decisions hinge on
+//! the total modification order of each `sup[x]`, and every phase ends in a
+//! fork-join barrier ([`ThreadPool::run`]) that publishes all writes before
+//! the next phase reads them.
+
+use crate::decompose::improved::merge_common_neighbors;
+use crate::pool::ThreadPool;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
+use truss_graph::{CsrGraph, EdgeId};
+
+/// `state` value of an edge no frontier has claimed yet.
+const UNSCHEDULED: u32 = u32::MAX;
+
+/// Frontier edges handed to a worker at a time.
+const EDGE_BLOCK: usize = 128;
+
+/// Counters the engine surfaces in its report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeelStats {
+    /// Levels that peeled at least one edge (= non-empty k-classes).
+    pub levels: u32,
+    /// Total bulk-synchronous sub-iterations across all levels.
+    pub sub_iterations: u64,
+}
+
+/// Peels every edge level-synchronously given initial supports; returns the
+/// per-edge trussness and the phase counters.
+pub fn peel(g: &CsrGraph, sup: Vec<u32>, pool: &ThreadPool) -> (Vec<u32>, PeelStats) {
+    let m = g.num_edges();
+    let mut trussness = vec![2u32; m];
+    let mut stats = PeelStats::default();
+    if m == 0 {
+        return (trussness, stats);
+    }
+    let sup: Vec<AtomicU32> = sup.into_iter().map(AtomicU32::new).collect();
+    let state: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNSCHEDULED)).collect();
+
+    let mut processed = 0usize;
+    let mut epoch = 0u32;
+    let mut k = 2u32;
+    while processed < m {
+        let (mut curr, min_rest) = scan_frontier(&sup, &state, k, epoch, pool);
+        if curr.is_empty() {
+            // Nothing peels at k; jump straight to the smallest support
+            // left (unscheduled edges all have sup ≥ k − 1, so this always
+            // advances).
+            debug_assert!(min_rest != u32::MAX, "edges remain but none found");
+            k = min_rest + 2;
+            continue;
+        }
+        stats.levels += 1;
+        while !curr.is_empty() {
+            stats.sub_iterations += 1;
+            let next = process_frontier(g, &curr, k, epoch, &sup, &state, pool);
+            for &e in &curr {
+                trussness[e as usize] = k;
+            }
+            processed += curr.len();
+            epoch += 1;
+            curr = next;
+        }
+        k += 1;
+    }
+    (trussness, stats)
+}
+
+/// Claims every unscheduled edge with `sup ≤ k − 2` into a level-`k`
+/// frontier (marking it with the current epoch) and reports the minimum
+/// support among the edges left behind. Each worker owns a disjoint edge
+/// range, so the claim needs no synchronization beyond the join barrier.
+fn scan_frontier(
+    sup: &[AtomicU32],
+    state: &[AtomicU32],
+    k: u32,
+    epoch: u32,
+    pool: &ThreadPool,
+) -> (Vec<EdgeId>, u32) {
+    let per_worker = pool.run_ranges(sup.len(), |_, range| {
+        let mut frontier = Vec::new();
+        let mut min_rest = u32::MAX;
+        for e in range {
+            if state[e].load(Relaxed) != UNSCHEDULED {
+                continue;
+            }
+            let s = sup[e].load(Relaxed);
+            if s + 2 <= k {
+                state[e].store(epoch, Relaxed);
+                frontier.push(e as EdgeId);
+            } else {
+                min_rest = min_rest.min(s);
+            }
+        }
+        (frontier, min_rest)
+    });
+    let min_rest = per_worker.iter().map(|(_, m)| *m).min().unwrap_or(u32::MAX);
+    let frontier = per_worker.into_iter().flat_map(|(f, _)| f).collect();
+    (frontier, min_rest)
+}
+
+/// Processes one frontier: every worker pulls blocks of frontier edges off
+/// a shared cursor, walks each edge's surviving triangles, applies the
+/// once-per-triangle decrement rules from the module docs, and collects the
+/// edges its decrements pushed to the threshold. Returns the merged next
+/// frontier (already marked with `epoch + 1`).
+fn process_frontier(
+    g: &CsrGraph,
+    curr: &[EdgeId],
+    k: u32,
+    epoch: u32,
+    sup: &[AtomicU32],
+    state: &[AtomicU32],
+    pool: &ThreadPool,
+) -> Vec<EdgeId> {
+    let next_epoch = epoch + 1;
+    let cursor = AtomicUsize::new(0);
+    let per_worker = pool.run(|_| {
+        let mut local_next: Vec<EdgeId> = Vec::new();
+        let decrement = |x: EdgeId, local_next: &mut Vec<EdgeId>| {
+            let old = sup[x as usize].fetch_sub(1, Relaxed);
+            debug_assert!(old > 0, "support underflow on edge {x}");
+            // Exactly one decrement observes the k−1 → k−2 crossing
+            // (k ≥ 2 always, so k − 1 cannot underflow).
+            if old == k - 1 {
+                state[x as usize].store(next_epoch, Relaxed);
+                local_next.push(x);
+            }
+        };
+        loop {
+            let start = cursor.fetch_add(EDGE_BLOCK, Relaxed);
+            if start >= curr.len() {
+                break;
+            }
+            for &e in &curr[start..(start + EDGE_BLOCK).min(curr.len())] {
+                let edge = g.edge(e);
+                merge_common_neighbors(g, edge.u, edge.v, |_w, e_uw, e_vw| {
+                    let s1 = state[e_uw as usize].load(Relaxed);
+                    let s2 = state[e_vw as usize].load(Relaxed);
+                    if s1 < epoch || s2 < epoch {
+                        return; // triangle already died with an earlier peel
+                    }
+                    let f1 = s1 == epoch;
+                    let f2 = s2 == epoch;
+                    if f1 && f2 {
+                        // Whole triangle peels this sub-iteration.
+                    } else if f1 {
+                        if e < e_uw {
+                            decrement(e_vw, &mut local_next);
+                        }
+                    } else if f2 {
+                        if e < e_vw {
+                            decrement(e_uw, &mut local_next);
+                        }
+                    } else {
+                        decrement(e_uw, &mut local_next);
+                        decrement(e_vw, &mut local_next);
+                    }
+                });
+            }
+        }
+        local_next
+    });
+    per_worker.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_triangle::count::edge_supports;
+
+    fn peel_with(g: &CsrGraph, threads: usize) -> (Vec<u32>, PeelStats) {
+        peel(g, edge_supports(g), &ThreadPool::new(threads))
+    }
+
+    #[test]
+    fn figure2_matches_golden() {
+        let g = truss_graph::generators::figure2_graph();
+        for threads in [1, 2, 4] {
+            let (t, stats) = peel_with(&g, threads);
+            let d = crate::decompose::TrussDecomposition::from_trussness(t);
+            assert_eq!(d.k_max(), 5);
+            assert_eq!(
+                d.classes_as_edges(&g),
+                truss_graph::generators::figures::figure2_classes()
+            );
+            // Φ2 (the isolated (i,k) edge), Φ3, Φ4, Φ5 all non-empty.
+            assert_eq!(stats.levels, 4);
+            assert!(stats.sub_iterations >= stats.levels as u64);
+        }
+    }
+
+    #[test]
+    fn empty_levels_are_skipped_not_iterated() {
+        // K_12: every edge has support 10, one class at k = 12. The level
+        // jump must go straight there instead of scanning k = 3..11.
+        let g = truss_graph::generators::classic::complete(12);
+        let (t, stats) = peel_with(&g, 2);
+        assert!(t.iter().all(|&x| x == 12));
+        assert_eq!(stats.levels, 1);
+    }
+
+    #[test]
+    fn matches_serial_on_random_graphs() {
+        for seed in 0..6 {
+            let g = truss_graph::generators::erdos_renyi::gnm(70, 520, seed);
+            let serial = crate::decompose::truss_decompose(&g);
+            for threads in [1, 2, 4, 8] {
+                let (t, _) = peel_with(&g, threads);
+                assert_eq!(t, serial.trussness(), "seed {seed}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(vec![]);
+        let (t, stats) = peel_with(&g, 4);
+        assert!(t.is_empty());
+        assert_eq!(stats.levels, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal scoped thread pool over `std::thread` — no external
+//! dependencies, no long-lived workers.
+//!
+//! The parallel engine ([`crate::parallel`]) is bulk-synchronous: every
+//! phase (support initialization, frontier scan, frontier processing) fans
+//! out over all workers and joins before the next phase begins. A scoped
+//! fork-join helper models that exactly, and `std::thread::scope` lets the
+//! workers borrow the graph and the shared atomic arrays without `Arc`:
+//! the join at scope exit is the phase barrier.
+//!
+//! A [`ThreadPool`] is therefore just a validated thread count plus
+//! fork-join helpers. Spawning per phase costs a few microseconds per
+//! worker, which is noise against the O(m) work each phase does; with one
+//! thread every helper runs inline so the serial path pays nothing.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fork-join executor honoring an explicit thread count
+/// ([`crate::engine::EngineConfig::threads`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with exactly `threads` workers; `0` means "use the machine",
+    /// i.e. [`std::thread::available_parallelism`].
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        ThreadPool { threads }
+    }
+
+    /// The effective worker count (what [`crate::engine::EngineReport::threads_used`]
+    /// records).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `worker(thread_index)` on every worker and joins, returning the
+    /// per-worker results in thread-index order. With one thread the worker
+    /// runs inline on the caller's stack.
+    pub fn run<R, F>(&self, worker: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 {
+            return vec![worker(0)];
+        }
+        let worker = &worker;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|tid| scope.spawn(move || worker(tid)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Splits `0..n` into one contiguous range per worker (balanced to
+    /// within one item) and runs `worker(thread_index, range)` on each.
+    /// Useful when every item costs about the same.
+    pub fn run_ranges<R, F>(&self, n: usize, worker: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        self.run(|tid| worker(tid, split_range(n, self.threads, tid)))
+    }
+
+    /// Runs `worker(thread_index, range)` over dynamically scheduled blocks
+    /// of `0..n`: workers pull the next `block`-sized range from a shared
+    /// cursor until `n` is exhausted. Useful when per-item cost is skewed
+    /// (e.g. per-vertex triangle work on a power-law graph).
+    pub fn run_blocks<F>(&self, n: usize, block: usize, worker: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let block = block.max(1);
+        let cursor = AtomicUsize::new(0);
+        self.run(|tid| loop {
+            let start = cursor.fetch_add(block, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            worker(tid, start..(start + block).min(n));
+        });
+    }
+}
+
+/// The `tid`-th of `parts` contiguous near-equal chunks of `0..n`.
+fn split_range(n: usize, parts: usize, tid: usize) -> Range<usize> {
+    let base = n / parts;
+    let extra = n % parts;
+    let start = tid * base + tid.min(extra);
+    let len = base + usize::from(tid < extra);
+    start..(start + len).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_means_machine_width() {
+        assert!(ThreadPool::new(0).threads() >= 1);
+        assert_eq!(ThreadPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn run_returns_in_thread_order() {
+        for threads in [1, 2, 5] {
+            let out = ThreadPool::new(threads).run(|tid| tid * 10);
+            assert_eq!(out, (0..threads).map(|t| t * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for (n, threads) in [(0usize, 3usize), (1, 4), (10, 3), (100, 7)] {
+            let pool = ThreadPool::new(threads);
+            let ranges = pool.run_ranges(n, |_, r| r);
+            let mut covered = 0usize;
+            let mut expect_start = 0usize;
+            for r in ranges {
+                assert_eq!(r.start, expect_start);
+                covered += r.len();
+                expect_start = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn blocks_cover_everything_once() {
+        for threads in [1, 4] {
+            let n = 1000;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ThreadPool::new(threads).run_blocks(n, 7, |_, range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn workers_can_sum_concurrently() {
+        let total = AtomicU64::new(0);
+        ThreadPool::new(4).run_blocks(100, 9, |_, range| {
+            let s: u64 = range.map(|x| x as u64).sum();
+            total.fetch_add(s, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+}

@@ -10,12 +10,18 @@
 //!   callback,
 //! * [`external::external_edge_supports`] — the I/O-efficient, partition
 //!   based support computation of Chu & Cheng \[13, 14\] used by stage 1 of
-//!   both external algorithms.
+//!   both external algorithms,
+//! * [`par`] — thread-count-aware twins of the in-memory entry points
+//!   ([`par::for_each_triangle_par`], [`par::edge_supports_par`],
+//!   [`par::triangle_count_par`]) used by the shared-memory parallel
+//!   engine.
 
 pub mod count;
 pub mod external;
 pub mod list;
+pub mod par;
 
 pub use count::{edge_supports, triangle_count};
 pub use external::external_edge_supports;
 pub use list::for_each_triangle;
+pub use par::{edge_supports_par, for_each_triangle_par, triangle_count_par};

@@ -4,10 +4,14 @@
 
 use truss_graph::{CsrGraph, EdgeId, VertexId};
 
+/// One entry of a forward adjacency list: `(rank, vertex, undirected edge
+/// id)`. Shared with the parallel lister in [`crate::par`].
+pub(crate) type FwdEntry = (u32, VertexId, EdgeId);
+
 /// Degree-based total order: vertices sorted by `(degree, id)`. The forward
 /// algorithm orients every edge toward the higher-ranked endpoint; each
 /// triangle is then discovered exactly once, at its lowest-ranked vertex.
-fn ranks(g: &CsrGraph) -> Vec<u32> {
+pub(crate) fn ranks(g: &CsrGraph) -> Vec<u32> {
     let n = g.num_vertices();
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.sort_unstable_by_key(|&v| (g.degree(v), v));
@@ -16,6 +20,43 @@ fn ranks(g: &CsrGraph) -> Vec<u32> {
         rank[v as usize] = r as u32;
     }
     rank
+}
+
+/// The forward (higher-ranked) neighbors of `v`, sorted by rank — one slot
+/// of the forward adjacency, buildable independently per vertex (which is
+/// what lets [`crate::par`] fill the adjacency concurrently).
+pub(crate) fn forward_list(g: &CsrGraph, v: VertexId, rank: &[u32]) -> Vec<FwdEntry> {
+    let rv = rank[v as usize];
+    let mut list = Vec::new();
+    for (&w, &id) in g.neighbors(v).iter().zip(g.neighbor_edge_ids(v)) {
+        let rw = rank[w as usize];
+        if rw > rv {
+            list.push((rw, w, id));
+        }
+    }
+    list.sort_unstable_by_key(|&(rw, _, _)| rw);
+    list
+}
+
+/// Intersects two forward lists by rank, calling `f(w, e_uw, e_vw)` once
+/// per common forward neighbor `w` — the merge step both the serial and
+/// parallel listers share.
+pub(crate) fn intersect_forward<F>(fu: &[FwdEntry], fv: &[FwdEntry], mut f: F)
+where
+    F: FnMut(VertexId, EdgeId, EdgeId),
+{
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < fu.len() && j < fv.len() {
+        match fu[i].0.cmp(&fv[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(fu[i].1, fu[i].2, fv[j].2);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
 }
 
 /// Calls `f(u, v, w, e_uv, e_uw, e_vw)` once per triangle of `g`.
@@ -35,43 +76,18 @@ where
 
     // Forward adjacency: for each vertex, its higher-ranked neighbors sorted
     // by rank, with the undirected edge id alongside.
-    let mut fwd: Vec<Vec<(u32, VertexId, EdgeId)>> = vec![Vec::new(); n];
+    let mut fwd: Vec<Vec<FwdEntry>> = vec![Vec::new(); n];
     for v in 0..n as VertexId {
-        let rv = rank[v as usize];
-        let nbrs = g.neighbors(v);
-        let eids = g.neighbor_edge_ids(v);
-        let mut list = Vec::new();
-        for (&w, &id) in nbrs.iter().zip(eids) {
-            let rw = rank[w as usize];
-            if rw > rv {
-                list.push((rw, w, id));
-            }
-        }
-        list.sort_unstable_by_key(|&(rw, _, _)| rw);
-        fwd[v as usize] = list;
+        fwd[v as usize] = forward_list(g, v, &rank);
     }
 
     for u in 0..n as VertexId {
-        let fu = std::mem::take(&mut fwd[u as usize]);
-        for &(_, v, e_uv) in &fu {
-            // Intersect fwd[u] and fwd[v] by rank.
-            let fv = &fwd[v as usize];
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < fu.len() && j < fv.len() {
-                match fu[i].0.cmp(&fv[j].0) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        let (_, w, e_uw) = fu[i];
-                        let (_, _, e_vw) = fv[j];
-                        f(u, v, w, e_uv, e_uw, e_vw);
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
+        let fu = &fwd[u as usize];
+        for &(_, v, e_uv) in fu {
+            intersect_forward(fu, &fwd[v as usize], |w, e_uw, e_vw| {
+                f(u, v, w, e_uv, e_uw, e_vw)
+            });
         }
-        fwd[u as usize] = fu;
     }
 }
 

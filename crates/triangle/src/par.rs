@@ -1,0 +1,201 @@
+//! Thread-count-aware triangle listing and support counting.
+//!
+//! The forward algorithm ([`crate::list::for_each_triangle`]) splits
+//! cleanly: the oriented (forward) adjacency is built independently per
+//! vertex, and each triangle is discovered at exactly one vertex `u`, so
+//! enumerating over disjoint vertex ranges partitions the triangle set.
+//! [`for_each_triangle_par`] is the `list_par` entry (the callback runs
+//! concurrently and must synchronize its own writes);
+//! [`edge_supports_par`] / [`triangle_count_par`] are the `count_par`
+//! entries built on it, accumulating into atomics.
+//!
+//! All functions take an explicit thread count and run the serial code
+//! path when it is 1, so callers can thread
+//! `truss_core::engine::EngineConfig::threads` straight through. Work is
+//! scheduled dynamically in fixed-size vertex blocks because per-vertex
+//! triangle cost is heavily skewed on power-law graphs.
+
+use crate::list::{for_each_triangle, forward_list, intersect_forward, ranks, FwdEntry};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use truss_graph::{CsrGraph, EdgeId, VertexId};
+
+/// Vertices handed to a worker at a time. Small enough to balance skewed
+/// degree distributions, large enough that the shared cursor is not
+/// contended.
+const VERTEX_BLOCK: usize = 256;
+
+/// Spawns `threads` scoped workers running `worker(range)` over dynamic
+/// `VERTEX_BLOCK`-sized chunks of `0..n`. (Kept local: `truss-core`'s pool
+/// depends on this crate, so the dependency cannot point the other way.)
+fn par_blocks<F>(n: usize, threads: usize, worker: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let drain = || loop {
+        let start = cursor.fetch_add(VERTEX_BLOCK, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        worker(start..(start + VERTEX_BLOCK).min(n));
+    };
+    if threads <= 1 {
+        drain();
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(drain);
+        }
+    });
+}
+
+/// The forward adjacency (see [`crate::list::forward_list`]), built with
+/// `threads` workers over static contiguous vertex chunks — good enough
+/// here since this pass is O(m) total, unlike the skewed enumeration pass.
+fn forward_adjacency(g: &CsrGraph, threads: usize) -> Vec<Vec<FwdEntry>> {
+    let n = g.num_vertices();
+    let rank = ranks(g);
+    let mut fwd: Vec<Vec<FwdEntry>> = vec![Vec::new(); n];
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (ci, slice) in fwd.chunks_mut(chunk).enumerate() {
+            let rank = &rank;
+            scope.spawn(move || {
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = forward_list(g, (ci * chunk + off) as VertexId, rank);
+                }
+            });
+        }
+    });
+    fwd
+}
+
+/// Calls `f(u, v, w, e_uv, e_uw, e_vw)` once per triangle of `g`, from
+/// `threads` worker threads — the parallel twin of
+/// [`crate::list::for_each_triangle`].
+///
+/// The callback observes each triangle exactly once but runs concurrently;
+/// it must be `Sync` and synchronize any shared writes (the `count_par`
+/// entries below use atomics). Triangle order is unspecified.
+pub fn for_each_triangle_par<F>(g: &CsrGraph, threads: usize, f: F)
+where
+    F: Fn(VertexId, VertexId, VertexId, EdgeId, EdgeId, EdgeId) + Sync,
+{
+    if threads <= 1 {
+        return for_each_triangle(g, f);
+    }
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let fwd = forward_adjacency(g, threads);
+    let fwd = &fwd;
+    let f = &f;
+    par_blocks(n, threads, |range| {
+        for u in range {
+            let fu = &fwd[u];
+            for &(_, v, e_uv) in fu {
+                intersect_forward(fu, &fwd[v as usize], |w, e_uw, e_vw| {
+                    f(u as VertexId, v, w, e_uv, e_uw, e_vw)
+                });
+            }
+        }
+    });
+}
+
+/// [`crate::count::edge_supports`] with `threads` workers: per-edge
+/// support via parallel triangle listing into atomic counters.
+pub fn edge_supports_par(g: &CsrGraph, threads: usize) -> Vec<u32> {
+    if threads <= 1 {
+        return crate::count::edge_supports(g);
+    }
+    let sup: Vec<AtomicU32> = (0..g.num_edges()).map(|_| AtomicU32::new(0)).collect();
+    for_each_triangle_par(g, threads, |_, _, _, e1, e2, e3| {
+        sup[e1 as usize].fetch_add(1, Ordering::Relaxed);
+        sup[e2 as usize].fetch_add(1, Ordering::Relaxed);
+        sup[e3 as usize].fetch_add(1, Ordering::Relaxed);
+    });
+    sup.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// [`crate::count::triangle_count`] with `threads` workers.
+pub fn triangle_count_par(g: &CsrGraph, threads: usize) -> u64 {
+    let count = AtomicU64::new(0);
+    for_each_triangle_par(g, threads, |_, _, _, _, _, _| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    count.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::{edge_supports, triangle_count};
+    use std::sync::Mutex;
+    use truss_graph::generators::classic::complete;
+    use truss_graph::generators::erdos_renyi::gnm;
+
+    #[test]
+    fn supports_match_serial_across_thread_counts() {
+        for seed in 0..3 {
+            let g = gnm(120, 1400, seed);
+            let serial = edge_supports(&g);
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    edge_supports_par(&g, threads),
+                    serial,
+                    "seed {seed}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_serial() {
+        let g = gnm(100, 1200, 7);
+        let serial = triangle_count(&g);
+        for threads in [1, 3, 6] {
+            assert_eq!(triangle_count_par(&g, threads), serial);
+        }
+    }
+
+    #[test]
+    fn listing_yields_each_triangle_once() {
+        let g = complete(9);
+        let seen = Mutex::new(Vec::new());
+        for_each_triangle_par(&g, 4, |u, v, w, _, _, _| {
+            let mut t = [u, v, w];
+            t.sort_unstable();
+            seen.lock().unwrap().push(t);
+        });
+        let mut tris = seen.into_inner().unwrap();
+        tris.sort_unstable();
+        assert_eq!(tris.len(), 9 * 8 * 7 / 6);
+        let mut dedup = tris.clone();
+        dedup.dedup();
+        assert_eq!(tris, dedup);
+    }
+
+    #[test]
+    fn edge_ids_are_correct_in_parallel() {
+        let g = gnm(60, 500, 11);
+        for_each_triangle_par(&g, 3, |u, v, w, e_uv, e_uw, e_vw| {
+            assert_eq!(g.edge(e_uv), truss_graph::Edge::new(u, v));
+            assert_eq!(g.edge(e_uw), truss_graph::Edge::new(u, w));
+            assert_eq!(g.edge(e_vw), truss_graph::Edge::new(v, w));
+        });
+    }
+
+    #[test]
+    fn empty_and_triangle_free() {
+        let empty = CsrGraph::from_edges(vec![]);
+        assert_eq!(triangle_count_par(&empty, 4), 0);
+        let path = CsrGraph::from_edges(vec![
+            truss_graph::Edge::new(0, 1),
+            truss_graph::Edge::new(1, 2),
+        ]);
+        assert_eq!(edge_supports_par(&path, 4), vec![0, 0]);
+    }
+}

@@ -1,8 +1,9 @@
 //! `truss` — command-line truss decomposition.
 //!
 //! ```text
-//! truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES]
-//!                 [--threads N] [--scratch DIR] [--report json] <input.snap>
+//! truss decompose [--algo inmem|inmem+|bottomup|topdown|mr|parallel]
+//!                 [--memory BYTES] [--threads N] [--scratch DIR]
+//!                 [--report json] <input.snap>
 //! truss ktruss --k K <input.snap>
 //! truss topt --t T [--memory BYTES] <input.snap>
 //! truss stats <input.snap>
@@ -12,12 +13,13 @@
 //! Inputs are SNAP-style edge lists (`u v` per line, `#` comments) or the
 //! binary format (by `.bin` extension). Decomposition output is TSV
 //! `u <tab> v <tab> trussness` on stdout; diagnostics go to stderr. With
-//! `--report json`, the engine's [`EngineReport`] is appended to stdout as
-//! one final JSON line after the TSV.
+//! `--report json`, the engine's [`EngineReport`](truss_decomposition::engine::EngineReport)
+//! is appended to stdout as one final JSON line after the TSV.
 //!
-//! `decompose` dispatches through the [`TrussEngine`] registry — adding an
-//! engine to `truss_decomposition::engine::registry()` makes it available
-//! here without CLI changes.
+//! `decompose` dispatches through the
+//! [`TrussEngine`](truss_decomposition::engine::TrussEngine) registry —
+//! adding an engine to `truss_decomposition::engine::registry()` makes it
+//! available here without CLI changes.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -45,13 +47,15 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  truss decompose [--algo inmem|inmem+|bottomup|topdown|mr] [--memory BYTES]
-                  [--threads N] [--scratch DIR] [--report json] <input>
+  truss decompose [--algo inmem|inmem+|bottomup|topdown|mr|parallel]
+                  [--memory BYTES] [--threads N] [--scratch DIR]
+                  [--report json] <input>
   truss ktruss --k K <input>
   truss topt --t T [--memory BYTES] <input>
   truss stats <input>
   truss generate --dataset NAME [--scale F] [--seed S] <output>
 inputs: SNAP text edge lists, or the binary format for *.bin paths
+--threads N sets the parallel engine's worker count (serial engines run 1)
 --report json appends the engine report as one JSON line after the TSV";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -219,9 +223,10 @@ fn cmd_decompose(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     print_decomposition(&g, &d)?;
     eprintln!(
-        "{}: {:.3}s, peak memory ~{} bytes, {} blocks of I/O",
+        "{}: {:.3}s, {} thread(s), peak memory ~{} bytes, {} blocks of I/O",
         engine.name(),
         report.wall_time.as_secs_f64(),
+        report.threads_used,
         report.peak_memory_estimate,
         report.io.total_blocks()
     );

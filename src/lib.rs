@@ -13,9 +13,12 @@
 //! | [`graph`] | CSR graphs, generators, formats, metrics |
 //! | [`storage`] | I/O cost model, disk edge lists, partitioners, external sort |
 //! | [`triangle`] | triangle counting/listing (in-memory + external) |
-//! | [`core`] | the paper's algorithms: TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core |
+//! | [`core`] | the paper's algorithms (TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core) plus the PKT-style parallel engine and its thread pool |
 //! | [`mapreduce`] | single-machine MapReduce engine + Cohen's TD-MR baseline |
-//! | [`engine`] | the unified [`TrussEngine`](engine::TrussEngine) registry over all five algorithms |
+//! | [`engine`] | the unified [`TrussEngine`](engine::TrussEngine) registry over all six algorithms |
+//!
+//! See `docs/ARCHITECTURE.md` for the crate map and dataflow, and
+//! `docs/ALGORITHMS.md` for an engine-by-engine guide.
 //!
 //! ## Quickstart
 //!

@@ -103,6 +103,19 @@ fn decompose_report_json_appends_engine_report() {
             "{algo}: {json}"
         );
         assert_eq!(json_u64(json, "k_max"), 5, "{algo}");
+        // The report records the *effective* thread count: the parallel
+        // engine honors --threads 2, every serial engine runs (and
+        // reports) 1.
+        let expected_threads = if kind == AlgorithmKind::Parallel {
+            2
+        } else {
+            1
+        };
+        assert_eq!(
+            json_u64(json, "threads_used"),
+            expected_threads,
+            "{algo}: {json}"
+        );
         // External engines do real disk I/O and report it; in-memory ones
         // never touch disk.
         let blocks = json_u64(json, "total_blocks");
@@ -112,6 +125,37 @@ fn decompose_report_json_appends_engine_report() {
             assert_eq!(blocks, 0, "{algo}: {json}");
         }
     }
+}
+
+#[test]
+fn parallel_engine_accepts_thread_ladder() {
+    let input = figure2_file();
+    let mut reference: Option<String> = None;
+    for threads in ["1", "2", "4"] {
+        let out = truss_bin()
+            .args([
+                "decompose",
+                "--algo",
+                "parallel",
+                "--threads",
+                threads,
+                input.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{threads}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        match &reference {
+            Some(r) => assert_eq!(r, &stdout, "{threads} threads diverged"),
+            None => reference = Some(stdout),
+        }
+    }
+    // The alias from the literature works too.
+    let out = truss_bin()
+        .args(["decompose", "--algo", "pkt", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
 }
 
 #[test]

@@ -1,9 +1,12 @@
 //! Cross-algorithm consistency: every engine in the registry (TD-inmem,
-//! TD-inmem+, TD-bottomup, TD-topdown, TD-MR) must produce identical
-//! decompositions on a suite of generators, seeds and memory budgets.
+//! TD-inmem+, TD-bottomup, TD-topdown, TD-MR, and the PKT-style parallel
+//! engine) must produce identical decompositions on a suite of generators,
+//! seeds and memory budgets.
 //!
 //! All dispatch goes through `truss_decomposition::engine::registry()` —
-//! a newly registered engine is automatically pulled into every check.
+//! a newly registered engine is automatically pulled into every check. The
+//! parallel engine additionally gets a dedicated thread-ladder sweep, since
+//! the pairwise pass runs every engine under one shared config.
 
 use truss_decomposition::core::decompose::TrussDecomposition;
 use truss_decomposition::core::truss::verify_decomposition;
@@ -87,21 +90,59 @@ fn run(
 #[test]
 fn all_engines_agree_pairwise() {
     let engines = registry();
-    assert!(engines.len() >= 5, "expected all five paper algorithms");
+    assert!(
+        engines.len() >= 6,
+        "expected the five paper algorithms plus the parallel engine"
+    );
     for (name, g) in suite() {
-        let config = config_with_budget(1 << 20);
+        // Two worker threads so the parallel engine's concurrent peel (not
+        // just its serial fallback) is what gets cross-checked.
+        let mut config = config_with_budget(1 << 20);
+        config.threads = 2;
         let results: Vec<(AlgorithmKind, TrussDecomposition)> = engines
             .kinds()
             .into_iter()
             .filter(|&kind| runs_on(kind, &g))
             .map(|kind| (kind, run(&engines, kind, &g, &config, &name)))
             .collect();
-        assert!(results.len() >= 4, "{name}: too few engines ran");
+        assert!(results.len() >= 5, "{name}: too few engines ran");
         verify_decomposition(&g, &results[0].1).unwrap_or_else(|e| panic!("{name}: {e}"));
         for (i, (kind_a, a)) in results.iter().enumerate() {
             for (kind_b, b) in &results[i + 1..] {
                 assert_eq!(a.trussness(), b.trussness(), "{name}: {kind_a} vs {kind_b}");
             }
+        }
+    }
+}
+
+/// The parallel engine matches the serial reference on every suite graph
+/// at every thread count — the acceptance bar for `--algo parallel
+/// --threads N`. Thread counts beyond the frontier size and beyond the
+/// machine width are included deliberately.
+#[test]
+fn parallel_engine_matches_serial_across_thread_counts() {
+    let engines = registry();
+    for (name, g) in suite() {
+        let exact = run(
+            &engines,
+            AlgorithmKind::InmemPlus,
+            &g,
+            &config_with_budget(1 << 20),
+            &name,
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let mut config = config_with_budget(1 << 20);
+            config.threads = threads;
+            let engine = engines.get(AlgorithmKind::Parallel).expect("registered");
+            let (d, report) = engine
+                .run(EngineInput::Graph(&g), &config)
+                .unwrap_or_else(|e| panic!("{name}@{threads}: {e}"));
+            assert_eq!(report.threads_used, threads, "{name}@{threads}");
+            assert_eq!(
+                d.trussness(),
+                exact.trussness(),
+                "{name}: parallel@{threads} vs inmem+"
+            );
         }
     }
 }
