@@ -16,4 +16,6 @@ fn main() {
         .print("Engine registry: all six algorithms through TrussEngine::run");
     tables::table_scaling(scale)
         .print("Thread scaling: parallel (PKT) at 1/2/4/8 threads vs serial inmem+");
+    tables::table_updates(scale)
+        .print("Update throughput: incremental TrussIndex maintenance vs full recompute");
 }

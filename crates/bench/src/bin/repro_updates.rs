@@ -1,0 +1,11 @@
+//! Reproduces the update-throughput table: incremental `TrussIndex`
+//! maintenance (insert/delete batches of 1/10/100/1000 edges) against
+//! full recomputation by the in-memory, parallel and bottom-up engines.
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::tables;
+
+fn main() {
+    tables::table_updates(BenchScale::Default)
+        .print("Update throughput: incremental TrussIndex maintenance vs full recompute");
+}

@@ -10,6 +10,7 @@ use crate::table::TableWriter;
 use crate::{bytes_h, count_h, secs, time};
 use truss_core::core_decomposition::{cmax_core_subgraph, core_decompose};
 use truss_core::decompose::truss_decompose;
+use truss_core::index::TrussIndex;
 use truss_core::top_down::{top_down_decompose, TopDownConfig};
 use truss_core::truss::truss_subgraph;
 use truss_decomposition::engine::{
@@ -18,6 +19,7 @@ use truss_decomposition::engine::{
 use truss_graph::generators::datasets::{all_datasets, Dataset};
 use truss_graph::metrics::{average_local_clustering, degree_stats};
 use truss_graph::CsrGraph;
+use truss_graph::Edge;
 use truss_storage::record::{EdgeRec, FixedRecord};
 use truss_storage::IoConfig;
 
@@ -324,6 +326,99 @@ pub fn table_scaling_with_threads(scale: BenchScale, ladder: &[usize]) -> TableW
     t
 }
 
+/// The update-throughput table (not in the paper): incremental
+/// [`TrussIndex`] maintenance against full recomputation, for insert and
+/// delete batches of growing size.
+///
+/// For each batch size a spaced sample of existing edges is deleted from
+/// the index and then re-inserted; both directions are timed and
+/// cross-checked edge-for-edge against a from-scratch run of every
+/// recompute engine in the comparison set — and the re-insertion must
+/// restore the original decomposition exactly. The `speedup` column is
+/// full-recompute time over incremental-update time; `seeded`/`relaxed`
+/// are the affected-region size and worklist relaxations, the work bound
+/// of the incremental algorithm.
+pub fn table_updates(scale: BenchScale) -> TableWriter {
+    table_updates_with_batches(scale, &[1, 10, 100, 1000])
+}
+
+/// [`table_updates`] with an explicit batch-size ladder (tests use a
+/// short one).
+pub fn table_updates_with_batches(scale: BenchScale, batches: &[usize]) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "op",
+        "batch",
+        "update (s)",
+        "edges/s",
+        "seeded",
+        "relaxed",
+        "recompute engine",
+        "recompute (s)",
+        "speedup",
+    ]);
+    let engines = registry();
+    let g = bench_graph(Dataset::Wiki, scale);
+    let mut config = external_engine_config(&g);
+    config.threads = 0; // parallel recompute at machine width
+    let recompute_kinds = [
+        AlgorithmKind::InmemPlus,
+        AlgorithmKind::Parallel,
+        AlgorithmKind::BottomUp,
+    ];
+    let base = TrussIndex::from_parts(
+        g.clone(),
+        run_engine(&engines, AlgorithmKind::InmemPlus, &g, &config).0,
+    );
+    let m = g.num_edges();
+    for &requested in batches {
+        let bs = requested.clamp(1, m / 2);
+        // A deterministic spaced sample of existing edges.
+        let victims: Vec<Edge> = (0..bs).map(|i| g.edge((i * m / bs) as u32)).collect();
+        let mut index = base.clone();
+
+        let (del_stats, del_time) = time(|| index.remove_edges(&victims));
+        assert_eq!(del_stats.removed, bs, "sample contained duplicates");
+        let deleted = index.clone();
+        let (ins_stats, ins_time) = time(|| index.insert_edges(&victims));
+        assert_eq!(ins_stats.inserted, bs);
+        assert_eq!(
+            index.trussness(),
+            base.trussness(),
+            "re-insertion must restore the original decomposition"
+        );
+
+        for (op, after, stats, update_time) in [
+            ("delete", &deleted, del_stats, del_time),
+            ("insert", &index, ins_stats, ins_time),
+        ] {
+            for kind in recompute_kinds {
+                let ((exact, _), recompute_time) =
+                    time(|| run_engine(&engines, kind, after.graph(), &config));
+                assert_eq!(
+                    after.trussness(),
+                    exact.trussness(),
+                    "{op} batch {bs} disagrees with {kind}"
+                );
+                t.row(vec![
+                    op.to_string(),
+                    bs.to_string(),
+                    secs(update_time),
+                    format!("{:.0}", bs as f64 / update_time.as_secs_f64().max(1e-9)),
+                    stats.seeded.to_string(),
+                    stats.settled.to_string(),
+                    kind.name().to_string(),
+                    secs(recompute_time),
+                    format!(
+                        "{:.1}",
+                        recompute_time.as_secs_f64() / update_time.as_secs_f64().max(1e-9)
+                    ),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 /// Table 6 — the `k_max`-truss `T` vs the `c_max`-core `C`.
 pub fn table6(scale: BenchScale) -> TableWriter {
     let mut t = TableWriter::new(vec![
@@ -487,6 +582,16 @@ mod tests {
         // One baseline row plus one row per ladder entry (header + rule
         // lines depend on the writer; just count the engine rows).
         assert_eq!(s.matches("parallel (PKT)").count(), 2, "{s}");
+    }
+
+    #[test]
+    fn updates_table_cross_checks_batches() {
+        let s = table_updates_with_batches(BenchScale::Tiny, &[1, 3]).render("updates");
+        assert!(s.contains("delete"), "{s}");
+        assert!(s.contains("insert"), "{s}");
+        // One row per op × batch × recompute engine.
+        assert_eq!(s.matches("inmem+").count(), 4, "{s}");
+        assert_eq!(s.matches("bottomup").count(), 4, "{s}");
     }
 
     #[test]

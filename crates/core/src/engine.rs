@@ -22,6 +22,7 @@
 use crate::bottom_up::{bottom_up_decompose_in, minimum_budget, BottomUpConfig};
 use crate::decompose::naive::truss_decompose_naive_with_memory;
 use crate::decompose::{truss_decompose_with, ImprovedConfig, TrussDecomposition};
+use crate::index::TrussIndex;
 use crate::top_down::{top_down_decompose_in, TopDownConfig};
 use std::borrow::Cow;
 use std::fmt;
@@ -401,6 +402,21 @@ pub trait TrussEngine {
         input: EngineInput<'_>,
         config: &EngineConfig,
     ) -> EngineResult<(TrussDecomposition, EngineReport)>;
+
+    /// Runs the algorithm and promotes the result into a persistent,
+    /// queryable [`TrussIndex`] — the graph and its decomposition bundled
+    /// behind the query/update API. Every engine gets this for free, so
+    /// any registered algorithm can serve as the build step of
+    /// `truss index build`.
+    fn build_index(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussIndex, EngineReport)> {
+        let g = input.load()?.into_owned();
+        let (d, report) = self.run(EngineInput::Graph(&g), config)?;
+        Ok((TrussIndex::from_parts(g, d), report))
+    }
 }
 
 /// Fills the input-derived counters shared by every engine.
@@ -697,6 +713,19 @@ mod tests {
         assert!(json.contains("\"k_max\":5"));
         assert!(json.contains("\"mr_jobs\":null"));
         assert!(!json.contains("\"total_blocks\":0"));
+    }
+
+    #[test]
+    fn every_engine_builds_an_index() {
+        let g = figure2_graph();
+        let config = EngineConfig::sized_for(&g);
+        for engine in EngineRegistry::core().iter() {
+            let (index, report) = engine.build_index(EngineInput::Graph(&g), &config).unwrap();
+            assert_eq!(index.max_k(), 5, "{}", engine.name());
+            assert_eq!(report.k_max, 5);
+            assert_eq!(index.num_edges(), g.num_edges());
+            assert_eq!(index.truss_of(0, 1), Some(5));
+        }
     }
 
     #[test]

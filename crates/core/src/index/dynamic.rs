@@ -1,0 +1,470 @@
+//! Incremental maintenance of a [`TrussIndex`] under batched edge
+//! insertions and deletions.
+//!
+//! Instead of recomputing the decomposition from scratch (O(m^1.5)), a
+//! batch is absorbed by re-peeling only the *affected region* — the set of
+//! edges whose truss number can change — seeded from the batch's
+//! triangle neighborhood. The correctness backbone is the local
+//! *ts-operator* (the truss analogue of the k-core h-index operator, cf.
+//! Sariyüce, Seshadhri & Pinar, VLDB 2018):
+//!
+//! ```text
+//! ts(ρ)(e) = 2 + H{ min(ρ(f), ρ(g)) − 2 : (e, f, g) a triangle }
+//! ```
+//!
+//! where `H` is the h-index of the multiset. The truss numbers `ϕ` are the
+//! **greatest fixpoint** of `ts`: (1) `ts(ϕ) = ϕ` by the maximality of
+//! k-trusses, and (2) any assignment `ρ` with `ts(ρ) ≥ ρ` certifies that
+//! `{e : ρ(e) ≥ k}` satisfies the k-truss property, hence `ρ ≤ ϕ`.
+//! Therefore the chaotic iteration `ρ ← min(ρ, ts(ρ))`, started from any
+//! pointwise **upper bound** of the new truss numbers and run to
+//! exhaustion over a worklist, terminates at exactly `ϕ` of the updated
+//! graph — in whatever order edges are relaxed.
+//!
+//! What makes the maintenance *incremental* is that valid upper bounds are
+//! local knowledge:
+//!
+//! * **Deletion.** Truss numbers only decrease, so the old `ϕ` is already
+//!   an upper bound everywhere. Only edges that lost a triangle (the
+//!   triangle neighborhood of the deleted batch) can violate the fixpoint
+//!   initially; they seed the worklist and decreases cascade exactly as
+//!   far as they must.
+//! * **Insertion.** Truss numbers only increase, and a batch of `b`
+//!   insertions raises any truss number by at most `b` (by induction from
+//!   the classic single-insertion +1 bound, Huang et al., SIGMOD 2014).
+//!   Moreover a changed edge must be reachable from an inserted edge
+//!   through a chain of triangles whose stepping edges also changed at the
+//!   same level `k` — if some changed set had no such chain, the old
+//!   k-truss plus that set would certify the old graph already contained
+//!   it. The region BFS below over-approximates those chains with
+//!   per-edge level windows (`[ϕ(f)+1, ϕ(f)+b]` for old edges,
+//!   `[2, sup(e)+2]` for inserted ones, third edge capped by its own upper
+//!   bound), bumps `ρ` to the window top inside the region only, and
+//!   settles. Everything outside the region provably keeps its old value.
+//!
+//! Mixed batches are applied as removals first, then insertions — each
+//! phase is exact, so the composition is exact. The proptest suite and
+//! `tests/consistency.rs` cross-check the result edge-for-edge against
+//! from-scratch recomputation by every registered engine.
+
+use super::TrussIndex;
+use crate::decompose::improved::merge_common_neighbors;
+use crate::decompose::TrussDecomposition;
+use std::collections::VecDeque;
+use truss_graph::hash::FxHashSet;
+use truss_graph::{CsrGraph, Edge, EdgeDelta, EdgeId};
+
+/// What a batch update did, for reporting and benchmarking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Edges actually inserted (not counting already-present duplicates).
+    pub inserted: usize,
+    /// Edges actually removed (not counting absent ones).
+    pub removed: usize,
+    /// Requested operations that were no-ops (inserting a present edge,
+    /// removing an absent one).
+    pub skipped: usize,
+    /// Edges seeded into the re-peel worklist (the affected-region size —
+    /// the work bound of the incremental algorithm).
+    pub seeded: usize,
+    /// Worklist relaxations performed (each enumerates one edge's
+    /// triangles).
+    pub settled: usize,
+    /// Relaxations that lowered a truss bound.
+    pub lowered: usize,
+}
+
+impl UpdateStats {
+    /// Total structural operations applied.
+    pub fn applied(&self) -> usize {
+        self.inserted + self.removed
+    }
+}
+
+/// True if `e` is an edge of `g` (tolerating endpoints beyond the current
+/// vertex range, which [`CsrGraph::edge_id`] does not).
+fn edge_present(g: &CsrGraph, e: Edge) -> bool {
+    (e.v as usize) < g.num_vertices() && g.has_edge(e.u, e.v)
+}
+
+/// The h-index step of the ts-operator: the largest `h` such that at
+/// least `h` of the triangle contributions `v` satisfy `v − 2 ≥ h`.
+fn h_index(vals: &[u32], counts: &mut Vec<u32>) -> u32 {
+    let cap = vals.len() as u32;
+    counts.clear();
+    counts.resize(cap as usize + 1, 0);
+    for &v in vals {
+        let c = v.saturating_sub(2).min(cap);
+        counts[c as usize] += 1;
+    }
+    let mut seen = 0u32;
+    for h in (1..=cap).rev() {
+        seen += counts[h as usize];
+        if seen >= h {
+            return h;
+        }
+    }
+    0
+}
+
+/// Runs the worklist iteration `ρ ← min(ρ, ts(ρ))` to exhaustion.
+///
+/// Requires: `rho` is a pointwise upper bound of the true truss numbers of
+/// `g`, and `seeds` contains every edge whose `ts` value may lie below its
+/// `rho` (the invariant is then maintained by the push rule: when `ρ(e)`
+/// drops, only triangle neighbors `f` with `ρ(f) > ρ(e)` can newly
+/// violate the fixpoint).
+fn settle(g: &CsrGraph, rho: &mut [u32], seeds: Vec<EdgeId>, stats: &mut UpdateStats) {
+    let m = g.num_edges();
+    let mut in_queue = vec![false; m];
+    let mut queue: VecDeque<EdgeId> = VecDeque::with_capacity(seeds.len());
+    for id in seeds {
+        if !in_queue[id as usize] {
+            in_queue[id as usize] = true;
+            queue.push_back(id);
+        }
+    }
+    let mut vals: Vec<u32> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    while let Some(eid) = queue.pop_front() {
+        in_queue[eid as usize] = false;
+        stats.settled += 1;
+        let cur = rho[eid as usize];
+        if cur == 2 {
+            continue; // ϕ ≥ 2 always; nothing below to settle to.
+        }
+        let e = g.edge(eid);
+        vals.clear();
+        merge_common_neighbors(g, e.u, e.v, |_, a, c| {
+            vals.push(rho[a as usize].min(rho[c as usize]));
+        });
+        let new = 2 + h_index(&vals, &mut counts);
+        if new < cur {
+            rho[eid as usize] = new;
+            stats.lowered += 1;
+            merge_common_neighbors(g, e.u, e.v, |_, a, c| {
+                for f in [a, c] {
+                    if rho[f as usize] > new && !in_queue[f as usize] {
+                        in_queue[f as usize] = true;
+                        queue.push_back(f);
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl TrussIndex {
+    /// Applies a batch of edge updates, maintaining truss numbers
+    /// incrementally. Removals are applied first, then insertions; the
+    /// result is edge-for-edge identical to rebuilding the index from
+    /// scratch on the updated graph.
+    pub fn apply(&mut self, delta: &EdgeDelta) -> UpdateStats {
+        let mut delta = delta.clone();
+        delta.normalize();
+        let mut stats = UpdateStats::default();
+        self.apply_removals(&delta.remove, &mut stats);
+        self.apply_insertions(&delta.insert, &mut stats);
+        stats
+    }
+
+    /// Inserts a batch of edges (already-present edges are skipped).
+    pub fn insert_edges(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.apply(&EdgeDelta::inserting(edges.iter().copied()))
+    }
+
+    /// Removes a batch of edges (absent edges are skipped).
+    pub fn remove_edges(&mut self, edges: &[Edge]) -> UpdateStats {
+        self.apply(&EdgeDelta::removing(edges.iter().copied()))
+    }
+
+    /// Removal phase: old truss numbers are upper bounds; seed the
+    /// worklist with the surviving triangle neighborhood of the batch.
+    fn apply_removals(&mut self, remove: &[Edge], stats: &mut UpdateStats) {
+        let present: Vec<Edge> = remove
+            .iter()
+            .copied()
+            .filter(|&e| edge_present(&self.graph, e))
+            .collect();
+        stats.skipped += remove.len() - present.len();
+        if present.is_empty() {
+            return;
+        }
+        stats.removed += present.len();
+        let removed: FxHashSet<Edge> = present.iter().copied().collect();
+
+        // Edges that lose a triangle: the other two sides of every
+        // triangle through a removed edge (in the pre-removal graph).
+        let mut seeds: FxHashSet<Edge> = FxHashSet::default();
+        for e in &present {
+            merge_common_neighbors(&self.graph, e.u, e.v, |_, a, c| {
+                for id in [a, c] {
+                    let f = self.graph.edge(id);
+                    if !removed.contains(&f) {
+                        seeds.insert(f);
+                    }
+                }
+            });
+        }
+
+        let old_t = self.decomp.trussness();
+        let mut edges2 = Vec::with_capacity(self.graph.num_edges() - present.len());
+        let mut rho = Vec::with_capacity(edges2.capacity());
+        for (id, e) in self.graph.iter_edges() {
+            if !removed.contains(&e) {
+                edges2.push(e);
+                rho.push(old_t[id as usize]);
+            }
+        }
+        // Vertex ids are stable: removing edges never removes vertices.
+        let n = self.graph.num_vertices();
+        let g2 = CsrGraph::with_min_vertices(CsrGraph::from_sorted_dedup_edges(edges2), n);
+
+        let queue: Vec<EdgeId> = seeds.iter().filter_map(|e| g2.edge_id(e.u, e.v)).collect();
+        stats.seeded += queue.len();
+        settle(&g2, &mut rho, queue, stats);
+
+        self.graph = g2;
+        self.decomp = TrussDecomposition::from_trussness(rho);
+        self.rebuild_derived();
+    }
+
+    /// Insertion phase: grow the affected region from the inserted edges,
+    /// bump the region to its level-window upper bounds, and settle.
+    fn apply_insertions(&mut self, insert: &[Edge], stats: &mut UpdateStats) {
+        let mut fresh: Vec<Edge> = insert
+            .iter()
+            .copied()
+            .filter(|&e| !edge_present(&self.graph, e))
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        stats.skipped += insert.len() - fresh.len();
+        if fresh.is_empty() {
+            return;
+        }
+        stats.inserted += fresh.len();
+        let b = fresh.len() as u32;
+
+        // Merge the two sorted edge lists, carrying old truss numbers.
+        let old_edges = self.graph.edges();
+        let old_t = self.decomp.trussness();
+        let m2 = old_edges.len() + fresh.len();
+        let mut edges2: Vec<Edge> = Vec::with_capacity(m2);
+        let mut rho: Vec<u32> = Vec::with_capacity(m2);
+        let mut is_new = vec![false; m2];
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_edges.len() || j < fresh.len() {
+            if j >= fresh.len() || (i < old_edges.len() && old_edges[i] < fresh[j]) {
+                edges2.push(old_edges[i]);
+                rho.push(old_t[i]);
+                i += 1;
+            } else {
+                is_new[edges2.len()] = true;
+                edges2.push(fresh[j]);
+                rho.push(2);
+                j += 1;
+            }
+        }
+        let n = self.graph.num_vertices();
+        let g2 = CsrGraph::with_min_vertices(CsrGraph::from_sorted_dedup_edges(edges2), n);
+
+        // Per-edge upper bound on the post-insertion trussness: support+2
+        // for inserted edges, ϕ+b for old ones (+1 per inserted edge).
+        let mut hi: Vec<u32> = (0..m2)
+            .map(|id| {
+                if is_new[id] {
+                    2
+                } else {
+                    rho[id].saturating_add(b)
+                }
+            })
+            .collect();
+        let inserted_ids: Vec<EdgeId> = (0..m2)
+            .filter(|&id| is_new[id])
+            .map(|id| id as EdgeId)
+            .collect();
+        for &id in &inserted_ids {
+            let e = g2.edge(id);
+            let mut sup = 0u32;
+            merge_common_neighbors(&g2, e.u, e.v, |_, _, _| sup += 1);
+            hi[id as usize] = sup + 2;
+        }
+
+        // Region BFS over triangle adjacency. An old edge f can change
+        // only at a level k in [ϕ(f)+1, ϕ(f)+b]; an inserted edge at any
+        // k up to its bound. Propagation across a triangle (r, f, g)
+        // requires a common level k in both windows that the third edge
+        // can also reach (k ≤ hi(g)). Windows are fixed per edge, so one
+        // visit each suffices.
+        let mut region = vec![false; m2];
+        let mut frontier: VecDeque<EdgeId> = VecDeque::new();
+        for &id in &inserted_ids {
+            region[id as usize] = true;
+            frontier.push_back(id);
+        }
+        while let Some(r) = frontier.pop_front() {
+            let er = g2.edge(r);
+            let lo_r = if is_new[r as usize] {
+                2
+            } else {
+                rho[r as usize] + 1
+            };
+            let hi_r = hi[r as usize];
+            merge_common_neighbors(&g2, er.u, er.v, |_, a, c| {
+                for (f, third) in [(a, c), (c, a)] {
+                    let fi = f as usize;
+                    if region[fi] {
+                        continue;
+                    }
+                    let lo_f = if is_new[fi] { 2 } else { rho[fi] + 1 };
+                    let k_lo = lo_f.max(lo_r);
+                    let k_hi = hi[fi].min(hi_r).min(hi[third as usize]);
+                    if k_lo <= k_hi {
+                        region[fi] = true;
+                        frontier.push_back(f);
+                    }
+                }
+            });
+        }
+
+        // Bump the region to its upper bounds and settle it back down to
+        // the greatest fixpoint — the exact new truss numbers.
+        let mut seeds: Vec<EdgeId> = Vec::new();
+        for id in 0..m2 {
+            if region[id] {
+                rho[id] = hi[id];
+                seeds.push(id as EdgeId);
+            }
+        }
+        stats.seeded += seeds.len();
+        settle(&g2, &mut rho, seeds, stats);
+
+        self.graph = g2;
+        self.decomp = TrussDecomposition::from_trussness(rho);
+        self.rebuild_derived();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::{complete, figure2_graph, gnm};
+
+    fn assert_matches_scratch(index: &TrussIndex, label: &str) {
+        let scratch = truss_decompose(index.graph());
+        assert_eq!(index.trussness(), scratch.trussness(), "{label}");
+        assert_eq!(index.max_k(), scratch.k_max(), "{label}: k_max");
+    }
+
+    #[test]
+    fn insert_into_figure2() {
+        // Inserting (e, h) = (4, 7) closes new triangles around the wing.
+        let mut index = TrussIndex::from_decompose(figure2_graph());
+        let stats = index.insert_edges(&[Edge::new(4, 7)]);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(index.num_edges(), 27);
+        assert_matches_scratch(&index, "insert (4,7)");
+    }
+
+    #[test]
+    fn remove_from_figure2() {
+        // Removing a K5 edge breaks the 5-truss.
+        let mut index = TrussIndex::from_decompose(figure2_graph());
+        let stats = index.remove_edges(&[Edge::new(0, 1)]);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(index.num_edges(), 25);
+        assert_matches_scratch(&index, "remove (0,1)");
+        assert_eq!(index.max_k(), 4);
+    }
+
+    #[test]
+    fn noop_operations_are_skipped() {
+        let mut index = TrussIndex::from_decompose(figure2_graph());
+        let before = index.trussness().to_vec();
+        let stats = index.apply(&EdgeDelta {
+            insert: vec![Edge::new(0, 1)],   // already present
+            remove: vec![Edge::new(90, 95)], // never existed
+        });
+        assert_eq!(stats.applied(), 0);
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(index.trussness(), before.as_slice());
+    }
+
+    #[test]
+    fn grow_clique_edge_by_edge() {
+        // Start from a K4 and grow it to a K7 one edge at a time; every
+        // intermediate state must match from-scratch recomputation.
+        let mut index = TrussIndex::from_decompose(complete(4));
+        for v in 4..7u32 {
+            for u in 0..v {
+                index.insert_edges(&[Edge::new(u, v)]);
+                assert_matches_scratch(&index, &format!("grow ({u},{v})"));
+            }
+        }
+        assert_eq!(index.max_k(), 7);
+        // And tear it back down.
+        for v in (5..7u32).rev() {
+            for u in 0..v {
+                index.remove_edges(&[Edge::new(u, v)]);
+                assert_matches_scratch(&index, &format!("shrink ({u},{v})"));
+            }
+        }
+        assert_eq!(index.max_k(), 5);
+    }
+
+    #[test]
+    fn batched_updates_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = gnm(40, 260, seed);
+            let all: Vec<Edge> = g.edges().to_vec();
+            // Hold out every 5th edge, index the rest, insert them back as
+            // one batch.
+            let held: Vec<Edge> = all.iter().copied().step_by(5).collect();
+            let base: Vec<Edge> = all.iter().copied().filter(|e| !held.contains(e)).collect();
+            let mut index = TrussIndex::from_decompose(CsrGraph::from_edges(base));
+            let stats = index.insert_edges(&held);
+            assert_eq!(stats.inserted, held.len());
+            assert_matches_scratch(&index, &format!("seed {seed} insert batch"));
+
+            // Now remove a different batch.
+            let victims: Vec<Edge> = all.iter().copied().skip(2).step_by(7).collect();
+            index.remove_edges(&victims);
+            assert_matches_scratch(&index, &format!("seed {seed} remove batch"));
+        }
+    }
+
+    #[test]
+    fn mixed_delta_is_remove_then_insert() {
+        let mut index = TrussIndex::from_decompose(figure2_graph());
+        let delta = EdgeDelta {
+            insert: vec![Edge::new(4, 7), Edge::new(6, 9)],
+            remove: vec![Edge::new(0, 1), Edge::new(2, 3)],
+        };
+        let stats = index.apply(&delta);
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.removed, 2);
+        assert_matches_scratch(&index, "mixed delta");
+    }
+
+    #[test]
+    fn insert_extends_vertex_range() {
+        let mut index = TrussIndex::from_decompose(complete(3));
+        index.insert_edges(&[Edge::new(0, 9), Edge::new(1, 9), Edge::new(2, 9)]);
+        assert_eq!(index.num_vertices(), 10);
+        assert_matches_scratch(&index, "new vertex");
+        assert_eq!(index.max_k(), 4); // K4 on {0, 1, 2, 9}
+    }
+
+    #[test]
+    fn update_into_and_out_of_empty() {
+        let mut index = TrussIndex::from_decompose(CsrGraph::from_edges(Vec::new()));
+        index.insert_edges(&[Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]);
+        assert_eq!(index.max_k(), 3);
+        assert_matches_scratch(&index, "from empty");
+        index.remove_edges(&[Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]);
+        assert_eq!(index.num_edges(), 0);
+        assert_eq!(index.max_k(), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! The persistent, queryable truss index.
+//!
+//! Every engine in the workspace computes a [`TrussDecomposition`] — a bare
+//! per-edge trussness array. That is the right *output* for a one-shot
+//! batch run, but the ROADMAP's north star is a *servable* system: build
+//! the decomposition once, persist it, and answer many queries (k-truss
+//! extraction, community lookup, spectrum statistics) plus keep it fresh
+//! under edge updates without recomputing from scratch. [`TrussIndex`] is
+//! that artifact:
+//!
+//! * it bundles the graph with its decomposition and derived structure
+//!   (edges bucketed by truss level, per-vertex max trussness) so every
+//!   query is answered without re-scanning the whole edge set,
+//! * it round-trips through the versioned `TRUSSIDX` on-disk format
+//!   ([`truss_storage::index_file`]) via [`TrussIndex::save`] /
+//!   [`TrussIndex::load`],
+//! * it stays valid under batched edge insertions/deletions via the
+//!   incremental maintenance in [`dynamic`] ([`TrussIndex::apply`]),
+//!   which re-peels only the triangle-neighborhood region a batch can
+//!   affect and provably matches from-scratch recomputation.
+//!
+//! Build one through any engine with
+//! [`TrussEngine::build_index`](crate::engine::TrussEngine::build_index),
+//! or wrap an existing run with [`TrussIndex::from_parts`].
+
+pub mod dynamic;
+
+use crate::communities::{truss_communities, TrussCommunity};
+use crate::decompose::TrussDecomposition;
+use crate::spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
+use std::fs::File;
+use std::path::Path;
+use truss_graph::subgraph::{from_parent_edges, Subgraph};
+use truss_graph::{CsrGraph, Edge, EdgeId, VertexId};
+use truss_storage::{index_file, StorageError};
+
+pub use dynamic::UpdateStats;
+
+/// A truss decomposition promoted to a first-class, queryable, updatable
+/// index over its graph.
+///
+/// ```
+/// use truss_core::index::TrussIndex;
+///
+/// let g = truss_graph::generators::figure2_graph();
+/// let index = TrussIndex::from_decompose(g);
+/// assert_eq!(index.max_k(), 5);
+/// assert_eq!(index.k_truss_edge_ids(5).len(), 10); // the K5 on {a..e}
+/// assert_eq!(index.k_truss_communities(4).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrussIndex {
+    /// The indexed graph.
+    graph: CsrGraph,
+    /// Per-edge truss numbers (the decomposition proper).
+    decomp: TrussDecomposition,
+    /// Edge ids sorted by descending trussness (ties by ascending id):
+    /// the edges of the k-truss are a prefix of this array.
+    order: Vec<EdgeId>,
+    /// `count_ge[k]` = number of edges with ϕ ≥ k, for `k` in
+    /// `0..=k_max + 1` — i.e. the prefix length of [`Self::order`] that is
+    /// the k-truss edge set.
+    count_ge: Vec<usize>,
+    /// Per-vertex max trussness over incident edges (0 for vertices with
+    /// no incident edge).
+    vertex_truss: Vec<u32>,
+}
+
+impl TrussIndex {
+    /// Builds the index from a graph and its decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition does not cover exactly the graph's
+    /// edges.
+    pub fn from_parts(graph: CsrGraph, decomp: TrussDecomposition) -> Self {
+        assert_eq!(
+            decomp.num_edges(),
+            graph.num_edges(),
+            "decomposition covers {} edges, graph has {}",
+            decomp.num_edges(),
+            graph.num_edges()
+        );
+        let mut index = TrussIndex {
+            graph,
+            decomp,
+            order: Vec::new(),
+            count_ge: Vec::new(),
+            vertex_truss: Vec::new(),
+        };
+        index.rebuild_derived();
+        index
+    }
+
+    /// Convenience: decomposes `graph` with the default in-memory
+    /// algorithm (TD-inmem+) and indexes the result. For explicit engine
+    /// choice use [`TrussEngine::build_index`](crate::engine::TrussEngine::build_index).
+    pub fn from_decompose(graph: CsrGraph) -> Self {
+        let decomp = crate::decompose::truss_decompose(&graph);
+        TrussIndex::from_parts(graph, decomp)
+    }
+
+    /// Recomputes the derived structure (level buckets, vertex trussness)
+    /// after the trussness array changed. O(m + k_max).
+    fn rebuild_derived(&mut self) {
+        let m = self.graph.num_edges();
+        let k_max = self.decomp.k_max();
+        let trussness = self.decomp.trussness();
+
+        // Counting sort by descending trussness: stable, O(m + k_max).
+        let mut counts = vec![0usize; k_max as usize + 2];
+        for &t in trussness {
+            counts[t as usize] += 1;
+        }
+        let mut count_ge = vec![0usize; k_max as usize + 2];
+        let mut acc = 0usize;
+        for k in (0..=k_max as usize + 1).rev() {
+            if k <= k_max as usize {
+                acc += counts[k];
+            }
+            count_ge[k] = acc;
+        }
+        let mut cursor = vec![0usize; k_max as usize + 2];
+        for k in (2..=k_max as usize).rev() {
+            cursor[k] = count_ge[k] - counts[k];
+        }
+        let mut order = vec![0 as EdgeId; m];
+        for (id, &t) in trussness.iter().enumerate() {
+            order[cursor[t as usize]] = id as EdgeId;
+            cursor[t as usize] += 1;
+        }
+
+        self.order = order;
+        self.count_ge = count_ge;
+        self.vertex_truss = vertex_trussness(&self.graph, &self.decomp);
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The underlying decomposition.
+    pub fn decomposition(&self) -> &TrussDecomposition {
+        &self.decomp
+    }
+
+    /// Per-edge truss numbers, indexed by edge id.
+    pub fn trussness(&self) -> &[u32] {
+        self.decomp.trussness()
+    }
+
+    /// The largest `k` with a non-empty k-truss.
+    pub fn max_k(&self) -> u32 {
+        self.decomp.k_max()
+    }
+
+    /// Number of indexed edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Truss number of the edge `(u, v)`, or `None` if it is not an edge
+    /// (including when either endpoint is outside the vertex range).
+    /// O(log min(deg u, deg v)).
+    pub fn truss_of(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        if (u.max(v) as usize) >= self.graph.num_vertices() {
+            return None;
+        }
+        self.graph
+            .edge_id(u, v)
+            .map(|id| self.decomp.edge_trussness(id))
+    }
+
+    /// Truss number of the edge with id `id`.
+    pub fn truss_of_edge(&self, id: EdgeId) -> u32 {
+        self.decomp.edge_trussness(id)
+    }
+
+    /// The largest `k` such that `v` has an incident edge in the k-truss
+    /// (0 for isolated vertices).
+    pub fn vertex_truss(&self, v: VertexId) -> u32 {
+        self.vertex_truss[v as usize]
+    }
+
+    /// Per-vertex max trussness, indexed by vertex id.
+    pub fn vertex_trussness(&self) -> &[u32] {
+        &self.vertex_truss
+    }
+
+    /// Number of edges in the k-truss. O(1).
+    pub fn k_truss_size(&self, k: u32) -> usize {
+        let k = (k.max(2) as usize).min(self.count_ge.len() - 1);
+        self.count_ge[k]
+    }
+
+    /// Edge ids of the k-truss, in descending-trussness order (a prefix of
+    /// the level bucketing — O(answer), no full-edge scan).
+    pub fn k_truss_edge_ids(&self, k: u32) -> &[EdgeId] {
+        &self.order[..self.k_truss_size(k)]
+    }
+
+    /// Edges of the k-truss in lexicographic order.
+    pub fn k_truss_edges(&self, k: u32) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = self
+            .k_truss_edge_ids(k)
+            .iter()
+            .map(|&id| self.graph.edge(id))
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// The k-truss as its own compact graph plus the mapping back to the
+    /// indexed graph's vertex ids.
+    pub fn k_truss_subgraph(&self, k: u32) -> Subgraph {
+        from_parent_edges(self.k_truss_edges(k))
+    }
+
+    /// Connected components of the k-truss, as communities (largest
+    /// first).
+    pub fn k_truss_communities(&self, k: u32) -> Vec<TrussCommunity> {
+        truss_communities(&self.graph, &self.decomp, k)
+    }
+
+    /// Aggregate spectrum statistics of the decomposition.
+    pub fn spectrum(&self) -> TrussSpectrum {
+        truss_spectrum(&self.graph, &self.decomp)
+    }
+
+    /// Persists the index at `path` in the versioned `TRUSSIDX` format.
+    pub fn save(&self, path: &Path) -> Result<(), StorageError> {
+        let file = File::create(path)?;
+        index_file::write_index_file(&self.graph, self.decomp.trussness(), file)
+    }
+
+    /// Loads an index persisted by [`TrussIndex::save`].
+    pub fn load(path: &Path) -> Result<TrussIndex, StorageError> {
+        let file = File::open(path)?;
+        let (graph, trussness) = index_file::read_index_file(file)?;
+        Ok(TrussIndex::from_parts(
+            graph,
+            TrussDecomposition::from_trussness(trussness),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truss::peel_to_k_truss;
+    use truss_graph::generators::{figure2_graph, gnm};
+
+    #[test]
+    fn queries_match_decomposition() {
+        let g = figure2_graph();
+        let index = TrussIndex::from_decompose(g.clone());
+        let d = crate::decompose::truss_decompose(&g);
+        assert_eq!(index.max_k(), 5);
+        assert_eq!(index.num_edges(), 26);
+        for k in 2..=6 {
+            let mut ids: Vec<EdgeId> = index.k_truss_edge_ids(k).to_vec();
+            ids.sort_unstable();
+            assert_eq!(ids, d.truss_edge_ids(k), "k = {k}");
+            assert_eq!(index.k_truss_size(k), ids.len());
+        }
+        for (id, e) in g.iter_edges() {
+            assert_eq!(index.truss_of(e.u, e.v), Some(d.edge_trussness(id)));
+            assert_eq!(index.truss_of_edge(id), d.edge_trussness(id));
+        }
+        assert_eq!(index.truss_of(0, 10), None);
+        // Out-of-range endpoints are "not an edge", not a panic.
+        assert_eq!(index.truss_of(0, 99_999), None);
+        assert_eq!(index.truss_of(99_999, 0), None);
+        // Derived views delegate to the same decomposition.
+        assert_eq!(index.spectrum().k_max, 5);
+        assert_eq!(index.k_truss_communities(4).len(), 2);
+        let t5 = index.k_truss_subgraph(5);
+        assert_eq!(t5.graph.num_vertices(), 5);
+        assert_eq!(index.vertex_truss(0), 5);
+        assert_eq!(index.vertex_truss(6), 3);
+    }
+
+    #[test]
+    fn level_buckets_are_consistent_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gnm(60, 400, seed);
+            let index = TrussIndex::from_decompose(g.clone());
+            for k in 2..=index.max_k() + 1 {
+                let mut ids: Vec<EdgeId> = index.k_truss_edge_ids(k).to_vec();
+                ids.sort_unstable();
+                let mut peeled = peel_to_k_truss(&g, k);
+                peeled.sort_unstable();
+                assert_eq!(ids, peeled, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let g = figure2_graph();
+        let index = TrussIndex::from_decompose(g);
+        let path = std::env::temp_dir().join(format!("truss-index-{}.tix", std::process::id()));
+        index.save(&path).unwrap();
+        let back = TrussIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back.trussness(), index.trussness());
+        assert_eq!(back.graph().edges(), index.graph().edges());
+        assert_eq!(back.num_vertices(), index.num_vertices());
+        assert_eq!(back.max_k(), index.max_k());
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let index = TrussIndex::from_decompose(CsrGraph::from_edges(Vec::new()));
+        assert_eq!(index.max_k(), 2);
+        assert_eq!(index.k_truss_size(2), 0);
+        assert!(index.k_truss_edge_ids(2).is_empty());
+        assert!(index.k_truss_communities(2).is_empty());
+    }
+}

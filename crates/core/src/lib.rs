@@ -16,7 +16,8 @@
 //! sit behind the uniform [`engine::TrussEngine`] registry; the
 //! integration test suite checks them against each other on hundreds of
 //! graphs. The parallel engine runs on the std-only fork-join pool in
-//! [`pool`].
+//! [`pool`]. A decomposition is promoted to a persistent, queryable,
+//! incrementally-updatable artifact by [`index::TrussIndex`].
 
 #![warn(missing_docs)]
 
@@ -27,6 +28,7 @@ pub mod core_decomposition;
 pub mod core_external;
 pub mod decompose;
 pub mod engine;
+pub mod index;
 pub mod lower_bound;
 pub mod parallel;
 pub mod pool;
@@ -47,6 +49,7 @@ pub use decompose::{truss_decompose, truss_decompose_naive, TrussDecomposition};
 pub use engine::{
     AlgorithmKind, EngineConfig, EngineInput, EngineRegistry, EngineReport, TrussEngine,
 };
+pub use index::{TrussIndex, UpdateStats};
 pub use parallel::{parallel_truss_decompose, ParallelEngine};
 pub use pool::ThreadPool;
 pub use spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};

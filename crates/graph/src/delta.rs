@@ -1,0 +1,78 @@
+//! Edge deltas: batched insertions and deletions applied to a graph.
+//!
+//! A delta is the unit of change the dynamic truss-maintenance layer
+//! consumes (`truss_core::index::dynamic`): a set of edges to insert and a
+//! set to remove, applied atomically as one batch. Deltas are
+//! order-insensitive within each set; when the same edge appears in both
+//! sets, the removal is applied first (so the edge ends up present).
+
+use crate::edge::Edge;
+
+/// A batch of edge insertions and removals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Edges to insert (canonical form; duplicates and already-present
+    /// edges are skipped by consumers).
+    pub insert: Vec<Edge>,
+    /// Edges to remove (canonical form; absent edges are skipped).
+    pub remove: Vec<Edge>,
+}
+
+impl EdgeDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        EdgeDelta::default()
+    }
+
+    /// A pure-insertion delta.
+    pub fn inserting<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        EdgeDelta {
+            insert: edges.into_iter().collect(),
+            remove: Vec::new(),
+        }
+    }
+
+    /// A pure-removal delta.
+    pub fn removing<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        EdgeDelta {
+            insert: Vec::new(),
+            remove: edges.into_iter().collect(),
+        }
+    }
+
+    /// Total number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.remove.len()
+    }
+
+    /// True when the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.remove.is_empty()
+    }
+
+    /// Canonicalizes both sets in place: sorts and deduplicates.
+    pub fn normalize(&mut self) {
+        self.insert.sort_unstable();
+        self.insert.dedup();
+        self.remove.sort_unstable();
+        self.remove.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_dedups() {
+        let mut d = EdgeDelta {
+            insert: vec![Edge::new(3, 1), Edge::new(1, 3), Edge::new(0, 2)],
+            remove: vec![Edge::new(5, 4)],
+        };
+        d.normalize();
+        assert_eq!(d.insert, vec![Edge::new(0, 2), Edge::new(1, 3)]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(EdgeDelta::new().is_empty());
+    }
+}

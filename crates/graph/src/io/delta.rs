@@ -1,0 +1,119 @@
+//! Text edge-delta files: one operation per line.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! + 3 7        insert edge (3, 7)
+//! - 1 2        remove edge (1, 2)
+//! 5 9          bare pair = insert (SNAP-compatible shorthand)
+//! ```
+//!
+//! Vertex ids are the graph's own dense ids (the format does **not**
+//! compact ids the way the SNAP reader does — a delta only makes sense
+//! relative to an existing graph/index). Self-loops are rejected.
+
+use crate::delta::EdgeDelta;
+use crate::edge::Edge;
+use crate::error::{GraphError, Result};
+use crate::types::VertexId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Reads a text edge-delta file.
+pub fn read_delta<R: Read>(reader: R) -> Result<EdgeDelta> {
+    let mut br = BufReader::new(reader);
+    let mut delta = EdgeDelta::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (op, rest) = match trimmed.as_bytes()[0] {
+            b'+' => ('+', &trimmed[1..]),
+            b'-' => ('-', &trimmed[1..]),
+            _ => ('+', trimmed),
+        };
+        let mut it = rest.split_whitespace();
+        let parse_id = |tok: Option<&str>| -> Result<VertexId> {
+            let tok =
+                tok.ok_or_else(|| GraphError::Parse(format!("line {lineno}: missing vertex")))?;
+            tok.parse()
+                .map_err(|_| GraphError::Parse(format!("line {lineno}: bad id {tok:?}")))
+        };
+        let a = parse_id(it.next())?;
+        let b = parse_id(it.next())?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse(format!(
+                "line {lineno}: trailing tokens after edge"
+            )));
+        }
+        if a == b {
+            return Err(GraphError::Parse(format!(
+                "line {lineno}: self-loop ({a}, {b})"
+            )));
+        }
+        let e = Edge::new(a, b);
+        match op {
+            '+' => delta.insert.push(e),
+            _ => delta.remove.push(e),
+        }
+    }
+    Ok(delta)
+}
+
+/// Writes a delta in the text format (insertions first, then removals).
+pub fn write_delta<W: Write>(delta: &EdgeDelta, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# EdgeDelta: +{} -{}",
+        delta.insert.len(),
+        delta.remove.len()
+    )?;
+    for e in &delta.insert {
+        writeln!(w, "+ {} {}", e.u, e.v)?;
+    }
+    for e in &delta.remove {
+        writeln!(w, "- {} {}", e.u, e.v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let delta = EdgeDelta {
+            insert: vec![Edge::new(0, 4), Edge::new(2, 3)],
+            remove: vec![Edge::new(1, 2)],
+        };
+        let mut buf = Vec::new();
+        write_delta(&delta, &mut buf).unwrap();
+        let back = read_delta(&buf[..]).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn bare_pairs_are_insertions() {
+        let text = "# header\n3 7\n+ 1 5\n- 2 6\n\n";
+        let d = read_delta(text.as_bytes()).unwrap();
+        assert_eq!(d.insert, vec![Edge::new(3, 7), Edge::new(1, 5)]);
+        assert_eq!(d.remove, vec![Edge::new(2, 6)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_delta("+ 3".as_bytes()).is_err());
+        assert!(read_delta("1 2 3".as_bytes()).is_err());
+        assert!(read_delta("+ x y".as_bytes()).is_err());
+        assert!(read_delta("+ 4 4".as_bytes()).is_err());
+    }
+}

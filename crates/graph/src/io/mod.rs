@@ -1,10 +1,12 @@
-//! Graph serialization: SNAP-style text edge lists and a compact binary
-//! format.
+//! Graph serialization: SNAP-style text edge lists, a compact binary
+//! format, and text edge-delta files.
 
 pub mod binary;
+pub mod delta;
 pub mod metis;
 pub mod snap;
 
 pub use binary::{read_binary, write_binary};
+pub use delta::{read_delta, write_delta};
 pub use metis::{read_metis, write_metis};
 pub use snap::{read_snap, write_snap};

@@ -11,7 +11,8 @@
 //! * deterministic random-graph **generators** (Erdős–Rényi, Barabási–Albert,
 //!   R-MAT, Watts–Strogatz, planted cliques, overlapping communities) and the
 //!   synthetic analogues of the paper's nine evaluation datasets,
-//! * text (SNAP-style) and binary **I/O formats**,
+//! * text (SNAP-style) and binary **I/O formats**, plus text
+//!   [`EdgeDelta`] files for batched edge insertions/removals,
 //! * graph **metrics** used in the paper's evaluation (degree statistics and
 //!   clustering coefficients).
 //!
@@ -22,6 +23,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod edge;
 pub mod error;
 pub mod generators;
@@ -34,6 +36,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::EdgeDelta;
 pub use edge::Edge;
 pub use error::GraphError;
 pub use types::{EdgeId, VertexId};

@@ -1,0 +1,208 @@
+//! On-disk format for a persisted truss index.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    : [u8; 8]  = b"TRUSSIDX"
+//! version  : u8       = 1 (readers reject anything newer)
+//! n        : u64      vertex count (preserves trailing isolated vertices)
+//! m        : u64      edge count
+//! edges    : m × (u32 u, u32 v)   canonical, lexicographically sorted
+//! truss    : m × u32  per-edge truss number ϕ(e), each ≥ 2
+//! ```
+//!
+//! Unlike the graph format (`TRUSSGR1`, which bakes its revision into the
+//! magic), the index format carries an explicit version byte so future
+//! revisions can extend the payload (e.g. cached level offsets) while old
+//! files keep loading. The decomposition layer does not belong to this
+//! crate, so the functions here speak in raw parts — a graph plus its
+//! per-edge trussness array; `truss_core::index::TrussIndex::{save, load}`
+//! are the typed wrappers.
+
+use crate::{Result, StorageError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use truss_graph::{CsrGraph, Edge};
+
+/// Magic bytes identifying a truss-index file.
+pub const INDEX_MAGIC: &[u8; 8] = b"TRUSSIDX";
+
+/// Current format version. Readers accept any version up to this one.
+pub const INDEX_VERSION: u8 = 1;
+
+/// Serializes a graph and its per-edge trussness as a truss-index file.
+///
+/// `trussness` must be indexed by the graph's edge ids (one entry per
+/// edge, each ≥ 2).
+pub fn write_index_file<W: Write>(g: &CsrGraph, trussness: &[u32], writer: W) -> Result<()> {
+    if trussness.len() != g.num_edges() {
+        return Err(StorageError::Corrupt(format!(
+            "trussness covers {} edges, graph has {}",
+            trussness.len(),
+            g.num_edges()
+        )));
+    }
+    let mut w = BufWriter::new(writer);
+    w.write_all(INDEX_MAGIC)?;
+    w.write_all(&[INDEX_VERSION])?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for (_, e) in g.iter_edges() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+    }
+    for &t in trussness {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a truss-index file back into its raw parts.
+pub fn read_index_file<R: Read>(reader: R) -> Result<(CsrGraph, Vec<u32>)> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| StorageError::Corrupt("truncated header".into()))?;
+    if &magic != INDEX_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "bad magic {:?}, expected {:?}",
+            magic, INDEX_MAGIC
+        )));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)
+        .map_err(|_| StorageError::Corrupt("truncated version byte".into()))?;
+    if version[0] == 0 || version[0] > INDEX_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported index format version {} (this build reads up to {})",
+            version[0], INDEX_VERSION
+        )));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)
+        .map_err(|_| StorageError::Corrupt("truncated vertex count".into()))?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)
+        .map_err(|_| StorageError::Corrupt("truncated edge count".into()))?;
+    let m = u64::from_le_bytes(buf8) as usize;
+
+    let mut edges = Vec::with_capacity(m);
+    let mut pair = [0u8; 8];
+    for i in 0..m {
+        r.read_exact(&mut pair)
+            .map_err(|_| StorageError::Corrupt(format!("truncated at edge {i}/{m}")))?;
+        let u = u32::from_le_bytes(pair[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(pair[4..8].try_into().unwrap());
+        if u >= v {
+            return Err(StorageError::Corrupt(format!(
+                "edge {i} not canonical: ({u}, {v})"
+            )));
+        }
+        edges.push(Edge { u, v });
+    }
+    if !edges.windows(2).all(|w| w[0] < w[1]) {
+        return Err(StorageError::Corrupt("edges not sorted".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    let mut trussness = Vec::with_capacity(m);
+    for i in 0..m {
+        r.read_exact(&mut buf4)
+            .map_err(|_| StorageError::Corrupt(format!("truncated at trussness {i}/{m}")))?;
+        let t = u32::from_le_bytes(buf4);
+        if t < 2 {
+            return Err(StorageError::Corrupt(format!(
+                "edge {i} has trussness {t} < 2"
+            )));
+        }
+        trussness.push(t);
+    }
+    let g = CsrGraph::from_sorted_dedup_edges(edges);
+    if g.num_vertices() > n {
+        return Err(StorageError::Corrupt(format!(
+            "header claims {n} vertices but edges reach id {}",
+            g.num_vertices() - 1
+        )));
+    }
+    Ok((CsrGraph::with_min_vertices(g, n), trussness))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (CsrGraph, Vec<u32>) {
+        // A K4 plus a pendant edge and a trailing isolated vertex (id 5).
+        let g = CsrGraph::with_min_vertices(
+            CsrGraph::from_edges(vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(1, 2),
+                Edge::new(1, 3),
+                Edge::new(2, 3),
+                Edge::new(3, 4),
+            ]),
+            6,
+        );
+        let truss = vec![4, 4, 4, 4, 4, 4, 2];
+        (g, truss)
+    }
+
+    #[test]
+    fn round_trip_preserves_graph_and_trussness() {
+        let (g, truss) = sample();
+        let mut buf = Vec::new();
+        write_index_file(&g, &truss, &mut buf).unwrap();
+        let (g2, truss2) = read_index_file(&buf[..]).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices()); // isolated id kept
+        assert_eq!(truss, truss2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (g, truss) = sample();
+        let mut buf = Vec::new();
+        write_index_file(&g, &truss, &mut buf).unwrap();
+        buf[0..8].copy_from_slice(b"TRUSSGR1");
+        assert!(matches!(
+            read_index_file(&buf[..]),
+            Err(StorageError::Corrupt(m)) if m.contains("bad magic")
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let (g, truss) = sample();
+        let mut buf = Vec::new();
+        write_index_file(&g, &truss, &mut buf).unwrap();
+        buf[8] = INDEX_VERSION + 1;
+        assert!(matches!(
+            read_index_file(&buf[..]),
+            Err(StorageError::Corrupt(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_payload() {
+        let (g, truss) = sample();
+        let mut buf = Vec::new();
+        write_index_file(&g, &truss, &mut buf).unwrap();
+        let mut cut = buf.clone();
+        cut.truncate(cut.len() - 2);
+        assert!(read_index_file(&cut[..]).is_err());
+
+        // Trussness below 2 is impossible.
+        let mut bad = buf.clone();
+        let last = bad.len() - 4;
+        bad[last..].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            read_index_file(&bad[..]),
+            Err(StorageError::Corrupt(m)) if m.contains("trussness")
+        ));
+
+        // Length mismatch at write time.
+        let mut sink = Vec::new();
+        assert!(write_index_file(&g, &truss[..3], &mut sink).is_err());
+    }
+}

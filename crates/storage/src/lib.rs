@@ -14,14 +14,19 @@
 //! * [`partition`] — the three graph partitioners of Chu & Cheng \[13\] used
 //!   to cut a graph into neighborhood subgraphs that fit in memory,
 //! * [`ext_sort`] — external merge sort used by the survivor merge of
-//!   LowerBounding and by the MapReduce shuffle.
+//!   LowerBounding and by the MapReduce shuffle,
+//! * [`index_file`] — the versioned on-disk format (`TRUSSIDX`) a computed
+//!   truss index is persisted as, so a decomposition is built once and
+//!   served many times.
 
 pub mod ext_sort;
+pub mod index_file;
 pub mod io_model;
 pub mod partition;
 pub mod record;
 pub mod scratch;
 
+pub use index_file::{read_index_file, write_index_file, INDEX_MAGIC, INDEX_VERSION};
 pub use io_model::{IoConfig, IoStats, IoTracker};
 pub use partition::{Partition, PartitionStrategy};
 pub use record::{EdgeListFile, EdgeListWriter, EdgeRec};

@@ -1,9 +1,13 @@
 //! `truss` — command-line truss decomposition.
 //!
 //! ```text
-//! truss decompose [--algo inmem|inmem+|bottomup|topdown|mr|parallel]
-//!                 [--memory BYTES] [--threads N] [--scratch DIR]
-//!                 [--report json] <input.snap>
+//! truss decompose [--algo NAME] [--memory BYTES] [--threads N]
+//!                 [--scratch DIR] [--report json] <input.snap>
+//! truss index build [--algo NAME] [--memory BYTES] [--threads N]
+//!                   [--scratch DIR] [--report json] --out INDEX <input>
+//! truss index query [--query spectrum|ktruss|communities|edge]
+//!                   [--k K] [--u A --v B] <index>
+//! truss index update --delta FILE [--out INDEX] <index>
 //! truss ktruss --k K <input.snap>
 //! truss topt --t T [--memory BYTES] <input.snap>
 //! truss stats <input.snap>
@@ -16,22 +20,30 @@
 //! `--report json`, the engine's [`EngineReport`](truss_decomposition::engine::EngineReport)
 //! is appended to stdout as one final JSON line after the TSV.
 //!
-//! `decompose` dispatches through the
+//! `decompose` and `index build` dispatch through the
 //! [`TrussEngine`](truss_decomposition::engine::TrussEngine) registry —
 //! adding an engine to `truss_decomposition::engine::registry()` makes it
-//! available here without CLI changes.
+//! available here (including in the usage/error text, which lists the
+//! registered engines dynamically) without CLI changes. `index build`
+//! persists a [`TrussIndex`] in
+//! the versioned `TRUSSIDX` format; `index query` serves k-truss,
+//! community, spectrum and per-edge lookups from the saved file without
+//! recomputing anything; `index update` applies a text edge-delta file
+//! (`+ u v` / `- u v` lines) through the incremental maintenance layer.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
+use truss_decomposition::core::spectrum::render_spectrum;
 use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
 use truss_decomposition::core::TrussDecomposition;
-use truss_decomposition::engine::{registry, AlgorithmKind, EngineConfig, EngineInput};
+use truss_decomposition::engine::{registry, EngineConfig, EngineInput, EngineRegistry};
 use truss_decomposition::graph::generators::datasets::dataset_by_name;
 use truss_decomposition::graph::metrics::{average_local_clustering, degree_stats};
 use truss_decomposition::graph::{io as gio, CsrGraph};
-use truss_decomposition::prelude::truss_decompose;
+use truss_decomposition::prelude::{truss_decompose, TrussIndex};
 use truss_decomposition::storage::IoConfig;
 
 fn main() -> ExitCode {
@@ -39,24 +51,50 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::FAILURE
         }
     }
 }
 
-const USAGE: &str = "\
+/// The registered engine names, pipe-separated — derived from the live
+/// registry so newly registered engines appear automatically.
+fn algo_list(engines: &EngineRegistry) -> String {
+    engines
+        .kinds()
+        .iter()
+        .map(|k| k.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn unknown_algo(engines: &EngineRegistry, algo: &str) -> String {
+    format!("unknown --algo {algo:?} (known: {})", algo_list(engines))
+}
+
+fn usage() -> String {
+    format!(
+        "\
 usage:
-  truss decompose [--algo inmem|inmem+|bottomup|topdown|mr|parallel]
+  truss decompose [--algo {algos}]
                   [--memory BYTES] [--threads N] [--scratch DIR]
                   [--report json] <input>
+  truss index build [--algo …] [--memory …] [--threads …] [--scratch …]
+                    [--report json] --out INDEX <input>
+  truss index query [--query spectrum|ktruss|communities|edge]
+                    [--k K] [--u A --v B] <index>
+  truss index update --delta FILE [--out INDEX] <index>
   truss ktruss --k K <input>
   truss topt --t T [--memory BYTES] <input>
   truss stats <input>
   truss generate --dataset NAME [--scale F] [--seed S] <output>
 inputs: SNAP text edge lists, or the binary format for *.bin paths
 --threads N sets the parallel engine's worker count (serial engines run 1)
---report json appends the engine report as one JSON line after the TSV";
+--report json appends the engine report as one JSON line after the TSV
+delta files: one op per line (`+ u v` insert, `- u v` remove, `#` comments)",
+        algos = algo_list(&registry())
+    )
+}
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 struct Args {
@@ -114,11 +152,27 @@ fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
     match cmd.as_str() {
         "decompose" => cmd_decompose(&args),
+        "index" => cmd_index(rest),
         "ktruss" => cmd_ktruss(&args),
         "topt" => cmd_topt(&args),
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
         other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_index(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("index expects a subcommand: build, query or update".into());
+    };
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "build" => cmd_index_build(&args),
+        "query" => cmd_index_query(&args),
+        "update" => cmd_index_update(&args),
+        other => Err(format!(
+            "unknown index subcommand {other:?} (expected build, query or update)"
+        )),
     }
 }
 
@@ -212,10 +266,9 @@ fn cmd_decompose(args: &Args) -> Result<(), String> {
     let flags = DecomposeFlags::parse(args)?;
     let algo = args.get("algo").unwrap_or("inmem+");
     let engines = registry();
-    let engine = engines.by_name(algo).ok_or_else(|| {
-        let known: Vec<&str> = AlgorithmKind::all().map(AlgorithmKind::name).to_vec();
-        format!("unknown --algo {algo:?} (known: {})", known.join(", "))
-    })?;
+    let engine = engines
+        .by_name(algo)
+        .ok_or_else(|| unknown_algo(&engines, algo))?;
     let g = load_graph(args.input()?)?;
     let config = flags.engine_config(&g);
     let (d, report) = engine
@@ -233,6 +286,150 @@ fn cmd_decompose(args: &Args) -> Result<(), String> {
     if flags.json_report {
         println!("{}", report.to_json());
     }
+    Ok(())
+}
+
+/// Saves atomically: write a sibling temp file, then rename it over the
+/// target — a failed or interrupted write never destroys an existing
+/// index (`index update` defaults to saving in place).
+fn save_index_atomic(index: &TrussIndex, out: &str) -> Result<(), String> {
+    let tmp = format!("{out}.tmp{}", std::process::id());
+    index
+        .save(Path::new(&tmp))
+        .map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, out).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("{out}: {e}")
+    })
+}
+
+fn cmd_index_build(args: &Args) -> Result<(), String> {
+    let flags = DecomposeFlags::parse(args)?;
+    let out = args.get("out").ok_or("--out is required")?;
+    let algo = args.get("algo").unwrap_or("inmem+");
+    let engines = registry();
+    let engine = engines
+        .by_name(algo)
+        .ok_or_else(|| unknown_algo(&engines, algo))?;
+    let g = load_graph(args.input()?)?;
+    let config = flags.engine_config(&g);
+    let (index, report) = engine
+        .run(EngineInput::Graph(&g), &config)
+        .map(|(d, report)| (TrussIndex::from_parts(g, d), report))
+        .map_err(|e| e.to_string())?;
+    save_index_atomic(&index, out)?;
+    eprintln!(
+        "wrote index {out}: {} vertices, {} edges, k_max = {} ({}: {:.3}s)",
+        index.num_vertices(),
+        index.num_edges(),
+        index.max_k(),
+        engine.name(),
+        report.wall_time.as_secs_f64(),
+    );
+    if flags.json_report {
+        println!("{}", report.to_json());
+    }
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<TrussIndex, String> {
+    let index = TrussIndex::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "loaded index {path}: {} vertices, {} edges, k_max = {}",
+        index.num_vertices(),
+        index.num_edges(),
+        index.max_k()
+    );
+    Ok(index)
+}
+
+fn cmd_index_query(args: &Args) -> Result<(), String> {
+    let what = args.get("query").unwrap_or("spectrum");
+    let index = load_index(args.input()?)?;
+    let require_k = || -> Result<u32, String> {
+        args.get_parsed("k")?
+            .ok_or_else(|| format!("--k is required for --query {what}"))
+    };
+    match what {
+        "spectrum" => {
+            print!("{}", render_spectrum(&index.spectrum()));
+        }
+        "ktruss" => {
+            let k = require_k()?;
+            let edges = index.k_truss_edges(k);
+            let stdout = std::io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            for e in &edges {
+                writeln!(out, "{}\t{}", e.u, e.v).map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+            eprintln!("{}-truss: {} edges", k, edges.len());
+        }
+        "communities" => {
+            let k = require_k()?;
+            let communities = index.k_truss_communities(k);
+            let stdout = std::io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            for (i, c) in communities.iter().enumerate() {
+                let vertices: Vec<String> = c.vertices.iter().map(u32::to_string).collect();
+                writeln!(
+                    out,
+                    "{i}\t{}\t{}\t{:.4}\t{}",
+                    c.num_vertices(),
+                    c.num_edges(),
+                    c.density(),
+                    vertices.join(" ")
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+            eprintln!("{}-truss: {} communities", k, communities.len());
+        }
+        "edge" => {
+            let u: u32 = args.get_parsed("u")?.ok_or("--u is required")?;
+            let v: u32 = args.get_parsed("v")?.ok_or("--v is required")?;
+            match index.truss_of(u, v) {
+                Some(t) => println!("{t}"),
+                None => return Err(format!("({u}, {v}) is not an edge of the indexed graph")),
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown --query {other:?} (expected spectrum, ktruss, communities or edge)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_index_update(args: &Args) -> Result<(), String> {
+    let delta_path = args.get("delta").ok_or("--delta is required")?;
+    let input = args.input()?;
+    let out = args.get("out").unwrap_or(input);
+    let file = File::open(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
+    let delta = gio::read_delta(file).map_err(|e| format!("{delta_path}: {e}"))?;
+    let mut index = load_index(input)?;
+    let start = Instant::now();
+    let stats = index.apply(&delta);
+    let elapsed = start.elapsed();
+    save_index_atomic(&index, out)?;
+    eprintln!(
+        "applied {delta_path}: +{} -{} ({} skipped), \
+         {} edges seeded, {} relaxations ({} lowered), {:.3}s",
+        stats.inserted,
+        stats.removed,
+        stats.skipped,
+        stats.seeded,
+        stats.settled,
+        stats.lowered,
+        elapsed.as_secs_f64(),
+    );
+    eprintln!(
+        "wrote index {out}: {} vertices, {} edges, k_max = {}",
+        index.num_vertices(),
+        index.num_edges(),
+        index.max_k()
+    );
     Ok(())
 }
 

@@ -13,7 +13,7 @@
 //! | [`graph`] | CSR graphs, generators, formats, metrics |
 //! | [`storage`] | I/O cost model, disk edge lists, partitioners, external sort |
 //! | [`triangle`] | triangle counting/listing (in-memory + external) |
-//! | [`core`] | the paper's algorithms (TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core) plus the PKT-style parallel engine and its thread pool |
+//! | [`core`] | the paper's algorithms (TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core) plus the PKT-style parallel engine, its thread pool, and the persistent [`TrussIndex`](core::index::TrussIndex) with incremental edge updates |
 //! | [`mapreduce`] | single-machine MapReduce engine + Cohen's TD-MR baseline |
 //! | [`engine`] | the unified [`TrussEngine`](engine::TrussEngine) registry over all six algorithms |
 //!
@@ -47,5 +47,6 @@ pub mod prelude {
         registry, AlgorithmKind, EngineConfig, EngineInput, EngineReport, TrussEngine,
     };
     pub use truss_core::decompose::{truss_decompose, TrussDecomposition};
-    pub use truss_graph::{CsrGraph, Edge, EdgeId, GraphBuilder, VertexId};
+    pub use truss_core::index::{TrussIndex, UpdateStats};
+    pub use truss_graph::{CsrGraph, Edge, EdgeDelta, EdgeId, GraphBuilder, VertexId};
 }

@@ -188,6 +188,238 @@ fn decompose_flag_validation() {
 }
 
 #[test]
+fn index_build_query_update_round_trip() {
+    let input = figure2_file();
+    let idx = temp_file("figure2.tix");
+
+    // Build with an explicit engine choice.
+    let out = truss_bin()
+        .args([
+            "index",
+            "build",
+            "--algo",
+            "bottomup",
+            "--out",
+            idx.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("k_max = 5"), "{stderr}");
+
+    // Spectrum query (the default) serves from the saved file.
+    let out = truss_bin()
+        .args(["index", "query", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("k_max = 5"), "{stdout}");
+
+    // k-truss extraction: the K5 at k = 5.
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "ktruss",
+            "--k",
+            "5",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().lines().count(), 10);
+
+    // Communities: two components at k = 4, one line each.
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "communities",
+            "--k",
+            "4",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().lines().count(), 2);
+
+    // Per-edge lookup.
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "edge",
+            "--u",
+            "0",
+            "--v",
+            "1",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "5");
+
+    // Apply a delta: drop a K5 edge, insert (e, h).
+    let delta = temp_file("figure2.delta");
+    std::fs::write(&delta, "# test delta\n- 0 1\n+ 4 7\n").unwrap();
+    let idx2 = temp_file("figure2-updated.tix");
+    let out = truss_bin()
+        .args([
+            "index",
+            "update",
+            "--delta",
+            delta.to_str().unwrap(),
+            "--out",
+            idx2.to_str().unwrap(),
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("+1 -1"), "{stderr}");
+    assert!(stderr.contains("k_max = 4"), "{stderr}");
+
+    // The updated index answers accordingly; the original is untouched.
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "edge",
+            "--u",
+            "0",
+            "--v",
+            "1",
+            idx2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "removed edge must not resolve");
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "edge",
+            "--u",
+            "4",
+            "--v",
+            "7",
+            idx2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "edge",
+            "--u",
+            "0",
+            "--v",
+            "1",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "original index untouched: {out:?}");
+}
+
+#[test]
+fn index_flag_validation() {
+    let input = figure2_file();
+    let idx = temp_file("figure2-validation.tix");
+
+    // Missing --out.
+    let out = truss_bin()
+        .args(["index", "build", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--out"));
+
+    // Unknown engine: the error lists the registered names dynamically.
+    let out = truss_bin()
+        .args([
+            "index",
+            "build",
+            "--algo",
+            "frobnicate",
+            "--out",
+            idx.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for kind in AlgorithmKind::all() {
+        assert!(stderr.contains(kind.name()), "{}: {stderr}", kind.name());
+    }
+
+    // Build a real index for the query checks.
+    assert!(truss_bin()
+        .args([
+            "index",
+            "build",
+            "--out",
+            idx.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // Unknown query kind, missing --k, unknown subcommand.
+    let out = truss_bin()
+        .args([
+            "index",
+            "query",
+            "--query",
+            "frobnicate",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = truss_bin()
+        .args(["index", "query", "--query", "ktruss", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--k"));
+    let out = truss_bin()
+        .args(["index", "frobnicate", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // A non-index file is rejected by the format layer (bad magic).
+    let out = truss_bin()
+        .args(["index", "query", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8(out.stderr).unwrap().contains("magic"),
+        "expected a bad-magic error"
+    );
+}
+
+#[test]
 fn ktruss_extracts_subgraph() {
     let input = figure2_file();
     let out = truss_bin()

@@ -9,12 +9,13 @@
 //! the pairwise pass runs every engine under one shared config.
 
 use truss_decomposition::core::decompose::TrussDecomposition;
+use truss_decomposition::core::index::TrussIndex;
 use truss_decomposition::core::truss::verify_decomposition;
 use truss_decomposition::engine::{
     registry, AlgorithmKind, EngineConfig, EngineInput, EngineRegistry,
 };
 use truss_decomposition::graph::generators as gen;
-use truss_decomposition::graph::CsrGraph;
+use truss_decomposition::graph::{CsrGraph, Edge};
 use truss_decomposition::storage::IoConfig;
 
 /// The generator suite: name + graph.
@@ -167,6 +168,58 @@ fn external_engines_survive_tiny_budgets() {
                 d.trussness(),
                 exact.trussness(),
                 "{name}: {kind} tiny budget"
+            );
+        }
+    }
+}
+
+/// Incremental `TrussIndex` maintenance agrees with every registered
+/// engine: build an index on a reduced graph, insert the held-out edges
+/// back, and the maintained truss numbers must match each engine's
+/// from-scratch run on the full graph; then delete a batch and match each
+/// engine on the correspondingly reduced graph. Like the pairwise check,
+/// this pulls in newly registered engines automatically.
+#[test]
+fn dynamic_index_maintenance_matches_all_engines() {
+    let engines = registry();
+    let mut config = config_with_budget(1 << 20);
+    config.threads = 2;
+    for (name, g) in suite() {
+        let all: Vec<Edge> = g.edges().to_vec();
+        let held: Vec<Edge> = all.iter().copied().step_by(6).collect();
+        let base: Vec<Edge> = all.iter().copied().filter(|e| !held.contains(e)).collect();
+        let mut index = TrussIndex::from_decompose(CsrGraph::from_edges(base));
+        let stats = index.insert_edges(&held);
+        assert_eq!(stats.inserted, held.len(), "{name}");
+        for kind in engines.kinds() {
+            if !runs_on(kind, &g) {
+                continue;
+            }
+            let d = run(&engines, kind, &g, &config, &name);
+            assert_eq!(
+                index.trussness(),
+                d.trussness(),
+                "{name}: incremental insert vs {kind}"
+            );
+        }
+
+        let victims: Vec<Edge> = all.iter().copied().skip(1).step_by(5).collect();
+        index.remove_edges(&victims);
+        let reduced = CsrGraph::from_edges(
+            all.iter()
+                .copied()
+                .filter(|e| !victims.contains(e))
+                .collect::<Vec<_>>(),
+        );
+        for kind in engines.kinds() {
+            if !runs_on(kind, &reduced) {
+                continue;
+            }
+            let d = run(&engines, kind, &reduced, &config, &name);
+            assert_eq!(
+                index.trussness(),
+                d.trussness(),
+                "{name}: incremental delete vs {kind}"
             );
         }
     }
