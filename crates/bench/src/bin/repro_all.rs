@@ -18,4 +18,6 @@ fn main() {
         .print("Thread scaling: parallel (PKT) at 1/2/4/8 threads vs serial inmem+");
     tables::table_updates(scale)
         .print("Update throughput: incremental TrussIndex maintenance vs full recompute");
+    tables::table_load(scale)
+        .print("Snapshot load: TRUSSGR1 parse-load vs TRUSSGR2 mmap/buffered open");
 }

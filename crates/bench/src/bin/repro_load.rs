@@ -1,0 +1,10 @@
+//! Snapshot-load benchmark: cold v1 parse-load vs v2 zero-copy open
+//! (mmap and buffered fallback). Scale with `TRUSS_SCALE=`.
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::tables;
+
+fn main() {
+    tables::table_load(BenchScale::Default)
+        .print("Snapshot load: TRUSSGR1 parse-load vs TRUSSGR2 mmap/buffered open");
+}

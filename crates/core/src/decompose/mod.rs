@@ -7,6 +7,7 @@ pub mod naive;
 pub use improved::{truss_decompose, truss_decompose_with, EdgeIndexKind, ImprovedConfig};
 pub use naive::truss_decompose_naive;
 
+use truss_graph::section::SectionBuf;
 use truss_graph::{CsrGraph, Edge, EdgeId};
 
 /// The result of a truss decomposition: the truss number `ϕ(e)` of every
@@ -16,11 +17,23 @@ use truss_graph::{CsrGraph, Edge, EdgeId};
 /// from. `ϕ(e) ≥ 2` always (the 2-truss is the graph itself); the `k`-class
 /// `Φ_k` is the set of edges with `ϕ(e) = k`, and the `k`-truss edge set is
 /// `∪_{j ≥ k} Φ_j`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The trussness array is a [`SectionBuf`]: heap-owned when computed by
+/// an engine, or a zero-copy view into a mapped `TRUSSIDX` v2 snapshot
+/// when loaded from disk.
+#[derive(Debug, Clone)]
 pub struct TrussDecomposition {
-    trussness: Vec<u32>,
+    trussness: SectionBuf<u32>,
     k_max: u32,
 }
+
+impl PartialEq for TrussDecomposition {
+    fn eq(&self, other: &Self) -> bool {
+        self.k_max == other.k_max && self.trussness() == other.trussness()
+    }
+}
+
+impl Eq for TrussDecomposition {}
 
 impl TrussDecomposition {
     /// Wraps a per-edge trussness vector.
@@ -34,6 +47,19 @@ impl TrussDecomposition {
             "trussness below 2 is impossible"
         );
         let k_max = trussness.iter().copied().max().unwrap_or(2);
+        TrussDecomposition {
+            trussness: trussness.into(),
+            k_max,
+        }
+    }
+
+    /// Wraps an already-validated trussness section with a known `k_max`
+    /// — the O(1) path for checksum-verified snapshot loads, which must
+    /// not pay an O(m) validation scan. Callers guarantee every entry is
+    /// ≥ 2 and `k_max` is the true maximum (the snapshot layer's
+    /// checksum plus the writer's invariants do).
+    pub(crate) fn from_section_trusted(trussness: SectionBuf<u32>, k_max: u32) -> Self {
+        debug_assert!(trussness.iter().all(|&t| t >= 2 && t <= k_max));
         TrussDecomposition { trussness, k_max }
     }
 
@@ -77,7 +103,7 @@ impl TrussDecomposition {
     /// `(k, |Φ_k|)` for every non-empty class, ascending in `k`.
     pub fn class_sizes(&self) -> Vec<(u32, usize)> {
         let mut sizes = std::collections::BTreeMap::new();
-        for &t in &self.trussness {
+        for &t in self.trussness.as_slice() {
             *sizes.entry(t).or_insert(0usize) += 1;
         }
         sizes.into_iter().collect()
@@ -103,9 +129,16 @@ impl TrussDecomposition {
         self.trussness.len()
     }
 
-    /// Approximate heap footprint (for memory-usage reporting).
+    /// Approximate heap footprint (for memory-usage reporting); zero for
+    /// decompositions served out of a mapped snapshot.
     pub fn heap_bytes(&self) -> usize {
-        self.trussness.len() * std::mem::size_of::<u32>()
+        self.trussness.heap_bytes() + self.trussness.backing_heap_bytes()
+    }
+
+    /// Bytes served out of a memory-mapped snapshot (zero for computed
+    /// decompositions).
+    pub fn mapped_bytes(&self) -> usize {
+        self.trussness.mapped_bytes()
     }
 }
 

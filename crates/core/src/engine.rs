@@ -26,10 +26,9 @@ use crate::index::TrussIndex;
 use crate::top_down::{top_down_decompose_in, TopDownConfig};
 use std::borrow::Cow;
 use std::fmt;
-use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
-use truss_graph::{io as gio, CsrGraph, GraphError};
+use truss_graph::{CsrGraph, GraphError};
 use truss_storage::{IoConfig, IoStats, ScratchDir, StorageError};
 use truss_triangle::count::edge_supports;
 
@@ -210,7 +209,13 @@ pub struct EngineReport {
     pub wall_time: Duration,
     /// Peak memory estimate in bytes: tracked heap for the in-memory
     /// algorithms, the effective memory budget `M` for the external ones.
+    /// Counts *heap* only — a graph served from a mapped snapshot
+    /// contributes its pages to [`EngineReport::mapped_bytes`] instead.
     pub peak_memory_estimate: usize,
+    /// Bytes of the input served out of a memory-mapped snapshot (zero
+    /// for heap-resident inputs): page-cache-backed, shared read-only
+    /// across threads, not part of the heap estimate above.
+    pub mapped_bytes: usize,
     /// Effective worker threads the run actually used: 1 for the serial
     /// engines regardless of [`EngineConfig::threads`], the pool width for
     /// the parallel engine — so `--report json` output distinguishes the
@@ -261,7 +266,8 @@ impl EngineReport {
         format!(
             concat!(
                 "{{\"algorithm\":\"{}\",\"wall_time_secs\":{:.6},",
-                "\"peak_memory_estimate\":{},\"threads_used\":{},",
+                "\"peak_memory_estimate\":{},\"mapped_bytes\":{},",
+                "\"threads_used\":{},",
                 "\"k_max\":{},",
                 "\"io\":{{\"bytes_read\":{},\"bytes_written\":{},",
                 "\"blocks_read\":{},\"blocks_written\":{},",
@@ -274,6 +280,7 @@ impl EngineReport {
             self.algorithm,
             self.wall_time.as_secs_f64(),
             self.peak_memory_estimate,
+            self.mapped_bytes,
             self.threads_used,
             self.k_max,
             self.io.bytes_read,
@@ -347,27 +354,30 @@ pub type EngineResult<T> = std::result::Result<T, EngineError>;
 
 /// Input to an engine run: an in-memory graph or a path to load.
 ///
-/// Paths ending in `.bin` are read in the binary format, anything else as
-/// a SNAP text edge list — the same convention the CLI uses.
+/// Paths are dispatched on their magic bytes — `TRUSSGR1` binary,
+/// `TRUSSGR2` zero-copy snapshot (memory-mapped where possible), anything
+/// else as a SNAP text edge list — the same convention the CLI uses
+/// ([`truss_storage::load_graph_auto`]).
 pub enum EngineInput<'a> {
     /// An already-loaded graph.
     Graph(&'a CsrGraph),
-    /// A path to a SNAP (or, by `.bin` extension, binary) edge list.
+    /// A path to a graph in any supported format.
     Path(&'a Path),
 }
 
 impl<'a> EngineInput<'a> {
-    /// Materializes the graph (borrowing when already in memory).
+    /// Materializes the graph (borrowing when already in memory; a v2
+    /// snapshot path materializes as O(1) mapped views, not a parse).
     pub fn load(&self) -> EngineResult<Cow<'a, CsrGraph>> {
         match self {
             EngineInput::Graph(g) => Ok(Cow::Borrowed(g)),
             EngineInput::Path(p) => {
-                let file = File::open(p).map_err(|e| EngineError::Input(p.to_path_buf(), e))?;
-                let g = if p.extension().is_some_and(|x| x == "bin") {
-                    gio::read_binary(file)?
-                } else {
-                    gio::read_snap(file)?
-                };
+                let g = truss_storage::load_graph_auto(p, truss_storage::LoadMode::Auto).map_err(
+                    |e| match e {
+                        StorageError::Io(io) => EngineError::Input(p.to_path_buf(), io),
+                        other => EngineError::Storage(other),
+                    },
+                )?;
                 Ok(Cow::Owned(g))
             }
         }
@@ -430,6 +440,7 @@ pub fn finish_report(
     config: &EngineConfig,
 ) {
     report.k_max = d.k_max();
+    report.mapped_bytes = g.mapped_bytes();
     if config.collect_support_stats {
         let sum: u64 = edge_supports(g).iter().map(|&s| s as u64).sum();
         report.support_sum = Some(sum);
@@ -733,7 +744,7 @@ mod tests {
         let g = figure2_graph();
         let path =
             std::env::temp_dir().join(format!("truss-engine-in-{}.snap", std::process::id()));
-        gio::write_snap(&g, File::create(&path).unwrap()).unwrap();
+        truss_graph::io::write_snap(&g, std::fs::File::create(&path).unwrap()).unwrap();
         let engine = InmemPlusEngine;
         let (d, _) = engine
             .run(EngineInput::Path(&path), &EngineConfig::default())

@@ -30,11 +30,50 @@ use crate::decompose::TrussDecomposition;
 use crate::spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
 use std::fs::File;
 use std::path::Path;
+use truss_graph::section::SectionBuf;
 use truss_graph::subgraph::{from_parent_edges, Subgraph};
 use truss_graph::{CsrGraph, Edge, EdgeId, VertexId};
-use truss_storage::{index_file, StorageError};
+use truss_storage::snapshot::{self, IndexSnapshotParts};
+use truss_storage::{index_file, FileKind, LoadMode, StorageError};
 
 pub use dynamic::UpdateStats;
+
+/// On-disk representation of a persisted index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFormat {
+    /// `TRUSSIDX` version 1: per-edge records, re-parsed and re-derived
+    /// on every load.
+    V1,
+    /// `TRUSSIDX` version 2: the zero-copy section snapshot
+    /// ([`truss_storage::snapshot`]) — open = validate + map, queries are
+    /// served straight from the file.
+    V2,
+}
+
+impl IndexFormat {
+    /// Parses a CLI `--format` value.
+    pub fn parse(s: &str) -> Option<IndexFormat> {
+        match s {
+            "v1" | "1" => Some(IndexFormat::V1),
+            "v2" | "2" => Some(IndexFormat::V2),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexFormat::V1 => "v1",
+            IndexFormat::V2 => "v2",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A truss decomposition promoted to a first-class, queryable, updatable
 /// index over its graph.
@@ -56,14 +95,14 @@ pub struct TrussIndex {
     decomp: TrussDecomposition,
     /// Edge ids sorted by descending trussness (ties by ascending id):
     /// the edges of the k-truss are a prefix of this array.
-    order: Vec<EdgeId>,
+    order: SectionBuf<EdgeId>,
     /// `count_ge[k]` = number of edges with ϕ ≥ k, for `k` in
     /// `0..=k_max + 1` — i.e. the prefix length of [`Self::order`] that is
-    /// the k-truss edge set.
-    count_ge: Vec<usize>,
+    /// the k-truss edge set. (`u64` so the v2 snapshot maps it in place.)
+    count_ge: SectionBuf<u64>,
     /// Per-vertex max trussness over incident edges (0 for vertices with
     /// no incident edge).
-    vertex_truss: Vec<u32>,
+    vertex_truss: SectionBuf<u32>,
 }
 
 impl TrussIndex {
@@ -84,9 +123,9 @@ impl TrussIndex {
         let mut index = TrussIndex {
             graph,
             decomp,
-            order: Vec::new(),
-            count_ge: Vec::new(),
-            vertex_truss: Vec::new(),
+            order: SectionBuf::new(),
+            count_ge: SectionBuf::new(),
+            vertex_truss: SectionBuf::new(),
         };
         index.rebuild_derived();
         index
@@ -112,17 +151,17 @@ impl TrussIndex {
         for &t in trussness {
             counts[t as usize] += 1;
         }
-        let mut count_ge = vec![0usize; k_max as usize + 2];
+        let mut count_ge = vec![0u64; k_max as usize + 2];
         let mut acc = 0usize;
         for k in (0..=k_max as usize + 1).rev() {
             if k <= k_max as usize {
                 acc += counts[k];
             }
-            count_ge[k] = acc;
+            count_ge[k] = acc as u64;
         }
         let mut cursor = vec![0usize; k_max as usize + 2];
         for k in (2..=k_max as usize).rev() {
-            cursor[k] = count_ge[k] - counts[k];
+            cursor[k] = count_ge[k] as usize - counts[k];
         }
         let mut order = vec![0 as EdgeId; m];
         for (id, &t) in trussness.iter().enumerate() {
@@ -130,9 +169,9 @@ impl TrussIndex {
             cursor[t as usize] += 1;
         }
 
-        self.order = order;
-        self.count_ge = count_ge;
-        self.vertex_truss = vertex_trussness(&self.graph, &self.decomp);
+        self.order = order.into();
+        self.count_ge = count_ge.into();
+        self.vertex_truss = vertex_trussness(&self.graph, &self.decomp).into();
     }
 
     /// The indexed graph.
@@ -196,13 +235,13 @@ impl TrussIndex {
     /// Number of edges in the k-truss. O(1).
     pub fn k_truss_size(&self, k: u32) -> usize {
         let k = (k.max(2) as usize).min(self.count_ge.len() - 1);
-        self.count_ge[k]
+        self.count_ge.as_slice()[k] as usize
     }
 
     /// Edge ids of the k-truss, in descending-trussness order (a prefix of
     /// the level bucketing — O(answer), no full-edge scan).
     pub fn k_truss_edge_ids(&self, k: u32) -> &[EdgeId] {
-        &self.order[..self.k_truss_size(k)]
+        &self.order.as_slice()[..self.k_truss_size(k)]
     }
 
     /// Edges of the k-truss in lexicographic order.
@@ -233,20 +272,107 @@ impl TrussIndex {
         truss_spectrum(&self.graph, &self.decomp)
     }
 
-    /// Persists the index at `path` in the versioned `TRUSSIDX` format.
+    /// Persists the index at `path` in the current default format
+    /// (`TRUSSIDX` v2 — the zero-copy snapshot; [`TrussIndex::load`]
+    /// auto-detects either version).
     pub fn save(&self, path: &Path) -> Result<(), StorageError> {
-        let file = File::create(path)?;
-        index_file::write_index_file(&self.graph, self.decomp.trussness(), file)
+        self.save_as(path, IndexFormat::V2)
     }
 
-    /// Loads an index persisted by [`TrussIndex::save`].
+    /// Persists the index at `path` in an explicit format. v1 stores
+    /// per-edge records (readable by older builds); v2 stores the mapped
+    /// section snapshot including the level-bucket CSR, so a later open
+    /// rebuilds nothing.
+    pub fn save_as(&self, path: &Path, format: IndexFormat) -> Result<(), StorageError> {
+        let file = File::create(path)?;
+        match format {
+            IndexFormat::V1 => {
+                index_file::write_index_file(&self.graph, self.decomp.trussness(), file)
+            }
+            IndexFormat::V2 => snapshot::write_index_snapshot(
+                &IndexSnapshotParts {
+                    graph: &self.graph,
+                    k_max: self.decomp.k_max(),
+                    trussness: self.decomp.trussness(),
+                    order: &self.order,
+                    count_ge: &self.count_ge,
+                    vertex_truss: &self.vertex_truss,
+                },
+                file,
+            ),
+        }
+    }
+
+    /// Loads an index persisted by [`TrussIndex::save`] /
+    /// [`TrussIndex::save_as`], auto-detecting the format (v2 snapshots
+    /// are memory-mapped where the platform allows).
     pub fn load(path: &Path) -> Result<TrussIndex, StorageError> {
-        let file = File::open(path)?;
-        let (graph, trussness) = index_file::read_index_file(file)?;
-        Ok(TrussIndex::from_parts(
-            graph,
-            TrussDecomposition::from_trussness(trussness),
-        ))
+        Ok(TrussIndex::load_with(path, LoadMode::Auto)?.0)
+    }
+
+    /// [`TrussIndex::load`] with an explicit [`LoadMode`], also reporting
+    /// which on-disk format was found — `truss index update` uses this to
+    /// rewrite in the format it read.
+    ///
+    /// A v1 file is fully parsed and its derived structure rebuilt
+    /// (O(m)); a v2 snapshot is validated (header + section table +
+    /// checksum) and served as zero-copy views with *no* per-edge work.
+    pub fn load_with(
+        path: &Path,
+        mode: LoadMode,
+    ) -> Result<(TrussIndex, IndexFormat), StorageError> {
+        match truss_storage::sniff_file(path)? {
+            FileKind::IndexV2 => {
+                let snap = snapshot::open_index_snapshot(path, mode)?;
+                Ok((
+                    TrussIndex {
+                        decomp: TrussDecomposition::from_section_trusted(
+                            snap.trussness,
+                            snap.k_max,
+                        ),
+                        graph: snap.graph,
+                        order: snap.order,
+                        count_ge: snap.count_ge,
+                        vertex_truss: snap.vertex_truss,
+                    },
+                    IndexFormat::V2,
+                ))
+            }
+            // Everything else lands in the v1 reader, whose own magic and
+            // version validation produces the precise error message.
+            _ => {
+                let file = File::open(path)?;
+                let (graph, trussness) = index_file::read_index_file(file)?;
+                Ok((
+                    TrussIndex::from_parts(graph, TrussDecomposition::from_trussness(trussness)),
+                    IndexFormat::V1,
+                ))
+            }
+        }
+    }
+
+    /// Heap bytes held by the index (graph + decomposition + derived
+    /// structure); mapped snapshot bytes are excluded — see
+    /// [`TrussIndex::mapped_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.graph.heap_bytes()
+            + self.decomp.heap_bytes()
+            + self.order.heap_bytes()
+            + self.order.backing_heap_bytes()
+            + self.count_ge.heap_bytes()
+            + self.count_ge.backing_heap_bytes()
+            + self.vertex_truss.heap_bytes()
+            + self.vertex_truss.backing_heap_bytes()
+    }
+
+    /// Bytes served out of a memory-mapped snapshot (zero for indexes
+    /// built in memory or loaded from v1 files).
+    pub fn mapped_bytes(&self) -> usize {
+        self.graph.mapped_bytes()
+            + self.decomp.mapped_bytes()
+            + self.order.mapped_bytes()
+            + self.count_ge.mapped_bytes()
+            + self.vertex_truss.mapped_bytes()
     }
 }
 

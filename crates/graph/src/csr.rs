@@ -1,6 +1,7 @@
 //! Compressed sparse row (CSR) representation of an undirected simple graph.
 
 use crate::edge::Edge;
+use crate::section::SectionBuf;
 use crate::types::{EdgeId, VertexId};
 
 /// An immutable undirected simple graph in CSR form.
@@ -16,16 +17,23 @@ use crate::types::{EdgeId, VertexId};
 /// [`CsrGraph::from_edges`]; the structure itself is immutable — the peeling
 /// algorithms mark logical deletions in their own side arrays, which the
 /// paper notes is cheaper than physically updating adjacency lists (§3.1).
+///
+/// Each of the four arrays is a [`SectionBuf`]: heap-owned when the graph
+/// was built in memory, or a zero-copy view into a mapped snapshot file
+/// (`TRUSSGR2`, see the storage crate) when it was opened from disk —
+/// [`CsrGraph::from_sections`] assembles a graph over such views in O(1).
+/// All accessors return plain slices either way.
 #[derive(Clone)]
 pub struct CsrGraph {
-    /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`edge_ids` for `v`.
-    offsets: Vec<usize>,
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`edge_ids` for `v`
+    /// (`u64` so the on-disk layout is the in-memory layout).
+    offsets: SectionBuf<u64>,
     /// Concatenated sorted neighbor lists (length `2m`).
-    neighbors: Vec<VertexId>,
+    neighbors: SectionBuf<VertexId>,
     /// Undirected edge id of each half-edge (parallel to `neighbors`).
-    edge_ids: Vec<EdgeId>,
+    edge_ids: SectionBuf<EdgeId>,
     /// Canonical edges in lexicographic order (length `m`); index = `EdgeId`.
-    edges: Vec<Edge>,
+    edges: SectionBuf<Edge>,
 }
 
 impl CsrGraph {
@@ -61,17 +69,17 @@ impl CsrGraph {
             degree[e.v as usize] += 1;
         }
 
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
         for d in &degree {
             acc += d;
-            offsets.push(acc);
+            offsets.push(acc as u64);
         }
 
         let mut neighbors = vec![0 as VertexId; acc];
         let mut edge_ids = vec![0 as EdgeId; acc];
-        let mut cursor = offsets[..n].to_vec();
+        let mut cursor: Vec<usize> = offsets[..n].iter().map(|&x| x as usize).collect();
         // Edges are sorted by (u, v); inserting u-side then v-side in a single
         // pass yields sorted neighbor lists for the u side. The v side needs
         // the second pass below? No: for a fixed vertex w, its neighbors
@@ -110,14 +118,56 @@ impl CsrGraph {
             edge_ids[cursor[w]] = id as EdgeId;
             cursor[w] += 1;
         }
-        debug_assert!((0..n).all(|v| cursor[v] == offsets[v + 1]));
+        debug_assert!((0..n).all(|v| cursor[v] == offsets[v + 1] as usize));
 
         CsrGraph {
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+            edge_ids: edge_ids.into(),
+            edges: edges.into(),
+        }
+    }
+
+    /// Assembles a graph directly over pre-built sections — the zero-copy
+    /// open path for mapped snapshots. Only section-level invariants are
+    /// checked (O(1)); the caller is responsible for content integrity
+    /// (the snapshot layer verifies a checksum before calling this).
+    ///
+    /// Requirements: `offsets` is non-empty, starts at 0, ends at
+    /// `neighbors.len() == edge_ids.len() == 2 × edges.len()`.
+    pub fn from_sections(
+        offsets: SectionBuf<u64>,
+        neighbors: SectionBuf<VertexId>,
+        edge_ids: SectionBuf<EdgeId>,
+        edges: SectionBuf<Edge>,
+    ) -> Result<Self, String> {
+        let Some((&first, &last)) = offsets.first().zip(offsets.last()) else {
+            return Err("offsets section is empty".into());
+        };
+        if first != 0 {
+            return Err(format!("offsets must start at 0, got {first}"));
+        }
+        if last as usize != neighbors.len() || neighbors.len() != edge_ids.len() {
+            return Err(format!(
+                "half-edge sections disagree: offsets end at {last}, \
+                 {} neighbors, {} edge ids",
+                neighbors.len(),
+                edge_ids.len()
+            ));
+        }
+        if neighbors.len() != 2 * edges.len() {
+            return Err(format!(
+                "{} half-edges but {} edges (expected 2m)",
+                neighbors.len(),
+                edges.len()
+            ));
+        }
+        Ok(CsrGraph {
             offsets,
             neighbors,
             edge_ids,
             edges,
-        }
+        })
     }
 
     /// Returns `g` extended to at least `n` vertices (the extra ids are
@@ -126,10 +176,19 @@ impl CsrGraph {
     pub fn with_min_vertices(g: CsrGraph, n: usize) -> CsrGraph {
         let mut g = g;
         let last = *g.offsets.last().expect("offsets never empty");
-        while g.offsets.len() <= n {
-            g.offsets.push(last);
+        if g.offsets.len() <= n {
+            let offsets = g.offsets.to_mut();
+            while offsets.len() <= n {
+                offsets.push(last);
+            }
         }
         g
+    }
+
+    /// `offsets[i]` as a slice index into the half-edge sections.
+    #[inline]
+    fn off(&self, i: usize) -> usize {
+        self.offsets.as_slice()[i] as usize
     }
 
     /// Number of vertices `n` (including isolated ids below the max id).
@@ -159,19 +218,19 @@ impl CsrGraph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        self.off(v as usize + 1) - self.off(v as usize)
     }
 
     /// Sorted neighbors of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        &self.neighbors.as_slice()[self.off(v as usize)..self.off(v as usize + 1)]
     }
 
     /// Undirected edge ids parallel to [`CsrGraph::neighbors`].
     #[inline]
     pub fn neighbor_edge_ids(&self, v: VertexId) -> &[EdgeId] {
-        &self.edge_ids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        &self.edge_ids.as_slice()[self.off(v as usize)..self.off(v as usize + 1)]
     }
 
     /// The canonical edge with id `id`.
@@ -230,12 +289,57 @@ impl CsrGraph {
     }
 
     /// Approximate heap footprint in bytes (used for the Table 3 memory
-    /// columns).
+    /// columns): owned sections plus any heap-resident (non-mapped) view
+    /// backing. Mapped sections cost no heap — see
+    /// [`CsrGraph::mapped_bytes`].
     pub fn heap_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.neighbors.len() * std::mem::size_of::<VertexId>()
-            + self.edge_ids.len() * std::mem::size_of::<EdgeId>()
-            + self.edges.len() * std::mem::size_of::<Edge>()
+        self.offsets.heap_bytes()
+            + self.neighbors.heap_bytes()
+            + self.edge_ids.heap_bytes()
+            + self.edges.heap_bytes()
+            + self.offsets.backing_heap_bytes()
+            + self.neighbors.backing_heap_bytes()
+            + self.edge_ids.backing_heap_bytes()
+            + self.edges.backing_heap_bytes()
+    }
+
+    /// Bytes served out of a memory-mapped backing (zero for graphs built
+    /// in memory): page-cache-resident, shared read-only across threads,
+    /// and not part of [`CsrGraph::heap_bytes`].
+    pub fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes()
+            + self.neighbors.mapped_bytes()
+            + self.edge_ids.mapped_bytes()
+            + self.edges.mapped_bytes()
+    }
+
+    /// True when any section is served from a mapped file.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped()
+            || self.neighbors.is_mapped()
+            || self.edge_ids.is_mapped()
+            || self.edges.is_mapped()
+    }
+
+    /// The vertex-offsets section (`n + 1` entries; `offsets[v]..
+    /// offsets[v+1]` spans `v`'s half-edges). For the snapshot writer.
+    pub fn offsets_section(&self) -> &SectionBuf<u64> {
+        &self.offsets
+    }
+
+    /// The concatenated-neighbors section (length `2m`).
+    pub fn neighbors_section(&self) -> &SectionBuf<VertexId> {
+        &self.neighbors
+    }
+
+    /// The half-edge → undirected-edge-id section (length `2m`).
+    pub fn edge_ids_section(&self) -> &SectionBuf<EdgeId> {
+        &self.edge_ids
+    }
+
+    /// The canonical-edge section (length `m`, index = edge id).
+    pub fn edges_section(&self) -> &SectionBuf<Edge> {
+        &self.edges
     }
 }
 

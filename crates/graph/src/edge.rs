@@ -7,7 +7,12 @@ use crate::types::VertexId;
 /// The canonical form makes undirected edges directly comparable and
 /// hashable, and gives every edge a unique 64-bit key ([`Edge::key`]) used by
 /// the hash-based edge index of Algorithm 2 and by the disk formats.
+/// The layout is `#[repr(C)]` — two consecutive `u32` words — so a
+/// sorted edge array can be memory-mapped straight out of a snapshot file
+/// (see [`crate::section`]): the on-disk little-endian image *is* the
+/// in-memory image on little-endian targets.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(C)]
 pub struct Edge {
     /// Smaller endpoint.
     pub u: VertexId,

@@ -47,11 +47,20 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    let _n = u64::from_le_bytes(buf8);
+    let n = u64::from_le_bytes(buf8) as usize;
     r.read_exact(&mut buf8)?;
     let m = u64::from_le_bytes(buf8) as usize;
+    // Vertex ids are u32, so any count beyond the id space is corrupt —
+    // and would otherwise drive a near-unbounded offsets allocation.
+    if n > u32::MAX as usize + 1 {
+        return Err(GraphError::Parse(format!(
+            "vertex count {n} exceeds the u32 id space"
+        )));
+    }
 
-    let mut edges = Vec::with_capacity(m);
+    // Cap the pre-allocation: a corrupt header must not reserve memory
+    // the (possibly truncated) payload can never fill.
+    let mut edges = Vec::with_capacity(m.min(1 << 20));
     let mut pair = [0u8; 8];
     for i in 0..m {
         r.read_exact(&mut pair)
@@ -68,7 +77,17 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
     if !edges.windows(2).all(|w| w[0] < w[1]) {
         return Err(GraphError::Parse("edges not sorted".into()));
     }
-    Ok(CsrGraph::from_sorted_dedup_edges(edges))
+    // Honor the stored vertex count: `from_sorted_dedup_edges` infers `n`
+    // from the max endpoint, which would silently drop trailing isolated
+    // vertices on a round trip.
+    let g = CsrGraph::from_sorted_dedup_edges(edges);
+    if g.num_vertices() > n {
+        return Err(GraphError::Parse(format!(
+            "header claims {n} vertices but edges reach id {}",
+            g.num_vertices() - 1
+        )));
+    }
+    Ok(CsrGraph::with_min_vertices(g, n))
 }
 
 #[cfg(test)]
@@ -83,6 +102,41 @@ mod tests {
         let g2 = read_binary(&buf[..]).unwrap();
         assert_eq!(g.edges(), g2.edges());
         assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn round_trip_preserves_trailing_isolated_vertices() {
+        // Highest-id vertices are isolated: n = 10 but edges stop at 6.
+        let g = CsrGraph::with_min_vertices(
+            CsrGraph::from_edges(vec![Edge::new(0, 1), Edge::new(5, 6)]),
+            10,
+        );
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 10, "stored n must be honored");
+        assert_eq!(g2.degree(9), 0);
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn rejects_absurd_vertex_count() {
+        let g = CsrGraph::from_edges(vec![Edge::new(0, 1)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // n beyond the u32 id space must fail fast, not allocate.
+        buf[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_vertex_count_below_edge_ids() {
+        let g = CsrGraph::from_edges(vec![Edge::new(0, 7)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Corrupt the header's n down to 3 (< max id + 1 = 8).
+        buf[8..16].copy_from_slice(&3u64.to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
     }
 
     #[test]

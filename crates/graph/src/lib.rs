@@ -31,6 +31,7 @@ pub mod hash;
 pub mod io;
 pub mod metrics;
 pub mod permute;
+pub mod section;
 pub mod subgraph;
 pub mod types;
 
@@ -39,4 +40,5 @@ pub use csr::CsrGraph;
 pub use delta::EdgeDelta;
 pub use edge::Edge;
 pub use error::GraphError;
+pub use section::SectionBuf;
 pub use types::{EdgeId, VertexId};

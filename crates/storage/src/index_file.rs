@@ -85,8 +85,17 @@ pub fn read_index_file<R: Read>(reader: R) -> Result<(CsrGraph, Vec<u32>)> {
     r.read_exact(&mut buf8)
         .map_err(|_| StorageError::Corrupt("truncated edge count".into()))?;
     let m = u64::from_le_bytes(buf8) as usize;
+    // Vertex ids are u32; a count beyond the id space is corrupt and
+    // would otherwise drive a near-unbounded offsets allocation.
+    if n > u32::MAX as usize + 1 {
+        return Err(StorageError::Corrupt(format!(
+            "vertex count {n} exceeds the u32 id space"
+        )));
+    }
 
-    let mut edges = Vec::with_capacity(m);
+    // Cap pre-allocations so a corrupt header cannot reserve memory the
+    // (possibly truncated) payload can never fill.
+    let mut edges = Vec::with_capacity(m.min(1 << 20));
     let mut pair = [0u8; 8];
     for i in 0..m {
         r.read_exact(&mut pair)
@@ -104,7 +113,7 @@ pub fn read_index_file<R: Read>(reader: R) -> Result<(CsrGraph, Vec<u32>)> {
         return Err(StorageError::Corrupt("edges not sorted".into()));
     }
     let mut buf4 = [0u8; 4];
-    let mut trussness = Vec::with_capacity(m);
+    let mut trussness = Vec::with_capacity(m.min(1 << 20));
     for i in 0..m {
         r.read_exact(&mut buf4)
             .map_err(|_| StorageError::Corrupt(format!("truncated at trussness {i}/{m}")))?;

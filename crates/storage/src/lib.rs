@@ -17,20 +17,34 @@
 //!   LowerBounding and by the MapReduce shuffle,
 //! * [`index_file`] — the versioned on-disk format (`TRUSSIDX`) a computed
 //!   truss index is persisted as, so a decomposition is built once and
-//!   served many times.
+//!   served many times,
+//! * [`mmap`] — memory-mapped (or aligned buffered-read) file regions,
+//! * [`snapshot`] — the v2 zero-copy snapshot container (`TRUSSGR2`
+//!   graphs, `TRUSSIDX` v2 indexes): the on-disk layout *is* the
+//!   in-memory layout, so open = validate header + map sections, with no
+//!   per-edge parsing or CSR rebuild (`docs/FORMATS.md` has the byte
+//!   layouts).
 
 pub mod ext_sort;
 pub mod index_file;
 pub mod io_model;
+pub mod mmap;
 pub mod partition;
 pub mod record;
 pub mod scratch;
+pub mod snapshot;
 
 pub use index_file::{read_index_file, write_index_file, INDEX_MAGIC, INDEX_VERSION};
 pub use io_model::{IoConfig, IoStats, IoTracker};
+pub use mmap::{LoadMode, Region};
 pub use partition::{Partition, PartitionStrategy};
 pub use record::{EdgeListFile, EdgeListWriter, EdgeRec};
 pub use scratch::ScratchDir;
+pub use snapshot::{
+    load_graph_auto, open_graph_snapshot, open_index_snapshot, sniff_file, write_graph_snapshot,
+    write_index_snapshot, FileKind, IndexSnapshot, IndexSnapshotParts, GRAPH_MAGIC_V2,
+    SNAPSHOT_VERSION,
+};
 
 /// Errors from the storage layer.
 #[derive(Debug)]

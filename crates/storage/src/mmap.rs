@@ -1,0 +1,332 @@
+//! Memory-mapped (and aligned buffered-read) file regions.
+//!
+//! The zero-copy snapshot formats (`TRUSSGR2`, `TRUSSIDX` v2 — see
+//! [`crate::snapshot`]) want a whole file visible as one immutable byte
+//! region that typed [`SectionBuf`](truss_graph::section::SectionBuf)
+//! views borrow into. On Linux that region is a real `mmap(2)`: opening a
+//! multi-gigabyte snapshot costs O(1) work and no heap, pages fault in on
+//! first touch, stay in the kernel page cache, and are shared read-only
+//! across threads *and processes* — exactly the "build once, serve many
+//! times" story the ROADMAP's serving goal needs, and the natural
+//! substrate for the external-memory engines' `scan(N)` passes.
+//!
+//! The workspace builds offline with no `libc` crate, so the syscall
+//! binding is a thin `unsafe extern "C"` declaration, gated to Linux
+//! where the constant values are stable ABI. Everywhere else — and
+//! whenever `mmap` fails or is disabled — [`Region::open`] falls back to
+//! reading the file into an **8-byte-aligned heap buffer**
+//! ([`AlignedBytes`]; a plain `Vec<u8>` only guarantees alignment 1,
+//! which would reject every typed view), so all callers work on every
+//! platform with identical semantics and only the accounting differs.
+
+use crate::{Result, StorageError};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::Arc;
+use truss_graph::section::Backing;
+
+/// How [`Region::open`] should load a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Memory-map when the platform supports it, otherwise buffered read.
+    #[default]
+    Auto,
+    /// Always read into an aligned heap buffer (tests, benchmarks of the
+    /// fallback path, platforms where mapping misbehaves).
+    Buffered,
+}
+
+/// A heap buffer whose base address is 8-byte aligned, as required by the
+/// typed section views (`u64` is the widest section element).
+///
+/// Backed by a `Vec<u64>`; the logical byte length may be shorter than
+/// the word storage.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `src` into a fresh aligned buffer.
+    pub fn copy_from(src: &[u8]) -> Self {
+        let mut a = AlignedBytes::zeroed(src.len());
+        a.bytes_mut()[..src.len()].copy_from_slice(src);
+        a
+    }
+
+    /// A zero-filled aligned buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        AlignedBytes {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Reads an entire file into an aligned buffer.
+    pub fn read_file(path: &Path) -> Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let mut a = AlignedBytes::zeroed(len);
+        file.read_exact(&mut a.bytes_mut()[..len])?;
+        Ok(a)
+    }
+
+    /// The bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
+/// Raw Linux `mmap`/`munmap`. The constants are stable kernel ABI; the
+/// declarations avoid a `libc` dependency (the build is offline).
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// An immutable, read-only `mmap` of a whole file. Unmapped on drop.
+#[cfg(target_os = "linux")]
+pub struct Mmap {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is PROT_READ and never mutated after construction; sharing
+// the raw pointer across threads is safe.
+#[cfg(target_os = "linux")]
+unsafe impl Send for Mmap {}
+#[cfg(target_os = "linux")]
+unsafe impl Sync for Mmap {}
+
+#[cfg(target_os = "linux")]
+impl Mmap {
+    /// Maps `file` read-only. Fails with the kernel's error for empty
+    /// files (zero-length mappings are invalid) — callers handle that
+    /// case before mapping.
+    pub fn map(file: &File) -> std::io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: std::ptr::NonNull::new(ptr as *mut u8).expect("mmap returned null"),
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr.as_ptr() as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+/// A whole file as one shared immutable byte region: mapped where
+/// possible, heap-resident otherwise. This is the [`Backing`] the v2
+/// snapshot sections view into.
+pub enum Region {
+    /// A live `mmap` (Linux).
+    #[cfg(target_os = "linux")]
+    Mapped(Mmap),
+    /// The aligned buffered-read fallback.
+    Heap(AlignedBytes),
+}
+
+impl Region {
+    /// Opens `path` under `mode`. `Auto` tries `mmap` first and silently
+    /// falls back to the buffered read (callers that need to report which
+    /// path was taken check [`Region::is_mapped`] — the load benchmark
+    /// does, per-row).
+    pub fn open(path: &Path, mode: LoadMode) -> Result<Region> {
+        #[cfg(target_os = "linux")]
+        if mode == LoadMode::Auto && !mmap_disabled_by_env() {
+            let file = File::open(path)?;
+            match Mmap::map(&file) {
+                Ok(map) => return Ok(Region::Mapped(map)),
+                Err(_) => {
+                    // Empty file, exotic filesystem, … — fall through to
+                    // the read path, which handles all of them.
+                }
+            }
+        }
+        let _ = mode;
+        Ok(Region::Heap(AlignedBytes::read_file(path)?))
+    }
+
+    /// The region's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(target_os = "linux")]
+            Region::Mapped(m) => m.as_bytes(),
+            Region::Heap(h) => h.as_bytes(),
+        }
+    }
+
+    /// True when the bytes are served by a live mapping.
+    pub fn region_is_mapped(&self) -> bool {
+        match self {
+            #[cfg(target_os = "linux")]
+            Region::Mapped(_) => true,
+            Region::Heap(_) => false,
+        }
+    }
+
+    /// Opens `path` and returns it as a shared [`Backing`] for section
+    /// views.
+    pub fn open_backing(path: &Path, mode: LoadMode) -> Result<Arc<Region>> {
+        Ok(Arc::new(Region::open(path, mode)?))
+    }
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let flavor = if self.region_is_mapped() {
+            "mapped"
+        } else {
+            "heap"
+        };
+        write!(f, "Region<{flavor}>({} bytes)", self.as_bytes().len())
+    }
+}
+
+impl Backing for Region {
+    fn bytes(&self) -> &[u8] {
+        self.as_bytes()
+    }
+
+    fn is_mapped(&self) -> bool {
+        self.region_is_mapped()
+    }
+}
+
+/// True when `TRUSS_NO_MMAP` is set (non-empty, not `0`): an escape hatch
+/// to force the buffered fallback, used by tests and the load benchmark.
+pub fn mmap_disabled_by_env() -> bool {
+    std::env::var("TRUSS_NO_MMAP")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// True when this build can serve snapshots via `mmap` at all.
+pub fn mmap_supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+impl From<truss_graph::section::SectionError> for StorageError {
+    fn from(e: truss_graph::section::SectionError) -> Self {
+        StorageError::Corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("truss-mmap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn aligned_bytes_are_aligned_and_exact() {
+        let a = AlignedBytes::copy_from(&[1, 2, 3, 4, 5]);
+        assert_eq!(a.as_bytes(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.as_bytes().as_ptr() as usize % 8, 0);
+        let z = AlignedBytes::zeroed(0);
+        assert!(z.as_bytes().is_empty());
+    }
+
+    #[test]
+    fn region_round_trips_both_modes() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 17).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+
+        let mapped = Region::open(&path, LoadMode::Auto).unwrap();
+        assert_eq!(mapped.as_bytes(), &payload[..]);
+        if mmap_supported() && !mmap_disabled_by_env() {
+            assert!(mapped.region_is_mapped());
+        }
+
+        let buffered = Region::open(&path, LoadMode::Buffered).unwrap();
+        assert_eq!(buffered.as_bytes(), &payload[..]);
+        assert!(!buffered.region_is_mapped());
+        assert_eq!(buffered.as_bytes().as_ptr() as usize % 8, 0);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_heap() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let r = Region::open(&path, LoadMode::Auto).unwrap();
+        assert!(r.as_bytes().is_empty());
+        assert!(!r.region_is_mapped(), "zero-length mappings are invalid");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Region::open(Path::new("/nonexistent/truss.gr2"), LoadMode::Auto).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mapping_survives_file_deletion() {
+        // MAP_PRIVATE keeps the pages alive after the unlink — the
+        // serving story relies on this (atomic replace under live maps).
+        let path = temp_path("unlink");
+        File::create(&path).unwrap().write_all(b"persist!").unwrap();
+        let region = Region::open(&path, LoadMode::Auto).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(region.as_bytes(), b"persist!");
+    }
+}

@@ -1,0 +1,837 @@
+//! The v2 zero-copy snapshot container: `TRUSSGR2` graphs and
+//! `TRUSSIDX` version-2 indexes.
+//!
+//! The v1 formats ([`crate::index_file`], `truss_graph::io::binary`)
+//! store per-edge records: loading re-parses every edge and rebuilds the
+//! CSR (sort + offsets) on the heap — a full O(m) construction on every
+//! `truss index query`. The v2 container instead stores the in-memory
+//! layout itself: a small header, a section table, and 8-byte-aligned
+//! little-endian arrays that [`SectionBuf`]
+//! views borrow straight out of an `mmap`ed [`Region`]. Opening does no
+//! per-edge parsing and no CSR rebuild: structural work is proportional
+//! to the header and section table, plus one sequential streaming pass
+//! to verify the checksum (skippable with `TRUSS_SKIP_CHECKSUM=1` for
+//! trusted deployments — see [`checksum_disabled_by_env`]).
+//!
+//! ## Byte layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic            b"TRUSSGR2" (graph) or b"TRUSSIDX" (index)
+//! 8       1     version          = 2
+//! 9       7     padding          zeros
+//! 16      8     n                vertex count (u64)
+//! 24      8     m                edge count (u64)
+//! 32      8     aux              k_max for indexes, 0 for graphs (u64)
+//! 40      4     section_count    (u32)
+//! 44      4     reserved         zeros (u32)
+//! 48      8     checksum         FNV-1a 64 over bytes [56, EOF)
+//! 56      24×c  section table    c × { kind u32, pad u32, offset u64, bytes u64 }
+//! 56+24c  …     sections         each 8-byte aligned, zero padding between
+//! ```
+//!
+//! `payload_start = 56 + 24 × section_count` (a multiple of 8). Section
+//! `offset` is absolute within the file and must be 8-aligned; `bytes` is
+//! the exact payload length. The checksum covers every byte from the end
+//! of the fixed header — the section *table* included — to end-of-file,
+//! so truncation, bit flips (in payload *or* table offsets) and trailing
+//! garbage all fail verification before any section is interpreted; the
+//! uncovered header fields are cross-checked against the covered table
+//! by the geometry validation (expected byte length per section).
+//!
+//! Graph sections: [`SEC_OFFSETS`], [`SEC_NEIGHBORS`], [`SEC_EDGE_IDS`],
+//! [`SEC_EDGES`]. Index snapshots append the decomposition and its
+//! level-bucket CSR: [`SEC_TRUSSNESS`], [`SEC_ORDER`], [`SEC_COUNT_GE`],
+//! [`SEC_VERTEX_TRUSS`] — so a loaded index serves k-truss queries
+//! without recomputing any derived structure. Unknown section kinds are
+//! ignored (room for additive extensions within version 2); see
+//! `docs/FORMATS.md` for the full byte-level reference of every format.
+
+use crate::mmap::{LoadMode, Region};
+use crate::{Result, StorageError};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use truss_graph::section::{section_le_bytes, Backing, Pod, SectionBuf};
+use truss_graph::{CsrGraph, Edge, EdgeId, VertexId};
+
+/// Magic bytes of a v2 graph snapshot (the v1 edge-list format is
+/// `TRUSSGR1`; the graph formats bake their revision into the magic).
+pub const GRAPH_MAGIC_V2: &[u8; 8] = b"TRUSSGR2";
+
+/// Container format version carried in the header's version byte.
+pub const SNAPSHOT_VERSION: u8 = 2;
+
+/// Vertex-offsets section: `u64 × (n + 1)`.
+pub const SEC_OFFSETS: u32 = 1;
+/// Concatenated sorted neighbor lists: `u32 × 2m`.
+pub const SEC_NEIGHBORS: u32 = 2;
+/// Half-edge → undirected edge id: `u32 × 2m`.
+pub const SEC_EDGE_IDS: u32 = 3;
+/// Canonical edges in lexicographic order: `(u32, u32) × m`.
+pub const SEC_EDGES: u32 = 4;
+/// Per-edge truss numbers: `u32 × m` (index snapshots only).
+pub const SEC_TRUSSNESS: u32 = 5;
+/// Edge ids sorted by descending trussness: `u32 × m` (index only).
+pub const SEC_ORDER: u32 = 6;
+/// `count_ge[k]` = edges with trussness ≥ k: `u64 × (k_max + 2)` (index
+/// only; with [`SEC_ORDER`] this is the level-bucket CSR).
+pub const SEC_COUNT_GE: u32 = 7;
+/// Per-vertex max trussness: `u32 × n` (index snapshots only).
+pub const SEC_VERTEX_TRUSS: u32 = 8;
+
+const HEADER_BYTES: usize = 56;
+const TABLE_ENTRY_BYTES: usize = 24;
+
+/// True when `TRUSS_SKIP_CHECKSUM` is set (non-empty, not `0`): skips
+/// the open-time checksum pass, making a v2 open truly proportional to
+/// header + section table (all structural validation still runs). For
+/// trusted, very large serving deployments where faulting in every page
+/// up front defeats the point of mapping; the default verifies.
+pub fn checksum_disabled_by_env() -> bool {
+    std::env::var("TRUSS_SKIP_CHECKSUM")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Incremental FNV-1a 64 — the container checksum. Not cryptographic;
+/// it guards against truncation and accidental corruption, like the
+/// rest of the format validation.
+pub struct Fnv1a64(u64);
+
+impl Fnv1a64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64::new()
+    }
+}
+
+/// FNV-1a 64 of a whole byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A section-container writer over *borrowed* section images: on
+/// little-endian targets nothing is buffered — the checksum pass and the
+/// write pass both stream the graph's own arrays, so saving a snapshot
+/// costs O(1) extra heap regardless of graph size.
+struct SnapshotWriter<'a> {
+    magic: [u8; 8],
+    n: u64,
+    m: u64,
+    aux: u64,
+    /// `(kind, little-endian byte image)` in emission order.
+    sections: Vec<(u32, std::borrow::Cow<'a, [u8]>)>,
+}
+
+/// Zero padding between sections: sections are 8-aligned and every
+/// section image is a whole number of 4- or 8-byte elements, so gaps are
+/// at most 7 bytes.
+const PAD: [u8; 8] = [0u8; 8];
+
+fn pad_to_8(pos: usize) -> usize {
+    pos.next_multiple_of(8) - pos
+}
+
+impl<'a> SnapshotWriter<'a> {
+    fn new(magic: &[u8; 8], n: u64, m: u64, aux: u64) -> Self {
+        SnapshotWriter {
+            magic: *magic,
+            n,
+            m,
+            aux,
+            sections: Vec::new(),
+        }
+    }
+
+    fn section<T: Pod>(&mut self, kind: u32, data: &'a [T]) {
+        self.sections.push((kind, section_le_bytes(data)));
+    }
+
+    fn finish<W: Write>(self, mut w: W) -> Result<()> {
+        let table_end = HEADER_BYTES + TABLE_ENTRY_BYTES * self.sections.len();
+
+        // Layout pass: absolute offsets with 8-byte alignment between
+        // sections and a final pad so the file ends on an 8-byte
+        // boundary (keeps concatenation/appending tools honest).
+        let mut table_bytes = Vec::with_capacity(table_end - HEADER_BYTES);
+        let mut pos = table_end;
+        for (kind, bytes) in &self.sections {
+            pos += pad_to_8(pos);
+            table_bytes.extend_from_slice(&kind.to_le_bytes());
+            table_bytes.extend_from_slice(&0u32.to_le_bytes());
+            table_bytes.extend_from_slice(&(pos as u64).to_le_bytes());
+            table_bytes.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            pos += bytes.len();
+        }
+
+        // Checksum pass over everything after the fixed header — the
+        // section table *and* the payload — streamed, never buffered.
+        let mut hash = Fnv1a64::new();
+        hash.update(&table_bytes);
+        let mut hashed = table_end;
+        for (_, bytes) in &self.sections {
+            hash.update(&PAD[..pad_to_8(hashed)]);
+            hashed += pad_to_8(hashed);
+            hash.update(bytes);
+            hashed += bytes.len();
+        }
+        hash.update(&PAD[..pad_to_8(hashed)]);
+        let checksum = hash.finish();
+
+        let mut head = Vec::with_capacity(HEADER_BYTES);
+        head.extend_from_slice(&self.magic);
+        head.push(SNAPSHOT_VERSION);
+        head.extend_from_slice(&[0u8; 7]);
+        head.extend_from_slice(&self.n.to_le_bytes());
+        head.extend_from_slice(&self.m.to_le_bytes());
+        head.extend_from_slice(&self.aux.to_le_bytes());
+        head.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes());
+        head.extend_from_slice(&checksum.to_le_bytes());
+        debug_assert_eq!(head.len(), HEADER_BYTES);
+
+        // Write pass: header, table, then each section streamed.
+        w.write_all(&head)?;
+        w.write_all(&table_bytes)?;
+        let mut written = table_end;
+        for (_, bytes) in &self.sections {
+            w.write_all(&PAD[..pad_to_8(written)])?;
+            written += pad_to_8(written);
+            w.write_all(bytes)?;
+            written += bytes.len();
+        }
+        w.write_all(&PAD[..pad_to_8(written)])?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// One parsed section-table entry.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    offset: usize,
+    bytes: usize,
+}
+
+/// A parsed and checksum-verified container over a shared byte region.
+struct SnapshotReader {
+    region: Arc<Region>,
+    n: u64,
+    m: u64,
+    aux: u64,
+    /// `(kind, entry)` in table order.
+    table: Vec<(u32, SectionEntry)>,
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+impl SnapshotReader {
+    /// Parses the header and section table of `region`, expecting
+    /// `magic`, and verifies the payload checksum. Work is proportional
+    /// to the header and table for parsing, plus one sequential pass for
+    /// the checksum — no per-edge interpretation happens here or later.
+    fn parse(region: Arc<Region>, magic: &[u8; 8]) -> Result<Self> {
+        let bytes = region.as_bytes();
+        if bytes.len() < HEADER_BYTES {
+            return Err(StorageError::Corrupt("truncated snapshot header".into()));
+        }
+        if &bytes[0..8] != magic {
+            return Err(StorageError::Corrupt(format!(
+                "bad magic {:?}, expected {:?}",
+                &bytes[0..8],
+                magic
+            )));
+        }
+        let version = bytes[8];
+        if version != SNAPSHOT_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported snapshot version {version} (this build reads version {SNAPSHOT_VERSION})"
+            )));
+        }
+        let n = le_u64(&bytes[16..]);
+        let m = le_u64(&bytes[24..]);
+        let aux = le_u64(&bytes[32..]);
+        let section_count = le_u32(&bytes[40..]) as usize;
+        let checksum = le_u64(&bytes[48..]);
+
+        let table_end = HEADER_BYTES
+            .checked_add(
+                TABLE_ENTRY_BYTES
+                    .checked_mul(section_count)
+                    .ok_or_else(|| {
+                        StorageError::Corrupt(format!("absurd section count {section_count}"))
+                    })?,
+            )
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| StorageError::Corrupt("truncated section table".into()))?;
+
+        let mut table = Vec::with_capacity(section_count);
+        for i in 0..section_count {
+            let at = HEADER_BYTES + i * TABLE_ENTRY_BYTES;
+            let kind = le_u32(&bytes[at..]);
+            let offset = le_u64(&bytes[at + 8..]) as usize;
+            let len = le_u64(&bytes[at + 16..]) as usize;
+            if !offset.is_multiple_of(8) {
+                return Err(StorageError::Corrupt(format!(
+                    "section {kind} at misaligned byte offset {offset}"
+                )));
+            }
+            let end = offset.checked_add(len).filter(|&e| e <= bytes.len());
+            if offset < table_end || end.is_none() {
+                return Err(StorageError::Corrupt(format!(
+                    "section {kind} [{offset}, +{len}) escapes the file ({} bytes)",
+                    bytes.len()
+                )));
+            }
+            if table.iter().any(|&(k, _)| k == kind) {
+                return Err(StorageError::Corrupt(format!("duplicate section {kind}")));
+            }
+            table.push((kind, SectionEntry { offset, bytes: len }));
+        }
+
+        // One sequential pass over [HEADER_BYTES, EOF) — the section
+        // table and the payload; a bit flip in a table offset or any
+        // section byte fails here (only the fixed header stays outside,
+        // and its fields are cross-checked against the covered table by
+        // the geometry validation). Skippable for huge trusted
+        // deployments via TRUSS_SKIP_CHECKSUM=1, where faulting in every
+        // page at open defeats the point of mapping.
+        if !checksum_disabled_by_env() {
+            let actual = fnv1a64(&bytes[HEADER_BYTES..]);
+            if actual != checksum {
+                return Err(StorageError::Corrupt(format!(
+                    "checksum mismatch: header says {checksum:#018x}, \
+                     table+payload hashes to {actual:#018x}"
+                )));
+            }
+        }
+        Ok(SnapshotReader {
+            region,
+            n,
+            m,
+            aux,
+            table,
+        })
+    }
+
+    /// The entry for `kind`, with its byte length checked against the
+    /// expectation derived from `n`/`m`.
+    fn entry(&self, kind: u32, expect_bytes: usize) -> Result<SectionEntry> {
+        let entry = self
+            .table
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map(|&(_, e)| e)
+            .ok_or_else(|| StorageError::Corrupt(format!("missing section {kind}")))?;
+        if entry.bytes != expect_bytes {
+            return Err(StorageError::Corrupt(format!(
+                "section {kind} holds {} bytes, header geometry implies {expect_bytes}",
+                entry.bytes
+            )));
+        }
+        Ok(entry)
+    }
+
+    /// A typed buffer over `kind`: a zero-copy view on little-endian
+    /// targets, a decoded owned vector on big-endian ones.
+    fn section<T: Pod>(&self, kind: u32, expect_bytes: usize) -> Result<SectionBuf<T>> {
+        let entry = self.entry(kind, expect_bytes)?;
+        if cfg!(target_endian = "little") {
+            Ok(SectionBuf::view(
+                Arc::clone(&self.region) as Arc<dyn Backing>,
+                entry.offset,
+                entry.bytes,
+            )?)
+        } else {
+            Ok(SectionBuf::decode(
+                self.region.as_ref(),
+                entry.offset,
+                entry.bytes,
+            )?)
+        }
+    }
+
+    /// The four CSR sections as a graph, validated against `n`/`m`.
+    fn graph(&self) -> Result<CsrGraph> {
+        let (n, m) = (self.n as usize, self.m as usize);
+        let offsets = self.section::<u64>(SEC_OFFSETS, (n + 1) * 8)?;
+        let neighbors = self.section::<VertexId>(SEC_NEIGHBORS, 2 * m * 4)?;
+        let edge_ids = self.section::<EdgeId>(SEC_EDGE_IDS, 2 * m * 4)?;
+        let edges = self.section::<Edge>(SEC_EDGES, m * 8)?;
+        CsrGraph::from_sections(offsets, neighbors, edge_ids, edges).map_err(StorageError::Corrupt)
+    }
+}
+
+/// Serializes `g` as a `TRUSSGR2` snapshot.
+pub fn write_graph_snapshot<W: Write>(g: &CsrGraph, w: W) -> Result<()> {
+    let mut snap = SnapshotWriter::new(
+        GRAPH_MAGIC_V2,
+        g.num_vertices() as u64,
+        g.num_edges() as u64,
+        0,
+    );
+    snap.section(SEC_OFFSETS, g.offsets_section());
+    snap.section(SEC_NEIGHBORS, g.neighbors_section());
+    snap.section(SEC_EDGE_IDS, g.edge_ids_section());
+    snap.section(SEC_EDGES, g.edges_section());
+    snap.finish(w)
+}
+
+/// Opens a `TRUSSGR2` snapshot from an already-loaded region (exposed so
+/// tests and benchmarks can drive in-memory and fallback regions
+/// explicitly; [`open_graph_snapshot`] is the file entry point).
+pub fn read_graph_snapshot_from(region: Arc<Region>) -> Result<CsrGraph> {
+    SnapshotReader::parse(region, GRAPH_MAGIC_V2)?.graph()
+}
+
+/// Opens a `TRUSSGR2` snapshot file: validate header + section table +
+/// checksum, then assemble the graph as zero-copy views. No per-edge
+/// parsing, no CSR rebuild.
+pub fn open_graph_snapshot(path: &Path, mode: LoadMode) -> Result<CsrGraph> {
+    read_graph_snapshot_from(Region::open_backing(path, mode)?)
+}
+
+/// Borrowed raw parts of an index snapshot, as the writer wants them —
+/// the decomposition layer lives in `truss-core`, so this crate speaks in
+/// arrays (`truss_core::index::TrussIndex::save` is the typed wrapper).
+pub struct IndexSnapshotParts<'a> {
+    /// The indexed graph.
+    pub graph: &'a CsrGraph,
+    /// Largest k with a non-empty k-truss (stored in the header's `aux`).
+    pub k_max: u32,
+    /// Per-edge truss numbers, indexed by edge id (`m` entries).
+    pub trussness: &'a [u32],
+    /// Edge ids by descending trussness (`m` entries).
+    pub order: &'a [u32],
+    /// `count_ge[k]` = edges with trussness ≥ k (`k_max + 2` entries).
+    pub count_ge: &'a [u64],
+    /// Per-vertex max trussness (`n` entries).
+    pub vertex_truss: &'a [u32],
+}
+
+/// An opened v2 index snapshot: the graph plus the decomposition and its
+/// pre-computed level-bucket CSR, all as (possibly mapped) section
+/// buffers.
+pub struct IndexSnapshot {
+    /// The indexed graph.
+    pub graph: CsrGraph,
+    /// Largest k with a non-empty k-truss, from the header.
+    pub k_max: u32,
+    /// Per-edge truss numbers.
+    pub trussness: SectionBuf<u32>,
+    /// Edge ids by descending trussness.
+    pub order: SectionBuf<u32>,
+    /// Edges-with-trussness-≥-k counts.
+    pub count_ge: SectionBuf<u64>,
+    /// Per-vertex max trussness.
+    pub vertex_truss: SectionBuf<u32>,
+}
+
+/// Serializes an index as a `TRUSSIDX` version-2 snapshot.
+pub fn write_index_snapshot<W: Write>(parts: &IndexSnapshotParts<'_>, w: W) -> Result<()> {
+    let (n, m) = (parts.graph.num_vertices(), parts.graph.num_edges());
+    if parts.trussness.len() != m || parts.order.len() != m {
+        return Err(StorageError::Corrupt(format!(
+            "trussness/order cover {}/{} edges, graph has {m}",
+            parts.trussness.len(),
+            parts.order.len()
+        )));
+    }
+    if parts.vertex_truss.len() != n {
+        return Err(StorageError::Corrupt(format!(
+            "vertex_truss covers {} vertices, graph has {n}",
+            parts.vertex_truss.len()
+        )));
+    }
+    if parts.count_ge.len() != parts.k_max as usize + 2 {
+        return Err(StorageError::Corrupt(format!(
+            "count_ge has {} entries, k_max {} implies {}",
+            parts.count_ge.len(),
+            parts.k_max,
+            parts.k_max + 2
+        )));
+    }
+    let mut snap = SnapshotWriter::new(
+        crate::index_file::INDEX_MAGIC,
+        n as u64,
+        m as u64,
+        parts.k_max as u64,
+    );
+    snap.section(SEC_OFFSETS, parts.graph.offsets_section());
+    snap.section(SEC_NEIGHBORS, parts.graph.neighbors_section());
+    snap.section(SEC_EDGE_IDS, parts.graph.edge_ids_section());
+    snap.section(SEC_EDGES, parts.graph.edges_section());
+    snap.section(SEC_TRUSSNESS, parts.trussness);
+    snap.section(SEC_ORDER, parts.order);
+    snap.section(SEC_COUNT_GE, parts.count_ge);
+    snap.section(SEC_VERTEX_TRUSS, parts.vertex_truss);
+    snap.finish(w)
+}
+
+/// Opens a `TRUSSIDX` v2 snapshot from an already-loaded region.
+pub fn read_index_snapshot_from(region: Arc<Region>) -> Result<IndexSnapshot> {
+    let reader = SnapshotReader::parse(region, crate::index_file::INDEX_MAGIC)?;
+    let graph = reader.graph()?;
+    let (n, m) = (reader.n as usize, reader.m as usize);
+    let k_max = u32::try_from(reader.aux)
+        .map_err(|_| StorageError::Corrupt(format!("absurd k_max {}", reader.aux)))?;
+    Ok(IndexSnapshot {
+        trussness: reader.section(SEC_TRUSSNESS, m * 4)?,
+        order: reader.section(SEC_ORDER, m * 4)?,
+        count_ge: reader.section(SEC_COUNT_GE, (k_max as usize + 2) * 8)?,
+        vertex_truss: reader.section(SEC_VERTEX_TRUSS, n * 4)?,
+        graph,
+        k_max,
+    })
+}
+
+/// Opens a `TRUSSIDX` v2 snapshot file (validate + map; no per-edge
+/// parsing, no derived-structure rebuild).
+pub fn open_index_snapshot(path: &Path, mode: LoadMode) -> Result<IndexSnapshot> {
+    read_index_snapshot_from(Region::open_backing(path, mode)?)
+}
+
+/// What a storage file claims to be, from its magic (and, for
+/// `TRUSSIDX`, version byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `TRUSSGR1` — v1 per-edge binary graph.
+    GraphV1,
+    /// `TRUSSGR2` — v2 zero-copy graph snapshot.
+    GraphV2,
+    /// `TRUSSIDX` version 1 — v1 per-edge index file.
+    IndexV1,
+    /// `TRUSSIDX` version 2 — v2 zero-copy index snapshot.
+    IndexV2,
+    /// No known magic — treated as a SNAP text edge list by loaders.
+    Other,
+}
+
+/// Sniffs the first bytes of `path` to classify it. Reads at most 9
+/// bytes.
+pub fn sniff_file(path: &Path) -> Result<FileKind> {
+    use std::io::Read;
+    let mut head = [0u8; 9];
+    let mut file = std::fs::File::open(path)?;
+    let got = {
+        let mut filled = 0;
+        loop {
+            let k = file.read(&mut head[filled..])?;
+            if k == 0 {
+                break filled;
+            }
+            filled += k;
+        }
+    };
+    Ok(match &head[..got.min(8)] {
+        b"TRUSSGR1" => FileKind::GraphV1,
+        b"TRUSSGR2" => FileKind::GraphV2,
+        b"TRUSSIDX" if got >= 9 && head[8] >= SNAPSHOT_VERSION => FileKind::IndexV2,
+        b"TRUSSIDX" => FileKind::IndexV1,
+        _ => FileKind::Other,
+    })
+}
+
+/// Loads a graph from any supported on-disk representation, dispatching
+/// on the file's magic: `TRUSSGR1` (per-edge parse + CSR build),
+/// `TRUSSGR2` (zero-copy snapshot open under `mode`), anything else as a
+/// SNAP text edge list. This is the single load path the CLI and the
+/// engine layer share.
+pub fn load_graph_auto(path: &Path, mode: LoadMode) -> Result<CsrGraph> {
+    match sniff_file(path)? {
+        FileKind::GraphV1 => {
+            let file = std::fs::File::open(path)?;
+            truss_graph::io::read_binary(file).map_err(|e| StorageError::Corrupt(e.to_string()))
+        }
+        FileKind::GraphV2 => open_graph_snapshot(path, mode),
+        FileKind::IndexV1 | FileKind::IndexV2 => Err(StorageError::Corrupt(
+            "this is a truss-index file, not a graph (use `truss index query`)".into(),
+        )),
+        FileKind::Other => {
+            let file = std::fs::File::open(path)?;
+            truss_graph::io::read_snap(file).map_err(|e| StorageError::Corrupt(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::generators::erdos_renyi::gnm;
+
+    fn region_of(bytes: Vec<u8>) -> Arc<Region> {
+        Arc::new(Region::Heap(crate::mmap::AlignedBytes::copy_from(&bytes)))
+    }
+
+    fn sample_graph() -> CsrGraph {
+        CsrGraph::with_min_vertices(gnm(60, 240, 11), 64)
+    }
+
+    #[test]
+    fn graph_snapshot_round_trip_in_memory() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+        let g2 = read_graph_snapshot_from(region_of(buf)).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.edges(), g2.edges());
+        for v in g.iter_vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+            assert_eq!(g.neighbor_edge_ids(v), g2.neighbor_edge_ids(v));
+        }
+        // The reopened graph is a view, not a copy.
+        assert_eq!(
+            g2.heap_bytes(),
+            g.heap_bytes(),
+            "fallback keeps bytes on heap"
+        );
+    }
+
+    #[test]
+    fn graph_snapshot_file_round_trip_mapped() {
+        let g = sample_graph();
+        let path = std::env::temp_dir().join(format!("truss-snap-{}.gr2", std::process::id()));
+        write_graph_snapshot(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        let g2 = open_graph_snapshot(&path, LoadMode::Auto).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        if crate::mmap::mmap_supported() && !crate::mmap::mmap_disabled_by_env() {
+            assert!(g2.is_mapped());
+            assert_eq!(g2.heap_bytes(), 0, "mapped graph costs no heap");
+            assert!(g2.mapped_bytes() > 0);
+        }
+        let g3 = open_graph_snapshot(&path, LoadMode::Buffered).unwrap();
+        assert!(!g3.is_mapped());
+        assert_eq!(g3.edges(), g2.edges());
+        assert_eq!(sniff_file(&path).unwrap(), FileKind::GraphV2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = CsrGraph::from_edges(Vec::new());
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+        let g2 = read_graph_snapshot_from(region_of(buf)).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0..8].copy_from_slice(b"NOTAGRPH");
+        assert!(matches!(
+            read_graph_snapshot_from(region_of(bad)),
+            Err(StorageError::Corrupt(m)) if m.contains("magic")
+        ));
+
+        let mut future = buf.clone();
+        future[8] = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            read_graph_snapshot_from(region_of(future)),
+            Err(StorageError::Corrupt(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_checksum_mismatch() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+
+        // Truncating the payload cuts the last section short.
+        let mut cut = buf.clone();
+        cut.truncate(cut.len() - 16);
+        assert!(read_graph_snapshot_from(region_of(cut)).is_err());
+
+        // A single flipped payload bit fails the checksum.
+        let mut flip = buf.clone();
+        let at = flip.len() - 5;
+        flip[at] ^= 0x40;
+        assert!(matches!(
+            read_graph_snapshot_from(region_of(flip)),
+            Err(StorageError::Corrupt(m)) if m.contains("checksum")
+        ));
+
+        // Truncated header.
+        assert!(read_graph_snapshot_from(region_of(buf[..40].to_vec())).is_err());
+    }
+
+    #[test]
+    fn rejects_misaligned_section_offset() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+        // Nudge the first table entry's offset to a non-multiple of 8.
+        let entry_off = HEADER_BYTES + 8;
+        let old = le_u64(&buf[entry_off..]);
+        buf[entry_off..entry_off + 8].copy_from_slice(&(old + 4).to_le_bytes());
+        assert!(matches!(
+            read_graph_snapshot_from(region_of(buf)),
+            Err(StorageError::Corrupt(m)) if m.contains("misaligned")
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_or_short_section() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+        // Lie about the header's edge count: the (checksum-covered)
+        // table no longer matches the geometry the header implies.
+        let m_field = le_u64(&buf[24..]);
+        buf[24..32].copy_from_slice(&(m_field - 1).to_le_bytes());
+        assert!(matches!(
+            read_graph_snapshot_from(region_of(buf)),
+            Err(StorageError::Corrupt(m)) if m.contains("implies")
+        ));
+    }
+
+    #[test]
+    fn rejects_table_tampering_via_checksum() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+        // Swap the edge_ids entry's offset to alias the neighbors
+        // section (same byte length, still aligned and in bounds):
+        // without the table under the checksum this would open
+        // "successfully" with garbage adjacency.
+        let neighbors_off = HEADER_BYTES + TABLE_ENTRY_BYTES + 8;
+        let edge_ids_off = HEADER_BYTES + 2 * TABLE_ENTRY_BYTES + 8;
+        let alias = le_u64(&buf[neighbors_off..]);
+        buf[edge_ids_off..edge_ids_off + 8].copy_from_slice(&alias.to_le_bytes());
+        assert!(matches!(
+            read_graph_snapshot_from(region_of(buf)),
+            Err(StorageError::Corrupt(m)) if m.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn index_snapshot_round_trip() {
+        let g = sample_graph();
+        let m = g.num_edges();
+        let n = g.num_vertices();
+        let trussness: Vec<u32> = (0..m).map(|i| 2 + (i as u32 % 3)).collect();
+        let k_max = 4u32;
+        let order: Vec<u32> = (0..m as u32).rev().collect();
+        let mut count_ge = vec![0u64; k_max as usize + 2];
+        for k in (0..=k_max as usize + 1).rev() {
+            count_ge[k] = trussness.iter().filter(|&&t| t as usize >= k).count() as u64;
+        }
+        let vertex_truss: Vec<u32> = (0..n as u32).map(|v| v % 5).collect();
+
+        let mut buf = Vec::new();
+        write_index_snapshot(
+            &IndexSnapshotParts {
+                graph: &g,
+                k_max,
+                trussness: &trussness,
+                order: &order,
+                count_ge: &count_ge,
+                vertex_truss: &vertex_truss,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let snap = read_index_snapshot_from(region_of(buf.clone())).unwrap();
+        assert_eq!(snap.k_max, k_max);
+        assert_eq!(snap.graph.edges(), g.edges());
+        assert_eq!(&*snap.trussness, &trussness[..]);
+        assert_eq!(&*snap.order, &order[..]);
+        assert_eq!(&*snap.count_ge, &count_ge[..]);
+        assert_eq!(&*snap.vertex_truss, &vertex_truss[..]);
+
+        // A graph reader must not accept an index snapshot and vice versa.
+        assert!(read_graph_snapshot_from(region_of(buf)).is_err());
+    }
+
+    #[test]
+    fn writer_validates_part_lengths() {
+        let g = sample_graph();
+        let m = g.num_edges();
+        let parts = IndexSnapshotParts {
+            graph: &g,
+            k_max: 3,
+            trussness: &vec![2; m - 1], // short
+            order: &vec![0; m],
+            count_ge: &[0; 5],
+            vertex_truss: &vec![0; g.num_vertices()],
+        };
+        assert!(write_index_snapshot(&parts, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn sniff_classifies_files() {
+        let dir = std::env::temp_dir().join(format!("truss-sniff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample_graph();
+
+        let v1 = dir.join("g.bin");
+        truss_graph::io::write_binary(&g, std::fs::File::create(&v1).unwrap()).unwrap();
+        assert_eq!(sniff_file(&v1).unwrap(), FileKind::GraphV1);
+
+        let v2 = dir.join("g.gr2");
+        write_graph_snapshot(&g, std::fs::File::create(&v2).unwrap()).unwrap();
+        assert_eq!(sniff_file(&v2).unwrap(), FileKind::GraphV2);
+
+        let snap = dir.join("g.snap");
+        truss_graph::io::write_snap(&g, std::fs::File::create(&snap).unwrap()).unwrap();
+        assert_eq!(sniff_file(&snap).unwrap(), FileKind::Other);
+
+        let idx1 = dir.join("g.tix");
+        crate::index_file::write_index_file(
+            &g,
+            &vec![2; g.num_edges()],
+            std::fs::File::create(&idx1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sniff_file(&idx1).unwrap(), FileKind::IndexV1);
+
+        // Every binary flavor loads as a graph through the auto path
+        // except index files, which are redirected with a clear error.
+        for p in [&v1, &v2, &snap] {
+            let loaded = load_graph_auto(p, LoadMode::Auto).unwrap();
+            assert_eq!(loaded.edges(), g.edges(), "{}", p.display());
+        }
+        assert!(matches!(
+            load_graph_auto(&idx1, LoadMode::Auto),
+            Err(StorageError::Corrupt(msg)) if msg.contains("index")
+        ));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,17 +8,27 @@
 //! truss index query [--query spectrum|ktruss|communities|edge]
 //!                   [--k K] [--u A --v B] <index>
 //! truss index update --delta FILE [--out INDEX] <index>
+//! truss convert [--to v1|v2] <input> <output>
 //! truss ktruss --k K <input.snap>
 //! truss topt --t T [--memory BYTES] <input.snap>
 //! truss stats <input.snap>
 //! truss generate --dataset NAME [--scale F] [--seed S] <output.snap>
 //! ```
 //!
-//! Inputs are SNAP-style edge lists (`u v` per line, `#` comments) or the
-//! binary format (by `.bin` extension). Decomposition output is TSV
+//! Graph inputs are dispatched on their magic bytes: `TRUSSGR1` per-edge
+//! binaries, `TRUSSGR2` zero-copy snapshots (memory-mapped in O(1), no
+//! per-edge parsing — write them with `generate out.gr2` or `truss
+//! convert`), anything else as a SNAP-style text edge list (`u v` per
+//! line, `#` comments). Decomposition output is TSV
 //! `u <tab> v <tab> trussness` on stdout; diagnostics go to stderr. With
 //! `--report json`, the engine's [`EngineReport`](truss_decomposition::engine::EngineReport)
 //! is appended to stdout as one final JSON line after the TSV.
+//!
+//! `truss convert` migrates graphs and indexes between the v1 record
+//! formats and the v2 snapshots in either direction (auto-detecting what
+//! the input is); `index build` writes v2 by default, `index query`
+//! auto-detects and serves v2 via mmap, and `index update` rewrites in
+//! the format it read unless `--format` says otherwise.
 //!
 //! `decompose` and `index build` dispatch through the
 //! [`TrussEngine`](truss_decomposition::engine::TrussEngine) registry —
@@ -36,6 +46,7 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
+use truss_decomposition::core::index::IndexFormat;
 use truss_decomposition::core::spectrum::render_spectrum;
 use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
 use truss_decomposition::core::TrussDecomposition;
@@ -44,7 +55,7 @@ use truss_decomposition::graph::generators::datasets::dataset_by_name;
 use truss_decomposition::graph::metrics::{average_local_clustering, degree_stats};
 use truss_decomposition::graph::{io as gio, CsrGraph};
 use truss_decomposition::prelude::{truss_decompose, TrussIndex};
-use truss_decomposition::storage::IoConfig;
+use truss_decomposition::storage::{self, FileKind, IoConfig, LoadMode};
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -83,14 +94,19 @@ usage:
                     [--report json] --out INDEX <input>
   truss index query [--query spectrum|ktruss|communities|edge]
                     [--k K] [--u A --v B] <index>
-  truss index update --delta FILE [--out INDEX] <index>
+  truss index update --delta FILE [--out INDEX] [--format v1|v2] <index>
+  truss convert [--to v1|v2] <input> <output>
   truss ktruss --k K <input>
   truss topt --t T [--memory BYTES] <input>
   truss stats <input>
   truss generate --dataset NAME [--scale F] [--seed S] <output>
-inputs: SNAP text edge lists, or the binary format for *.bin paths
+inputs: auto-detected by magic — TRUSSGR1 binaries, TRUSSGR2 zero-copy
+  snapshots (mmap-served), SNAP text otherwise; generate picks the format
+  from the extension (*.bin = v1 binary, *.gr2 = v2 snapshot, else SNAP)
 --threads N sets the parallel engine's worker count (serial engines run 1)
 --report json appends the engine report as one JSON line after the TSV
+--format/--to pick an on-disk format: v1 record files or v2 snapshots
+  (index build defaults to v2; index update rewrites what it read)
 delta files: one op per line (`+ u v` insert, `- u v` remove, `#` comments)",
         algos = algo_list(&registry())
     )
@@ -153,6 +169,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
     match cmd.as_str() {
         "decompose" => cmd_decompose(&args),
         "index" => cmd_index(rest),
+        "convert" => cmd_convert(&args),
         "ktruss" => cmd_ktruss(&args),
         "topt" => cmd_topt(&args),
         "stats" => cmd_stats(&args),
@@ -177,16 +194,13 @@ fn cmd_index(rest: &[String]) -> Result<(), String> {
 }
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let g = if path.ends_with(".bin") {
-        gio::read_binary(file).map_err(|e| format!("{path}: {e}"))?
-    } else {
-        gio::read_snap(file).map_err(|e| format!("{path}: {e}"))?
-    };
+    let g = storage::load_graph_auto(Path::new(path), LoadMode::Auto)
+        .map_err(|e| format!("{path}: {e}"))?;
     eprintln!(
-        "loaded {path}: {} vertices, {} edges",
+        "loaded {path}: {} vertices, {} edges{}",
         g.num_vertices(),
-        g.num_edges()
+        g.num_edges(),
+        if g.is_mapped() { " (mmap)" } else { "" }
     );
     Ok(g)
 }
@@ -291,11 +305,13 @@ fn cmd_decompose(args: &Args) -> Result<(), String> {
 
 /// Saves atomically: write a sibling temp file, then rename it over the
 /// target — a failed or interrupted write never destroys an existing
-/// index (`index update` defaults to saving in place).
-fn save_index_atomic(index: &TrussIndex, out: &str) -> Result<(), String> {
+/// index (`index update` defaults to saving in place), and live mmap
+/// readers of the old file keep their pages (MAP_PRIVATE survives the
+/// replace).
+fn save_index_atomic(index: &TrussIndex, out: &str, format: IndexFormat) -> Result<(), String> {
     let tmp = format!("{out}.tmp{}", std::process::id());
     index
-        .save(Path::new(&tmp))
+        .save_as(Path::new(&tmp), format)
         .map_err(|e| format!("{tmp}: {e}"))?;
     std::fs::rename(&tmp, out).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
@@ -303,8 +319,20 @@ fn save_index_atomic(index: &TrussIndex, out: &str) -> Result<(), String> {
     })
 }
 
+/// Parses `--format` (or, for `convert`, `--to`) into an index/graph
+/// format revision.
+fn parse_format(args: &Args, key: &str) -> Result<Option<IndexFormat>, String> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => IndexFormat::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --{key} {v:?} (expected v1 or v2)")),
+    }
+}
+
 fn cmd_index_build(args: &Args) -> Result<(), String> {
     let flags = DecomposeFlags::parse(args)?;
+    let format = parse_format(args, "format")?.unwrap_or(IndexFormat::V2);
     let out = args.get("out").ok_or("--out is required")?;
     let algo = args.get("algo").unwrap_or("inmem+");
     let engines = registry();
@@ -317,9 +345,9 @@ fn cmd_index_build(args: &Args) -> Result<(), String> {
         .run(EngineInput::Graph(&g), &config)
         .map(|(d, report)| (TrussIndex::from_parts(g, d), report))
         .map_err(|e| e.to_string())?;
-    save_index_atomic(&index, out)?;
+    save_index_atomic(&index, out, format)?;
     eprintln!(
-        "wrote index {out}: {} vertices, {} edges, k_max = {} ({}: {:.3}s)",
+        "wrote index {out} ({format}): {} vertices, {} edges, k_max = {} ({}: {:.3}s)",
         index.num_vertices(),
         index.num_edges(),
         index.max_k(),
@@ -332,20 +360,26 @@ fn cmd_index_build(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_index(path: &str) -> Result<TrussIndex, String> {
-    let index = TrussIndex::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+fn load_index(path: &str) -> Result<(TrussIndex, IndexFormat), String> {
+    let (index, format) = TrussIndex::load_with(Path::new(path), LoadMode::Auto)
+        .map_err(|e| format!("{path}: {e}"))?;
     eprintln!(
-        "loaded index {path}: {} vertices, {} edges, k_max = {}",
+        "loaded index {path} ({format}): {} vertices, {} edges, k_max = {}{}",
         index.num_vertices(),
         index.num_edges(),
-        index.max_k()
+        index.max_k(),
+        if index.mapped_bytes() > 0 {
+            " (mmap)"
+        } else {
+            ""
+        }
     );
-    Ok(index)
+    Ok((index, format))
 }
 
 fn cmd_index_query(args: &Args) -> Result<(), String> {
     let what = args.get("query").unwrap_or("spectrum");
-    let index = load_index(args.input()?)?;
+    let (index, _) = load_index(args.input()?)?;
     let require_k = || -> Result<u32, String> {
         args.get_parsed("k")?
             .ok_or_else(|| format!("--k is required for --query {what}"))
@@ -404,15 +438,19 @@ fn cmd_index_query(args: &Args) -> Result<(), String> {
 
 fn cmd_index_update(args: &Args) -> Result<(), String> {
     let delta_path = args.get("delta").ok_or("--delta is required")?;
+    let explicit_format = parse_format(args, "format")?;
     let input = args.input()?;
     let out = args.get("out").unwrap_or(input);
     let file = File::open(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
     let delta = gio::read_delta(file).map_err(|e| format!("{delta_path}: {e}"))?;
-    let mut index = load_index(input)?;
+    let (mut index, read_format) = load_index(input)?;
+    // Rewrite in the format the index was read in — a v1 consumer's file
+    // stays v1 under maintenance — unless --format says to migrate.
+    let format = explicit_format.unwrap_or(read_format);
     let start = Instant::now();
     let stats = index.apply(&delta);
     let elapsed = start.elapsed();
-    save_index_atomic(&index, out)?;
+    save_index_atomic(&index, out, format)?;
     eprintln!(
         "applied {delta_path}: +{} -{} ({} skipped), \
          {} edges seeded, {} relaxations ({} lowered), {:.3}s",
@@ -425,11 +463,65 @@ fn cmd_index_update(args: &Args) -> Result<(), String> {
         elapsed.as_secs_f64(),
     );
     eprintln!(
-        "wrote index {out}: {} vertices, {} edges, k_max = {}",
+        "wrote index {out} ({format}): {} vertices, {} edges, k_max = {}",
         index.num_vertices(),
         index.num_edges(),
         index.max_k()
     );
+    Ok(())
+}
+
+/// `truss convert`: migrate a graph or index file between the v1 record
+/// formats and the v2 zero-copy snapshots, auto-detecting what the input
+/// is from its magic. v1 → v2 → v1 round trips are bit-identical.
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let to = parse_format(args, "to")?.unwrap_or(IndexFormat::V2);
+    let input = args.input()?;
+    let out = args
+        .positional
+        .get(1)
+        .ok_or("convert expects <input> <output>")?;
+    let kind = storage::sniff_file(Path::new(input)).map_err(|e| format!("{input}: {e}"))?;
+    let describe = match kind {
+        // SNAP text (`Other`) also converts — it loads through the same
+        // auto-detecting graph path.
+        FileKind::GraphV1 | FileKind::GraphV2 | FileKind::Other => {
+            let g = load_graph(input)?;
+            // Write-to-temp + rename, like the index path: an in-place
+            // convert must not truncate a file the loaded graph may
+            // still be memory-mapping, and a failed write must not
+            // leave a partial output behind.
+            let tmp = format!("{out}.tmp{}", std::process::id());
+            let file = File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
+            let written = match to {
+                IndexFormat::V1 => gio::write_binary(&g, file).map_err(|e| e.to_string()),
+                IndexFormat::V2 => {
+                    storage::write_graph_snapshot(&g, file).map_err(|e| e.to_string())
+                }
+            }
+            .and_then(|()| std::fs::rename(&tmp, out).map_err(|e| format!("{out}: {e}")));
+            if let Err(e) = written {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            format!(
+                "graph, {} vertices, {} edges",
+                g.num_vertices(),
+                g.num_edges()
+            )
+        }
+        FileKind::IndexV1 | FileKind::IndexV2 => {
+            let (index, _) = load_index(input)?;
+            save_index_atomic(&index, out, to)?;
+            format!(
+                "index, {} vertices, {} edges, k_max = {}",
+                index.num_vertices(),
+                index.num_edges(),
+                index.max_k()
+            )
+        }
+    };
+    eprintln!("wrote {out} ({to}): {describe}");
     Ok(())
 }
 
@@ -501,6 +593,8 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
     if out_path.ends_with(".bin") {
         gio::write_binary(&g, file).map_err(|e| e.to_string())?;
+    } else if out_path.ends_with(".gr2") {
+        storage::write_graph_snapshot(&g, file).map_err(|e| e.to_string())?;
     } else {
         gio::write_snap(&g, file).map_err(|e| e.to_string())?;
     }

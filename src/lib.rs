@@ -11,7 +11,7 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`graph`] | CSR graphs, generators, formats, metrics |
-//! | [`storage`] | I/O cost model, disk edge lists, partitioners, external sort |
+//! | [`storage`] | I/O cost model, disk edge lists, partitioners, external sort, mmap + the v2 zero-copy snapshot formats (`docs/FORMATS.md`) |
 //! | [`triangle`] | triangle counting/listing (in-memory + external) |
 //! | [`core`] | the paper's algorithms (TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core) plus the PKT-style parallel engine, its thread pool, and the persistent [`TrussIndex`](core::index::TrussIndex) with incremental edge updates |
 //! | [`mapreduce`] | single-machine MapReduce engine + Cohen's TD-MR baseline |
@@ -47,6 +47,7 @@ pub mod prelude {
         registry, AlgorithmKind, EngineConfig, EngineInput, EngineReport, TrussEngine,
     };
     pub use truss_core::decompose::{truss_decompose, TrussDecomposition};
-    pub use truss_core::index::{TrussIndex, UpdateStats};
-    pub use truss_graph::{CsrGraph, Edge, EdgeDelta, EdgeId, GraphBuilder, VertexId};
+    pub use truss_core::index::{IndexFormat, TrussIndex, UpdateStats};
+    pub use truss_graph::{CsrGraph, Edge, EdgeDelta, EdgeId, GraphBuilder, SectionBuf, VertexId};
+    pub use truss_storage::LoadMode;
 }

@@ -518,3 +518,229 @@ fn errors_are_reported() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+/// Reads the magic + version byte of a file, the way the auto-detecting
+/// loaders classify it.
+fn file_magic(path: &std::path::Path) -> (Vec<u8>, u8) {
+    let bytes = std::fs::read(path).unwrap();
+    (bytes[..8].to_vec(), bytes[8])
+}
+
+#[test]
+fn convert_round_trips_graph_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("truss-cli-convert-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1 = dir.join("g.bin");
+    let v2 = dir.join("g.gr2");
+    let v1_back = dir.join("g2.bin");
+
+    assert!(truss_bin()
+        .args([
+            "generate",
+            "--dataset",
+            "hep",
+            "--scale",
+            "0.01",
+            "--seed",
+            "3",
+            v1.to_str().unwrap()
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // v1 -> v2: the output is a TRUSSGR2 snapshot.
+    let out = truss_bin()
+        .args([
+            "convert",
+            "--to",
+            "v2",
+            v1.to_str().unwrap(),
+            v2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(file_magic(&v2).0, b"TRUSSGR2");
+
+    // Decomposing the snapshot gives byte-identical TSV to the binary.
+    let from_v1 = truss_bin()
+        .args(["decompose", v1.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let from_v2 = truss_bin()
+        .args(["decompose", v2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(from_v1.status.success() && from_v2.status.success());
+    assert_eq!(from_v1.stdout, from_v2.stdout, "mapped vs parsed TSV");
+
+    // v2 -> v1 restores the original file bit-for-bit.
+    let out = truss_bin()
+        .args([
+            "convert",
+            "--to",
+            "v1",
+            v2.to_str().unwrap(),
+            v1_back.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        std::fs::read(&v1).unwrap(),
+        std::fs::read(&v1_back).unwrap()
+    );
+
+    // Unknown --to is rejected.
+    let out = truss_bin()
+        .args([
+            "convert",
+            "--to",
+            "v9",
+            v1.to_str().unwrap(),
+            v2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn index_build_writes_v2_by_default_and_v1_on_request() {
+    let input = figure2_file();
+    let dir = std::env::temp_dir().join(format!("truss-cli-ifmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2 = dir.join("f.tix");
+    let v1 = dir.join("f.v1.tix");
+
+    for (path, format_args) in [(&v2, vec![]), (&v1, vec!["--format", "v1"])] {
+        let mut args = vec!["index", "build", "--out", path.to_str().unwrap()];
+        args.extend(format_args);
+        args.push(input.to_str().unwrap());
+        let out = truss_bin().args(&args).output().unwrap();
+        assert!(out.status.success(), "{out:?}");
+    }
+    let (magic2, ver2) = file_magic(&v2);
+    assert_eq!((magic2.as_slice(), ver2), (b"TRUSSIDX".as_slice(), 2));
+    let (magic1, ver1) = file_magic(&v1);
+    assert_eq!((magic1.as_slice(), ver1), (b"TRUSSIDX".as_slice(), 1));
+
+    // Both serve identical query answers.
+    for q in [["--query", "spectrum"], ["--query", "ktruss"]] {
+        let mut a1 = q.to_vec();
+        let mut a2 = q.to_vec();
+        if q[1] == "ktruss" {
+            a1.extend(["--k", "4"]);
+            a2.extend(["--k", "4"]);
+        }
+        a1.push(v1.to_str().unwrap());
+        a2.push(v2.to_str().unwrap());
+        let o1 = truss_bin()
+            .args(["index", "query"].iter().copied().chain(a1))
+            .output()
+            .unwrap();
+        let o2 = truss_bin()
+            .args(["index", "query"].iter().copied().chain(a2))
+            .output()
+            .unwrap();
+        assert!(o1.status.success() && o2.status.success());
+        assert_eq!(o1.stdout, o2.stdout, "{q:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn index_update_rewrites_in_the_format_it_read() {
+    let input = figure2_file();
+    let dir = std::env::temp_dir().join(format!("truss-cli-ufmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let delta = dir.join("d.delta");
+    std::fs::write(&delta, "+ 4 7\n").unwrap();
+
+    for (build_fmt, expect_ver) in [("v1", 1u8), ("v2", 2u8)] {
+        let idx = dir.join(format!("u.{build_fmt}.tix"));
+        assert!(truss_bin()
+            .args([
+                "index",
+                "build",
+                "--format",
+                build_fmt,
+                "--out",
+                idx.to_str().unwrap(),
+                input.to_str().unwrap()
+            ])
+            .output()
+            .unwrap()
+            .status
+            .success());
+        // In-place update preserves the on-disk format.
+        let out = truss_bin()
+            .args([
+                "index",
+                "update",
+                "--delta",
+                delta.to_str().unwrap(),
+                idx.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(
+            file_magic(&idx).1,
+            expect_ver,
+            "update must keep {build_fmt}"
+        );
+        // The updated index answers the new edge.
+        assert!(truss_bin()
+            .args([
+                "index",
+                "query",
+                "--query",
+                "edge",
+                "--u",
+                "4",
+                "--v",
+                "7",
+                idx.to_str().unwrap()
+            ])
+            .output()
+            .unwrap()
+            .status
+            .success());
+    }
+
+    // --format v2 migrates a v1 index during update.
+    let idx = dir.join("m.tix");
+    assert!(truss_bin()
+        .args([
+            "index",
+            "build",
+            "--format",
+            "v1",
+            "--out",
+            idx.to_str().unwrap(),
+            input.to_str().unwrap()
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = truss_bin()
+        .args([
+            "index",
+            "update",
+            "--delta",
+            delta.to_str().unwrap(),
+            "--format",
+            "v2",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(file_magic(&idx).1, 2, "--format v2 must migrate");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -254,3 +254,105 @@ fn dataset_analogues_consistent() {
         assert_eq!(d.trussness(), exact.trussness(), "{name}");
     }
 }
+
+/// Every query API of the index answers identically on the owned
+/// (in-memory) view and the mapped/buffered v2 snapshot views, across
+/// the whole generator suite — and on the v1 file for good measure.
+/// This is the acceptance gate for the zero-copy storage path: a graph
+/// or index served straight from disk must be indistinguishable from
+/// one built on the heap.
+#[test]
+fn snapshot_views_answer_queries_identically_across_suite() {
+    use truss_decomposition::storage::LoadMode;
+    let dir = std::env::temp_dir().join(format!("truss-consistency-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, g) in suite() {
+        let owned = TrussIndex::from_decompose(g.clone());
+        let v2 = dir.join(format!("{name}.tix"));
+        let v1 = dir.join(format!("{name}.v1.tix"));
+        owned
+            .save(&v2)
+            .unwrap_or_else(|e| panic!("{name}: save v2: {e}"));
+        owned
+            .save_as(&v1, truss_decomposition::core::index::IndexFormat::V1)
+            .unwrap_or_else(|e| panic!("{name}: save v1: {e}"));
+
+        let mapped = TrussIndex::load(&v2).unwrap_or_else(|e| panic!("{name}: load v2: {e}"));
+        let (buffered, _) = TrussIndex::load_with(&v2, LoadMode::Buffered)
+            .unwrap_or_else(|e| panic!("{name}: buffered v2: {e}"));
+        let legacy = TrussIndex::load(&v1).unwrap_or_else(|e| panic!("{name}: load v1: {e}"));
+
+        for (flavor, view) in [
+            ("mapped", &mapped),
+            ("buffered", &buffered),
+            ("v1", &legacy),
+        ] {
+            let label = format!("{name}/{flavor}");
+            assert_eq!(view.trussness(), owned.trussness(), "{label}");
+            assert_eq!(view.max_k(), owned.max_k(), "{label}");
+            assert_eq!(view.num_edges(), owned.num_edges(), "{label}");
+            assert_eq!(view.num_vertices(), owned.num_vertices(), "{label}");
+            assert_eq!(view.vertex_trussness(), owned.vertex_trussness(), "{label}");
+            for k in 0..=owned.max_k() + 2 {
+                assert_eq!(view.k_truss_size(k), owned.k_truss_size(k), "{label} k={k}");
+                assert_eq!(
+                    view.k_truss_edge_ids(k),
+                    owned.k_truss_edge_ids(k),
+                    "{label} k={k}"
+                );
+                assert_eq!(
+                    view.k_truss_edges(k),
+                    owned.k_truss_edges(k),
+                    "{label} k={k}"
+                );
+                let (vc, oc) = (view.k_truss_communities(k), owned.k_truss_communities(k));
+                assert_eq!(vc.len(), oc.len(), "{label} k={k} communities");
+                for (a, b) in vc.iter().zip(&oc) {
+                    assert_eq!(a.vertices, b.vertices, "{label} k={k}");
+                }
+            }
+            let (vs, os) = (view.spectrum(), owned.spectrum());
+            assert_eq!(vs.k_max, os.k_max, "{label}");
+            assert_eq!(vs.class_sizes, os.class_sizes, "{label}");
+            for (id, e) in g.iter_edges() {
+                assert_eq!(view.truss_of(e.u, e.v), owned.truss_of(e.u, e.v), "{label}");
+                assert_eq!(view.truss_of_edge(id), owned.truss_of_edge(id), "{label}");
+            }
+        }
+
+        // The mapped view keeps no per-section heap; its pages are
+        // accounted as mapped bytes instead.
+        if mapped.mapped_bytes() > 0 {
+            assert_eq!(mapped.heap_bytes(), 0, "{name}: mapped index costs no heap");
+        }
+        assert!(
+            buffered.mapped_bytes() == 0 && buffered.heap_bytes() > 0,
+            "{name}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A mapped index stays fully functional under mutation: `apply`
+/// detaches the views copy-on-write and the updated index matches a
+/// from-scratch decomposition (and can be re-saved in either format).
+#[test]
+fn mapped_index_survives_updates_via_copy_on_write() {
+    use truss_decomposition::prelude::EdgeDelta;
+    let g = gen::figure2_graph();
+    let path = std::env::temp_dir().join(format!("truss-cow-{}.tix", std::process::id()));
+    TrussIndex::from_decompose(g).save(&path).unwrap();
+    let mut index = TrussIndex::load(&path).unwrap();
+
+    let mut delta = EdgeDelta::new();
+    delta.remove.push(Edge::new(0, 1));
+    delta.insert.push(Edge::new(4, 7));
+    index.apply(&delta);
+
+    let scratch = truss_decomposition::prelude::truss_decompose(index.graph());
+    assert_eq!(index.trussness(), scratch.trussness());
+    index.save(&path).unwrap();
+    let back = TrussIndex::load(&path).unwrap();
+    assert_eq!(back.trussness(), index.trussness());
+    std::fs::remove_file(&path).unwrap();
+}

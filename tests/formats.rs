@@ -150,3 +150,108 @@ fn topdown_without_cleanup_still_correct() {
         );
     }
 }
+
+/// A graph whose highest-id vertices are isolated survives a binary
+/// round trip: the v1 reader must honor the stored vertex count instead
+/// of inferring `n` from the max edge endpoint (regression — the header
+/// count used to be read and discarded).
+#[test]
+fn binary_round_trip_preserves_trailing_isolated_vertices() {
+    use truss_decomposition::graph::CsrGraph;
+    let g = truss_decomposition::graph::CsrGraph::with_min_vertices(
+        CsrGraph::from_edges(vec![
+            truss_decomposition::graph::Edge::new(0, 1),
+            truss_decomposition::graph::Edge::new(1, 2),
+        ]),
+        7,
+    );
+    let mut bin = Vec::new();
+    gio::write_binary(&g, &mut bin).unwrap();
+    let g2 = gio::read_binary(&bin[..]).unwrap();
+    assert_eq!(g2.num_vertices(), 7);
+    assert_eq!(g2.degree(6), 0);
+    assert_eq!(g.edges(), g2.edges());
+
+    // And through the v2 snapshot, which carries `n` explicitly.
+    let mut snap = Vec::new();
+    truss_decomposition::storage::write_graph_snapshot(&g, &mut snap).unwrap();
+    let dir = std::env::temp_dir().join(format!("truss-fmt-iso-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join("iso.gr2");
+    std::fs::write(&p, &snap).unwrap();
+    let g3 = truss_decomposition::storage::open_graph_snapshot(
+        &p,
+        truss_decomposition::storage::LoadMode::Auto,
+    )
+    .unwrap();
+    assert_eq!(g3.num_vertices(), 7);
+    assert_eq!(g.edges(), g3.edges());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// v1 → v2 → v1 must round-trip bit-identically for graphs, and the
+/// v2 → v1 → v2 direction for snapshots (both formats are canonical
+/// serializations of the same structure).
+#[test]
+fn graph_v1_v2_migration_is_bit_identical() {
+    use truss_decomposition::storage::{self, LoadMode};
+    let g = gen::erdos_renyi::gnm(70, 400, 33);
+    let dir = std::env::temp_dir().join(format!("truss-fmt-migrate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // v1 bytes → load → write v2 → open → write v1 again.
+    let mut v1 = Vec::new();
+    gio::write_binary(&g, &mut v1).unwrap();
+    let p1 = dir.join("g.bin");
+    std::fs::write(&p1, &v1).unwrap();
+    let loaded = storage::load_graph_auto(&p1, LoadMode::Auto).unwrap();
+    let p2 = dir.join("g.gr2");
+    storage::write_graph_snapshot(&loaded, std::fs::File::create(&p2).unwrap()).unwrap();
+    let reopened = storage::open_graph_snapshot(&p2, LoadMode::Auto).unwrap();
+    let mut v1_again = Vec::new();
+    gio::write_binary(&reopened, &mut v1_again).unwrap();
+    assert_eq!(v1, v1_again, "v1 -> v2 -> v1 must be bit-identical");
+
+    // And v2 -> v1 -> v2.
+    let mut v2_again = Vec::new();
+    storage::write_graph_snapshot(
+        &storage::load_graph_auto(&p1, LoadMode::Auto).unwrap(),
+        &mut v2_again,
+    )
+    .unwrap();
+    assert_eq!(std::fs::read(&p2).unwrap(), v2_again);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same bit-identical migration for index files, through the typed
+/// TrussIndex save/load API the CLI `truss convert` uses.
+#[test]
+fn index_v1_v2_migration_is_bit_identical() {
+    use truss_decomposition::core::index::IndexFormat;
+    use truss_decomposition::prelude::TrussIndex;
+    let g = gen::watts_strogatz(50, 6, 0.2, 19);
+    let dir = std::env::temp_dir().join(format!("truss-fmt-imigrate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let index = TrussIndex::from_decompose(g);
+
+    let p1 = dir.join("i.v1.tix");
+    let p2 = dir.join("i.v2.tix");
+    index.save_as(&p1, IndexFormat::V1).unwrap();
+    index.save_as(&p2, IndexFormat::V2).unwrap();
+
+    // v1 -> v2 -> v1.
+    let (from_v1, f1) =
+        TrussIndex::load_with(&p1, truss_decomposition::storage::LoadMode::Auto).unwrap();
+    assert_eq!(f1, IndexFormat::V1);
+    let p2b = dir.join("i.v2b.tix");
+    from_v1.save_as(&p2b, IndexFormat::V2).unwrap();
+    assert_eq!(std::fs::read(&p2).unwrap(), std::fs::read(&p2b).unwrap());
+
+    let (from_v2, f2) =
+        TrussIndex::load_with(&p2b, truss_decomposition::storage::LoadMode::Auto).unwrap();
+    assert_eq!(f2, IndexFormat::V2);
+    let p1b = dir.join("i.v1b.tix");
+    from_v2.save_as(&p1b, IndexFormat::V1).unwrap();
+    assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p1b).unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
