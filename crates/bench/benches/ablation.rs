@@ -1,7 +1,8 @@
 //! Ablations over the design choices `DESIGN.md` calls out:
 //!
-//! 1. Algorithm 2's edge-membership index: hash table (the paper's choice)
-//!    vs binary search in the CSR,
+//! 1. Algorithm 2's edge-membership index: the flat oriented adjacency +
+//!    compacting live walk (the default) vs hash table (the paper's
+//!    choice) vs binary search in the CSR,
 //! 2. the partitioner of the external pass (sequential / random / seeded),
 //! 3. the memory budget (M = |G|/4, /8, /16) for TD-bottomup — the knob the
 //!    I/O model trades scans against.
@@ -25,6 +26,7 @@ fn bench_edge_index(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     let g = bench_graph(Dataset::Skitter, BenchScale::Tiny);
     for (label, kind) in [
+        ("oriented", EdgeIndexKind::Oriented),
         ("hash", EdgeIndexKind::Hash),
         ("binary-search", EdgeIndexKind::BinarySearch),
     ] {

@@ -2,7 +2,7 @@
 //! This is the generator for `EXPERIMENTS.md`. Scale with `TRUSS_SCALE=`.
 
 use truss_bench::datasets::BenchScale;
-use truss_bench::tables;
+use truss_bench::{hotpath, tables};
 
 fn main() {
     let scale = BenchScale::Default;
@@ -20,4 +20,6 @@ fn main() {
         .print("Update throughput: incremental TrussIndex maintenance vs full recompute");
     tables::table_load(scale)
         .print("Snapshot load: TRUSSGR1 parse-load vs TRUSSGR2 mmap/buffered open");
+    hotpath::table_hotpath(scale)
+        .print("Hot paths: TD-inmem+ hash vs oriented+compacting, and parallel");
 }

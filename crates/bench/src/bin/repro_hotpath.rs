@@ -1,0 +1,23 @@
+//! Hot-path perf trajectory: times support-init and full decomposition
+//! for the TD-inmem+ edge-index arms (hash vs the flat oriented +
+//! compacting default) and the parallel engine over the generator suite,
+//! prints the table, and writes the machine-readable `BENCH_5.json`
+//! snapshot (to `TRUSS_BENCH_OUT`, default `BENCH_5.json` in the current
+//! directory). Scale with `TRUSS_SCALE=`; exits non-zero if the oriented
+//! arm was not strictly faster than the hash arm on every graph.
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::hotpath;
+
+fn main() {
+    let scale = BenchScale::Default;
+    let rows = hotpath::hotpath_rows(scale);
+    hotpath::table_hotpath_rows(&rows)
+        .print("Hot paths: TD-inmem+ hash vs oriented+compacting, and parallel");
+    let out = std::env::var("TRUSS_BENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".to_string());
+    std::fs::write(&out, hotpath::hotpath_json(&rows, scale)).expect("write snapshot");
+    eprintln!("wrote {out}");
+    if !hotpath::oriented_wins_everywhere(&rows) {
+        std::process::exit(1);
+    }
+}

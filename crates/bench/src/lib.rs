@@ -3,6 +3,7 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
 pub mod datasets;
+pub mod hotpath;
 pub mod table;
 pub mod tables;
 

@@ -29,6 +29,12 @@ impl SupportBuckets {
     pub fn new(sup: Vec<u32>) -> Self {
         let m = sup.len();
         let max_sup = sup.iter().copied().max().unwrap_or(0) as usize;
+        // `counts` doubles as the placement cursor: after the prefix sum it
+        // holds each bin's start, and the placement loop advances it past
+        // the edges it places — leaving exactly the *next* bin's start in
+        // each slot, which is why `bin_start` is snapshotted in between
+        // (one array and one copy fewer than counting, snapshotting *and*
+        // cloning a cursor).
         let mut counts = vec![0u32; max_sup + 2];
         for &s in &sup {
             counts[s as usize + 1] += 1;
@@ -37,15 +43,14 @@ impl SupportBuckets {
             counts[i] += counts[i - 1];
         }
         let bin_start = counts[..counts.len() - 1].to_vec();
-        let mut cursor = bin_start.clone();
         let mut sorted = vec![0 as EdgeId; m];
         let mut pos = vec![0u32; m];
         for e in 0..m {
             let s = sup[e] as usize;
-            let at = cursor[s] as usize;
+            let at = counts[s] as usize;
             sorted[at] = e as EdgeId;
             pos[e] = at as u32;
-            cursor[s] += 1;
+            counts[s] += 1;
         }
         SupportBuckets {
             sorted,

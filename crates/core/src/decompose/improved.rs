@@ -7,31 +7,51 @@
 //!    so the minimum-support edge and every support decrement are O(1);
 //! 2. when edge `(u, v)` is removed, triangles are found by walking the
 //!    neighbor list of the **lower-degree** endpoint and testing `(v, w) ∈ E`
-//!    in a hash table (Steps 6–8) — `O(min(deg u, deg v))` per removal
-//!    instead of `O(deg u + deg v)`.
+//!    (Steps 6–8) — `O(min(deg u, deg v))` per removal instead of
+//!    `O(deg u + deg v)`.
+//!
+//! The membership test of Step 8 is configurable ([`EdgeIndexKind`]). The
+//! default `Oriented` arm replaces the paper's global edge hash table with
+//! two flat structures: the walk runs over a *compacting live adjacency*
+//! ([`super::live::LiveAdjacency`] — per-vertex live-neighbor arrays with
+//! swap-remove on edge death, so each removal touches only surviving
+//! neighbors), and membership is a binary probe of the oriented
+//! [`ForwardAdjacency`] (one short sorted run per probe instead of a
+//! ~16 B/edge hash map). The paper's hash table survives as the `Hash`
+//! ablation arm; see `docs/ALGORITHMS.md` ("hot-path engineering") for
+//! the cost model.
 
 use super::bucket::SupportBuckets;
-use super::TrussDecomposition;
+use super::live::LiveAdjacency;
+use super::{DecomposeStats, TrussDecomposition};
+use std::time::Instant;
 use truss_graph::hash::FxHashMap;
 use truss_graph::{CsrGraph, EdgeId, VertexId};
 use truss_triangle::count::edge_supports;
+use truss_triangle::ForwardAdjacency;
 
 /// How edge membership (`(v, w) ∈ E_G`, Step 8) is tested.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EdgeIndexKind {
-    /// Hash table keyed by the packed edge pair — the paper's choice
-    /// (expected O(1) per probe).
+    /// Binary probe of the flat oriented adjacency, with the removal walk
+    /// running over the compacting live adjacency — the default hot path
+    /// (no hash map, no dead-edge rescans).
     #[default]
+    Oriented,
+    /// Hash table keyed by the packed edge pair — the paper's choice
+    /// (expected O(1) per probe). Kept as the ablation arm; walks the
+    /// static adjacency with `alive[]` skips.
     Hash,
     /// Binary search in the smaller endpoint's sorted neighbor list
-    /// (O(log min-degree) per probe, no extra memory). Ablation alternative.
+    /// (O(log min-degree) per probe, no extra memory). Ablation
+    /// alternative on the static-adjacency walk.
     BinarySearch,
 }
 
 /// Tuning knobs for [`truss_decompose_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ImprovedConfig {
-    /// Edge-membership index (ablation axis; default hash).
+    /// Edge-membership index (ablation axis; default oriented).
     pub edge_index: EdgeIndexKind,
 }
 
@@ -41,32 +61,143 @@ pub fn truss_decompose(g: &CsrGraph) -> TrussDecomposition {
 }
 
 /// Algorithm 2 with explicit configuration. Returns the decomposition and
-/// the peak tracked heap usage in bytes (Table 3's memory column).
-pub fn truss_decompose_with(g: &CsrGraph, config: ImprovedConfig) -> (TrussDecomposition, usize) {
+/// the run's [`DecomposeStats`] (peak tracked heap — Table 3's memory
+/// column — plus the support-init vs peel phase split).
+pub fn truss_decompose_with(
+    g: &CsrGraph,
+    config: ImprovedConfig,
+) -> (TrussDecomposition, DecomposeStats) {
+    match config.edge_index {
+        EdgeIndexKind::Oriented => decompose_oriented(g, |_, _| {}),
+        EdgeIndexKind::Hash | EdgeIndexKind::BinarySearch => decompose_probed(g, config.edge_index),
+    }
+}
+
+/// The `Oriented` hot path: support init and Step-8 membership share one
+/// flat [`ForwardAdjacency`]; the removal walk runs on the compacting
+/// [`LiveAdjacency`]. `inspect` is called after every removal with the
+/// live adjacency and the aliveness array (a no-op closure in production;
+/// the invariant tests hook it).
+pub(crate) fn decompose_oriented<I>(
+    g: &CsrGraph,
+    mut inspect: I,
+) -> (TrussDecomposition, DecomposeStats)
+where
+    I: FnMut(&LiveAdjacency, &[bool]),
+{
+    let m = g.num_edges();
+    // Step 2: supports via O(m^1.5) triangle counting [27, 20], over the
+    // same oriented adjacency the peel will probe.
+    let triangle_start = Instant::now();
+    let fwd = ForwardAdjacency::build(g);
+    let sup = fwd.edge_supports();
+    let triangle_time = triangle_start.elapsed();
+
+    let peel_start = Instant::now();
+    // Step 3: bin sort.
+    let mut buckets = SupportBuckets::new(sup);
+    let mut live = LiveAdjacency::new(g, fwd.vertex_ranks());
+    let mut alive = vec![true; m];
+    let mut trussness = vec![2u32; m];
+
+    let peak_bytes = g.heap_bytes()
+        + fwd.heap_bytes()
+        + live.heap_bytes()
+        + buckets.heap_bytes()
+        + m // alive
+        + m * 4; // trussness
+
+    let mut k = 2u32;
+    // Steps 4–12: repeatedly remove the lowest-support edge. Tracking
+    // `k = max(k, sup + 2)` assigns each removed edge its class directly:
+    // while sup(e) ≤ k − 2 the edge belongs to Φ_k.
+    while let Some((e, s)) = buckets.pop_min() {
+        k = k.max(s + 2);
+        alive[e as usize] = false;
+        trussness[e as usize] = k;
+
+        let edge = g.edge(e);
+        // Remove e first so the walk below never sees it.
+        live.remove(e, edge);
+        // The maintained support is exactly the number of *surviving*
+        // triangles through e (every triangle death decrements its two
+        // surviving edges once), so a support-0 pop needs no walk at all
+        // and any walk can stop after its s-th triangle.
+        if s > 0 {
+            // Step 6: walk the endpoint with fewer *surviving* neighbors
+            // — the live degree, not the static degree the probed arms
+            // use.
+            let (a, b) = if live.degree(edge.u) <= live.degree(edge.v) {
+                (edge.u, edge.v)
+            } else {
+                (edge.v, edge.u)
+            };
+            let rb = fwd.rank(b);
+            let mut found = 0u32;
+            let (ws, es, rs) = live.neighbors(a);
+            for ((&w, &e_aw), &rw) in ws.iter().zip(es).zip(rs) {
+                // e_aw is alive by the live-adjacency invariant. Step 8:
+                // (b, w) ∈ E_G? — binary probe of the oriented adjacency,
+                // ranks fed from the walk (no random rank lookups).
+                let Some(e_bw) = fwd.edge_between_ranked(b, rb, w, rw) else {
+                    continue;
+                };
+                if !alive[e_bw as usize] {
+                    continue;
+                }
+                // Steps 9–10: the triangle {e, e_aw, e_bw} dies with e.
+                buckets.decrement(e_aw);
+                buckets.decrement(e_bw);
+                found += 1;
+                if found == s {
+                    break;
+                }
+            }
+            debug_assert_eq!(found, s, "support diverged from alive triangles");
+        }
+        inspect(&live, &alive);
+    }
+
+    (
+        TrussDecomposition::from_trussness(trussness),
+        DecomposeStats {
+            peak_bytes,
+            triangle_time,
+            peel_time: peel_start.elapsed(),
+        },
+    )
+}
+
+/// The static-walk arms (`Hash` and `BinarySearch`): the paper's original
+/// Step 6–8 structure — walk the lower-static-degree endpoint's full CSR
+/// neighbor list with `alive[]` skips, membership via hash table or
+/// binary search.
+fn decompose_probed(g: &CsrGraph, kind: EdgeIndexKind) -> (TrussDecomposition, DecomposeStats) {
     let m = g.num_edges();
     // Step 2: supports via O(m^1.5) triangle counting [27, 20].
+    let triangle_start = Instant::now();
     let sup = edge_supports(g);
+    let triangle_time = triangle_start.elapsed();
+
+    let peel_start = Instant::now();
     // Step 3: bin sort.
     let mut buckets = SupportBuckets::new(sup);
     let mut alive = vec![true; m];
     let mut trussness = vec![2u32; m];
 
     // Step 8's hash table over E_G (packed key -> edge id).
-    let index: Option<FxHashMap<u64, EdgeId>> = match config.edge_index {
+    let index: Option<FxHashMap<u64, EdgeId>> = match kind {
         EdgeIndexKind::Hash => Some(g.iter_edges().map(|(id, e)| (e.key(), id)).collect()),
-        EdgeIndexKind::BinarySearch => None,
+        _ => None,
     };
 
-    let peak = g.heap_bytes()
+    let peak_bytes = g.heap_bytes()
         + buckets.heap_bytes()
         + m // alive
         + m * 4 // trussness
         + index.as_ref().map_or(0, |ix| ix.capacity() * 16);
 
     let mut k = 2u32;
-    // Steps 4–12: repeatedly remove the lowest-support edge. Tracking
-    // `k = max(k, sup + 2)` assigns each removed edge its class directly:
-    // while sup(e) ≤ k − 2 the edge belongs to Φ_k.
     while let Some((e, s)) = buckets.pop_min() {
         k = k.max(s + 2);
         alive[e as usize] = false;
@@ -82,29 +213,19 @@ pub fn truss_decompose_with(g: &CsrGraph, config: ImprovedConfig) -> (TrussDecom
         let nbrs = g.neighbors(a);
         let eids = g.neighbor_edge_ids(a);
         for (&w, &e_aw) in nbrs.iter().zip(eids) {
-            if !alive[e_aw as usize] {
+            if !alive[e_aw as usize] || w == b {
                 continue;
             }
             // Step 8: (b, w) ∈ E_G?
             let e_bw = match &index {
-                Some(ix) => {
-                    if w == b {
-                        continue;
-                    }
-                    match ix.get(&truss_graph::Edge::new(b, w).key()) {
-                        Some(&id) => id,
-                        None => continue,
-                    }
-                }
-                None => {
-                    if w == b {
-                        continue;
-                    }
-                    match g.edge_id(b, w) {
-                        Some(id) => id,
-                        None => continue,
-                    }
-                }
+                Some(ix) => match ix.get(&truss_graph::Edge::new(b, w).key()) {
+                    Some(&id) => id,
+                    None => continue,
+                },
+                None => match g.edge_id(b, w) {
+                    Some(id) => id,
+                    None => continue,
+                },
             };
             if !alive[e_bw as usize] {
                 continue;
@@ -115,7 +236,14 @@ pub fn truss_decompose_with(g: &CsrGraph, config: ImprovedConfig) -> (TrussDecom
         }
     }
 
-    (TrussDecomposition::from_trussness(trussness), peak)
+    (
+        TrussDecomposition::from_trussness(trussness),
+        DecomposeStats {
+            peak_bytes,
+            triangle_time,
+            peel_time: peel_start.elapsed(),
+        },
+    )
 }
 
 /// Iterates the common neighbors `w` of `u` and `v`, yielding
@@ -186,22 +314,66 @@ mod tests {
     }
 
     #[test]
-    fn both_edge_indexes_agree() {
+    fn all_edge_indexes_agree() {
         for seed in [3u64, 17] {
             let g = gnm(90, 900, seed);
-            let (a, _) = truss_decompose_with(
+            let (reference, _) = truss_decompose_with(
                 &g,
                 ImprovedConfig {
-                    edge_index: EdgeIndexKind::Hash,
+                    edge_index: EdgeIndexKind::Oriented,
                 },
             );
-            let (b, _) = truss_decompose_with(
-                &g,
-                ImprovedConfig {
-                    edge_index: EdgeIndexKind::BinarySearch,
-                },
+            for kind in [EdgeIndexKind::Hash, EdgeIndexKind::BinarySearch] {
+                let (d, _) = truss_decompose_with(&g, ImprovedConfig { edge_index: kind });
+                assert_eq!(
+                    reference.trussness(),
+                    d.trussness(),
+                    "{kind:?} diverges, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_stats_are_populated() {
+        let g = gnm(80, 700, 5);
+        for kind in [
+            EdgeIndexKind::Oriented,
+            EdgeIndexKind::Hash,
+            EdgeIndexKind::BinarySearch,
+        ] {
+            let (_, stats) = truss_decompose_with(&g, ImprovedConfig { edge_index: kind });
+            assert!(stats.peak_bytes > 0, "{kind:?}");
+            // Phase timers are disjoint measured sections; both ran.
+            assert!(stats.triangle_time.as_nanos() > 0, "{kind:?}");
+            assert!(stats.peel_time.as_nanos() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn live_adjacency_matches_alive_filter_mid_peel() {
+        // The compacting-adjacency invariant, checked *during* real peels:
+        // after every removal, each vertex's live segment must equal the
+        // alive[]-filtered static adjacency. Random graphs plus a planted
+        // clique (dense core peeled last — the regime compaction exists
+        // for).
+        let mut graphs: Vec<CsrGraph> = (0..3).map(|seed| gnm(40, 260, seed)).collect();
+        let base = gnm(120, 420, 9);
+        graphs.push(truss_graph::generators::planted::planted_clique(
+            &base, 10, 4,
+        ));
+        for (i, g) in graphs.iter().enumerate() {
+            let mut checks = 0usize;
+            let (d, _) = decompose_oriented(g, |live, alive| {
+                live.assert_matches(g, alive);
+                checks += 1;
+            });
+            assert_eq!(checks, g.num_edges(), "graph {i}");
+            assert_eq!(
+                d.trussness(),
+                truss_decompose_naive(g).trussness(),
+                "graph {i}"
             );
-            assert_eq!(a.trussness(), b.trussness());
         }
     }
 

@@ -1,0 +1,247 @@
+//! The compacting *live adjacency* of the TD-inmem+ peel.
+//!
+//! The peel of Algorithm 2 walks one endpoint's neighbor list on every
+//! edge removal (Steps 6–8). Walking the *static* CSR means rescanning
+//! neighbors whose edges died long ago, guarded by an `alive[]` test — on
+//! a graph peeled down to its dense core, almost every probe is a wasted
+//! cache miss. [`LiveAdjacency`] keeps a mutable copy of the adjacency in
+//! which every dead edge is swap-removed from both endpoints' segments,
+//! so a removal walks *exactly* the surviving neighbors: the walk is
+//! `O(live_deg)` instead of `O(static_deg)`, and the total peel walk cost
+//! is `Σ_e min(live_deg(u), live_deg(v))` at the time each edge dies.
+//!
+//! Layout: the static CSR shape (`offsets`) with mutable
+//! `verts`/`eids`/`nbr_ranks` columns and a per-vertex live count —
+//! vertex `v`'s surviving neighbors occupy
+//! `offsets[v] .. offsets[v] + live_deg[v]`, in arbitrary order
+//! (swap-remove does not preserve sortedness). `pos` tracks where each
+//! edge's two half-entries currently sit, making a removal O(1) per
+//! endpoint. The rank column caches each neighbor's orientation rank so
+//! the walk can feed the oriented-adjacency membership probe
+//! (`ForwardAdjacency::edge_between_ranked`) without a random
+//! rank-lookup per probe.
+
+use truss_graph::{CsrGraph, Edge, EdgeId, VertexId};
+
+/// Per-vertex live-neighbor arrays with O(1) swap-remove on edge death.
+pub struct LiveAdjacency {
+    /// Static CSR shape: vertex `v`'s segment is `offsets[v]..offsets[v+1]`.
+    offsets: Vec<u64>,
+    /// Neighbor column; the live prefix of each segment is authoritative.
+    verts: Vec<VertexId>,
+    /// Undirected edge id column, parallel to `verts`.
+    eids: Vec<EdgeId>,
+    /// Orientation rank of each neighbor, parallel to `verts`.
+    nbr_ranks: Vec<u32>,
+    /// Surviving neighbors of each vertex.
+    live_deg: Vec<u32>,
+    /// `pos[e] = [i, j]`: the index of edge `e`'s half-entry *within*
+    /// its lower endpoint's (`edge.u`, slot 0) and higher endpoint's
+    /// (`edge.v`, slot 1) segment. Segment-relative so `u32` always
+    /// suffices (a segment is at most one vertex's degree), even though
+    /// the concatenated columns hold `2m` entries and are indexed by
+    /// `u64` offsets.
+    pos: Vec<[u32; 2]>,
+}
+
+impl LiveAdjacency {
+    /// Copies `g`'s adjacency into mutable live form, caching each
+    /// neighbor's `vertex_rank` alongside. O(m).
+    pub fn new(g: &CsrGraph, vertex_rank: &[u32]) -> LiveAdjacency {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut verts = Vec::with_capacity(2 * m);
+        let mut eids = Vec::with_capacity(2 * m);
+        let mut nbr_ranks = Vec::with_capacity(2 * m);
+        let mut live_deg = Vec::with_capacity(n);
+        let mut pos = vec![[0u32; 2]; m];
+        for v in 0..n as VertexId {
+            let (ns, es) = (g.neighbors(v), g.neighbor_edge_ids(v));
+            let seg_start = verts.len() as u64;
+            for (&w, &e) in ns.iter().zip(es) {
+                // Edges are canonical (u < v), so the slot of this
+                // half-entry is 0 iff `v` is the lower endpoint.
+                let slot = usize::from(v >= w);
+                pos[e as usize][slot] = (verts.len() as u64 - seg_start) as u32;
+                verts.push(w);
+                eids.push(e);
+                nbr_ranks.push(vertex_rank[w as usize]);
+            }
+            live_deg.push(ns.len() as u32);
+            offsets.push(verts.len() as u64);
+        }
+        LiveAdjacency {
+            offsets,
+            verts,
+            eids,
+            nbr_ranks,
+            live_deg,
+            pos,
+        }
+    }
+
+    /// Surviving neighbors of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.live_deg[v as usize] as usize
+    }
+
+    /// The live neighbor, edge-id and neighbor-rank columns of `v`
+    /// (unordered).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> (&[VertexId], &[EdgeId], &[u32]) {
+        let start = self.offsets[v as usize] as usize;
+        let end = start + self.live_deg[v as usize] as usize;
+        (
+            &self.verts[start..end],
+            &self.eids[start..end],
+            &self.nbr_ranks[start..end],
+        )
+    }
+
+    /// Removes edge `e = (edge.u, edge.v)` from both endpoints' live
+    /// segments by swap-remove. O(1). Must be called at most once per
+    /// edge; `edge` must be `e`'s endpoints.
+    pub fn remove(&mut self, e: EdgeId, edge: Edge) {
+        self.remove_half(edge.u, e, 0);
+        self.remove_half(edge.v, e, 1);
+    }
+
+    /// Swap-removes `e`'s half-entry from `at`'s live segment, patching
+    /// the moved edge's position.
+    fn remove_half(&mut self, at: VertexId, e: EdgeId, slot: usize) {
+        let start = self.offsets[at as usize];
+        let rel = self.pos[e as usize][slot];
+        let p = (start + rel as u64) as usize;
+        let deg = self.live_deg[at as usize];
+        debug_assert!(deg > 0, "vertex {at} has no live edges");
+        let last = (start + deg as u64 - 1) as usize;
+        debug_assert!(rel < deg, "edge {e} already removed at vertex {at}");
+        let (moved_v, moved_e) = (self.verts[last], self.eids[last]);
+        self.verts[p] = moved_v;
+        self.eids[p] = moved_e;
+        self.nbr_ranks[p] = self.nbr_ranks[last];
+        // The moved half-entry belongs to edge `moved_e` at vertex `at`;
+        // its slot is 0 iff `at` is the lower endpoint.
+        self.pos[moved_e as usize][usize::from(at >= moved_v)] = rel;
+        self.live_deg[at as usize] = deg - 1;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * 8
+            + self.verts.len() * 4
+            + self.eids.len() * 4
+            + self.nbr_ranks.len() * 4
+            + self.live_deg.len() * 4
+            + self.pos.len() * 8
+    }
+
+    /// Checks the structural invariant against the static graph: for every
+    /// vertex, the live segment is exactly the `alive`-filtered static
+    /// neighbor list (as a set — compaction scrambles order), and every
+    /// `pos` entry of an alive edge points at a matching half-entry.
+    /// O(m log m); test/debug only.
+    pub fn assert_matches(&self, g: &CsrGraph, alive: &[bool]) {
+        for v in 0..g.num_vertices() as VertexId {
+            let (lv, le, lr) = self.neighbors(v);
+            let mut live: Vec<(VertexId, EdgeId)> =
+                lv.iter().copied().zip(le.iter().copied()).collect();
+            live.sort_unstable();
+            let mut expect: Vec<(VertexId, EdgeId)> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .zip(g.neighbor_edge_ids(v).iter().copied())
+                .filter(|&(_, e)| alive[e as usize])
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(live, expect, "live segment of vertex {v} diverged");
+            // Rank column stays paired with its vertex through swaps:
+            // equal ranks for equal vertex entries, checked via any other
+            // live occurrence having the same rank is implied by the
+            // construction — here just check length consistency.
+            assert_eq!(lr.len(), lv.len(), "rank column of vertex {v} diverged");
+        }
+        for (e, &ok) in alive.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let edge = g.edge(e as EdgeId);
+            for (slot, at) in [(0usize, edge.u), (1, edge.v)] {
+                let rel = self.pos[e][slot];
+                assert!(
+                    rel < self.live_deg[at as usize],
+                    "pos of edge {e} outside the live prefix of vertex {at}"
+                );
+                let p = (self.offsets[at as usize] + rel as u64) as usize;
+                assert_eq!(self.eids[p], e as EdgeId, "pos of edge {e} is stale");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::generators::classic::complete;
+    use truss_graph::generators::erdos_renyi::gnm;
+    use truss_triangle::list::ranks;
+
+    #[test]
+    fn fresh_adjacency_matches_graph() {
+        let g = gnm(40, 200, 1);
+        let live = LiveAdjacency::new(&g, &ranks(&g));
+        live.assert_matches(&g, &vec![true; g.num_edges()]);
+        for v in 0..40 {
+            assert_eq!(live.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn random_removal_order_keeps_invariant() {
+        for seed in 0..3u64 {
+            let g = gnm(30, 180, seed);
+            let m = g.num_edges();
+            let rank = ranks(&g);
+            let mut live = LiveAdjacency::new(&g, &rank);
+            let mut alive = vec![true; m];
+            // Deterministic pseudo-random removal order.
+            let mut order: Vec<u32> = (0..m as u32).collect();
+            let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            for i in (1..order.len()).rev() {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                order.swap(i, (x >> 33) as usize % (i + 1));
+            }
+            for &e in &order {
+                live.remove(e, g.edge(e));
+                alive[e as usize] = false;
+                live.assert_matches(&g, &alive);
+                // The cached ranks stay paired with their vertices.
+                for v in 0..30 {
+                    let (lv, _, lr) = live.neighbors(v);
+                    for (&w, &rw) in lv.iter().zip(lr) {
+                        assert_eq!(rw, rank[w as usize]);
+                    }
+                }
+            }
+            assert!((0..30).all(|v| live.degree(v) == 0));
+        }
+    }
+
+    #[test]
+    fn clique_removal() {
+        let g = complete(8);
+        let mut live = LiveAdjacency::new(&g, &ranks(&g));
+        let mut alive = vec![true; g.num_edges()];
+        for e in 0..g.num_edges() as u32 {
+            live.remove(e, g.edge(e));
+            alive[e as usize] = false;
+            live.assert_matches(&g, &alive);
+        }
+    }
+}

@@ -7,19 +7,23 @@
 //! `O(deg(u) + deg(v))` per removal — `O(Σ_v deg(v)²)` total — which is the
 //! bottleneck Algorithm 2 eliminates. Kept as the Table 3 baseline.
 
-use super::TrussDecomposition;
+use super::{DecomposeStats, TrussDecomposition};
 use crate::decompose::improved::merge_common_neighbors;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 use truss_graph::CsrGraph;
 use truss_triangle::count::edge_supports_by_intersection;
 
-/// Runs Algorithm 1 and reports the peak tracked heap usage alongside the
-/// decomposition (`(result, peak_bytes)`).
-pub fn truss_decompose_naive_with_memory(g: &CsrGraph) -> (TrussDecomposition, usize) {
+/// Runs Algorithm 1 and reports the run's [`DecomposeStats`] (peak tracked
+/// heap, support-init vs peel phase split) alongside the decomposition.
+pub fn truss_decompose_naive_with_memory(g: &CsrGraph) -> (TrussDecomposition, DecomposeStats) {
     let m = g.num_edges();
     // Steps 2–3: initialize supports by neighborhood intersection.
+    let triangle_start = Instant::now();
     let mut sup = edge_supports_by_intersection(g);
+    let triangle_time = triangle_start.elapsed();
+    let peel_start = Instant::now();
     let mut alive = vec![true; m];
     let mut trussness = vec![2u32; m];
 
@@ -70,7 +74,14 @@ pub fn truss_decompose_naive_with_memory(g: &CsrGraph) -> (TrussDecomposition, u
         });
     }
 
-    (TrussDecomposition::from_trussness(trussness), peak)
+    (
+        TrussDecomposition::from_trussness(trussness),
+        DecomposeStats {
+            peak_bytes: peak,
+            triangle_time,
+            peel_time: peel_start.elapsed(),
+        },
+    )
 }
 
 /// Algorithm 1 (*TD-inmem*): Cohen's original in-memory truss decomposition.

@@ -207,6 +207,13 @@ pub struct EngineReport {
     /// End-to-end wall time of the algorithm proper (excludes input
     /// loading and the optional support-stats pass).
     pub wall_time: Duration,
+    /// Wall time of the support-initialization (triangle counting) phase,
+    /// for the engines that split their run into phases (the in-memory
+    /// and parallel peeling engines); `None` for the external algorithms,
+    /// whose rounds interleave counting and peeling.
+    pub triangle_time: Option<Duration>,
+    /// Wall time of the peel phase (see [`EngineReport::triangle_time`]).
+    pub peel_time: Option<Duration>,
     /// Peak memory estimate in bytes: tracked heap for the in-memory
     /// algorithms, the effective memory budget `M` for the external ones.
     /// Counts *heap* only — a graph served from a mapped snapshot
@@ -263,9 +270,16 @@ impl EngineReport {
         fn opt(v: Option<u64>) -> String {
             v.map_or_else(|| "null".to_string(), |x| x.to_string())
         }
+        fn opt_ms(v: Option<Duration>) -> String {
+            v.map_or_else(
+                || "null".to_string(),
+                |d| format!("{:.3}", d.as_secs_f64() * 1e3),
+            )
+        }
         format!(
             concat!(
                 "{{\"algorithm\":\"{}\",\"wall_time_secs\":{:.6},",
+                "\"triangle_ms\":{},\"peel_ms\":{},",
                 "\"peak_memory_estimate\":{},\"mapped_bytes\":{},",
                 "\"threads_used\":{},",
                 "\"k_max\":{},",
@@ -279,6 +293,8 @@ impl EngineReport {
             ),
             self.algorithm,
             self.wall_time.as_secs_f64(),
+            opt_ms(self.triangle_time),
+            opt_ms(self.peel_time),
             self.peak_memory_estimate,
             self.mapped_bytes,
             self.threads_used,
@@ -463,9 +479,11 @@ impl TrussEngine for InmemEngine {
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
         let start = Instant::now();
-        let (d, peak) = truss_decompose_naive_with_memory(&g);
+        let (d, stats) = truss_decompose_naive_with_memory(&g);
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
-        report.peak_memory_estimate = peak;
+        report.peak_memory_estimate = stats.peak_bytes;
+        report.triangle_time = Some(stats.triangle_time);
+        report.peel_time = Some(stats.peel_time);
         finish_report(&mut report, &g, &d, config);
         Ok((d, report))
     }
@@ -486,9 +504,11 @@ impl TrussEngine for InmemPlusEngine {
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
         let start = Instant::now();
-        let (d, peak) = truss_decompose_with(&g, ImprovedConfig::default());
+        let (d, stats) = truss_decompose_with(&g, ImprovedConfig::default());
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
-        report.peak_memory_estimate = peak;
+        report.peak_memory_estimate = stats.peak_bytes;
+        report.triangle_time = Some(stats.triangle_time);
+        report.peel_time = Some(stats.peel_time);
         finish_report(&mut report, &g, &d, config);
         Ok((d, report))
     }
@@ -723,7 +743,32 @@ mod tests {
         assert!(json.contains("\"algorithm\":\"topdown\""));
         assert!(json.contains("\"k_max\":5"));
         assert!(json.contains("\"mr_jobs\":null"));
+        // External engines interleave counting and peeling: no phase split.
+        assert!(json.contains("\"triangle_ms\":null"));
+        assert!(json.contains("\"peel_ms\":null"));
         assert!(!json.contains("\"total_blocks\":0"));
+    }
+
+    #[test]
+    fn in_memory_engines_report_phase_split() {
+        let g = figure2_graph();
+        let config = EngineConfig::sized_for(&g);
+        for name in ["inmem", "inmem+"] {
+            let registry = EngineRegistry::core();
+            let engine = registry.by_name(name).unwrap();
+            let (_, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();
+            let (t, p) = (report.triangle_time.unwrap(), report.peel_time.unwrap());
+            // The phases partition the timed section, so their sum cannot
+            // exceed the recorded wall time (allow for timer granularity).
+            assert!(
+                t + p <= report.wall_time + Duration::from_millis(1),
+                "{name}"
+            );
+            let json = report.to_json();
+            assert!(json.contains("\"triangle_ms\":"), "{name}: {json}");
+            assert!(!json.contains("\"triangle_ms\":null"), "{name}: {json}");
+            assert!(!json.contains("\"peel_ms\":null"), "{name}: {json}");
+        }
     }
 
     #[test]

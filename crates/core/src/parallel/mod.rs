@@ -31,7 +31,7 @@
 
 pub mod peel;
 
-use crate::decompose::TrussDecomposition;
+use crate::decompose::{DecomposeStats, TrussDecomposition};
 use crate::engine::{
     finish_report, AlgorithmKind, EngineConfig, EngineInput, EngineReport, EngineResult,
     TrussEngine,
@@ -40,7 +40,7 @@ use crate::pool::ThreadPool;
 use peel::PeelStats;
 use std::time::Instant;
 use truss_graph::CsrGraph;
-use truss_triangle::par::edge_supports_par;
+use truss_triangle::{par::edge_supports_fwd_par, ForwardAdjacency};
 
 /// Decomposes `g` with `threads` workers (`0` = machine width).
 ///
@@ -50,19 +50,40 @@ pub fn parallel_truss_decompose(g: &CsrGraph, threads: usize) -> TrussDecomposit
     parallel_truss_decompose_with(g, &ThreadPool::new(threads)).0
 }
 
-/// Decomposes `g` on an existing pool, also returning the peak-memory
-/// estimate in bytes and the peeling phase counters.
+/// Decomposes `g` on an existing pool, also returning the run's
+/// [`DecomposeStats`] (peak memory, support-init vs peel wall-time split)
+/// and the peeling phase counters.
+///
+/// Support initialization runs over the shared flat
+/// [`ForwardAdjacency`] — all workers enumerate one read-only
+/// struct-of-arrays instead of rebuilding per-vertex forward vectors.
 pub fn parallel_truss_decompose_with(
     g: &CsrGraph,
     pool: &ThreadPool,
-) -> (TrussDecomposition, usize, PeelStats) {
+) -> (TrussDecomposition, DecomposeStats, PeelStats) {
     let m = g.num_edges();
-    let sup = edge_supports_par(g, pool.threads());
-    // The graph, the three m-sized u32 arrays (support, epoch state,
-    // trussness) and the frontier buffers.
-    let peak = g.heap_bytes() + 3 * 4 * m + 4 * m;
+    let triangle_start = Instant::now();
+    let fwd = ForwardAdjacency::build_par(g, pool.threads());
+    let fwd_bytes = fwd.heap_bytes();
+    let sup = edge_supports_fwd_par(&fwd, pool.threads());
+    drop(fwd);
+    let triangle_time = triangle_start.elapsed();
+    // The two phases never coexist: support init holds the oriented
+    // adjacency plus the support array; the peel holds the four m-sized
+    // u32 arrays (support, epoch state, trussness, frontiers) with the
+    // adjacency already dropped. Peak is the larger phase over the graph.
+    let peak = g.heap_bytes() + (fwd_bytes + 4 * m).max(4 * 4 * m);
+    let peel_start = Instant::now();
     let (trussness, stats) = peel::peel(g, sup, pool);
-    (TrussDecomposition::from_trussness(trussness), peak, stats)
+    (
+        TrussDecomposition::from_trussness(trussness),
+        DecomposeStats {
+            peak_bytes: peak,
+            triangle_time,
+            peel_time: peel_start.elapsed(),
+        },
+        stats,
+    )
 }
 
 /// PKT-style shared-memory parallel decomposition behind the uniform
@@ -82,10 +103,12 @@ impl TrussEngine for ParallelEngine {
         let g = input.load()?;
         let pool = ThreadPool::new(config.threads);
         let start = Instant::now();
-        let (d, peak, stats) = parallel_truss_decompose_with(&g, &pool);
+        let (d, run, stats) = parallel_truss_decompose_with(&g, &pool);
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
         report.threads_used = pool.threads();
-        report.peak_memory_estimate = peak;
+        report.peak_memory_estimate = run.peak_bytes;
+        report.triangle_time = Some(run.triangle_time);
+        report.peel_time = Some(run.peel_time);
         report.rounds = Some(stats.levels as u64);
         finish_report(&mut report, &g, &d, config);
         Ok((d, report))

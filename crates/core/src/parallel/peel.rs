@@ -1,5 +1,9 @@
 //! The level-synchronous peeling core of the parallel engine.
 //!
+//! Supports arrive precomputed (the engine counts them over the shared
+//! flat `ForwardAdjacency` — see [`crate::parallel`]); this module owns
+//! everything after that.
+//!
 //! One *level* per trussness value `k`: every alive edge with
 //! `sup(e) ≤ k − 2` belongs to the `k`-class, and peeling it can drop other
 //! edges' supports to the threshold, so a level runs as a sequence of

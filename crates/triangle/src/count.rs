@@ -1,21 +1,19 @@
 //! Edge-support computation (Definition 1: `sup(e)` = number of triangles
 //! containing `e`).
 
-use crate::list::for_each_triangle;
+use crate::list::{for_each_triangle, ForwardAdjacency};
 use truss_graph::{CsrGraph, VertexId};
 
 /// Computes the support of every edge, indexed by `EdgeId`.
 ///
 /// `O(m^1.5)` time and `O(m + n)` space via the forward algorithm — the
 /// initialization step of both in-memory decomposition algorithms (§3).
+/// Enumerates over a freshly built flat [`ForwardAdjacency`]; callers
+/// that keep the oriented adjacency around for later probing (the
+/// TD-inmem+ peel) build it once and use
+/// [`ForwardAdjacency::edge_supports`] directly.
 pub fn edge_supports(g: &CsrGraph) -> Vec<u32> {
-    let mut sup = vec![0u32; g.num_edges()];
-    for_each_triangle(g, |_, _, _, e1, e2, e3| {
-        sup[e1 as usize] += 1;
-        sup[e2 as usize] += 1;
-        sup[e3 as usize] += 1;
-    });
-    sup
+    ForwardAdjacency::build(g).edge_supports()
 }
 
 /// Support computation by per-edge sorted-neighborhood intersection — the

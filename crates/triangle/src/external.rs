@@ -221,10 +221,11 @@ pub fn partitioned_support_pass(
             let ns = materialize_part(&recs, |v| partition.part_of(v) as usize == part_idx);
             debug_assert_eq!(ns.sub.graph.num_edges(), recs.len());
 
-            // Accumulate this part's triangles. Complete triangles in a
-            // bucket always have >= 2 internal vertices and occur in exactly
-            // one bucket (module docs), so a plain +1 on all three edges is
-            // globally exact.
+            // Accumulate this part's triangles (enumerated over the flat
+            // ForwardAdjacency each in-memory pass builds). Complete
+            // triangles in a bucket always have >= 2 internal vertices and
+            // occur in exactly one bucket (module docs), so a plain +1 on
+            // all three edges is globally exact.
             for_each_triangle(&ns.sub.graph, |_, _, _, e1, e2, e3| {
                 recs[e1 as usize].sup += 1;
                 recs[e2 as usize].sup += 1;

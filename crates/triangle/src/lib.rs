@@ -3,9 +3,13 @@
 //! Truss decomposition begins by computing the *support* of every edge — the
 //! number of triangles containing it (Definition 1). This crate provides:
 //!
-//! * [`count::edge_supports`] — in-memory support computation by
-//!   merge-intersection over sorted adjacency lists, `O(m^1.5)` on the
-//!   compact-forward orientation (Schank \[27\], Latapy \[20\]),
+//! * [`list::ForwardAdjacency`] — the flat, CSR-shaped oriented adjacency
+//!   (struct-of-arrays `offsets`/`ranks`/`verts`/`edge_ids`, built in two
+//!   O(m) counting passes with no per-vertex allocations) that every
+//!   in-memory triangle path shares, plus the hybrid merge/galloping
+//!   intersection kernel ([`list::intersect_hybrid`]),
+//! * [`count::edge_supports`] — in-memory support computation over the
+//!   compact-forward orientation, `O(m^1.5)` (Schank \[27\], Latapy \[20\]),
 //! * [`list::for_each_triangle`] — in-memory triangle listing with a
 //!   callback,
 //! * [`external::external_edge_supports`] — the I/O-efficient, partition
@@ -14,7 +18,8 @@
 //! * [`par`] — thread-count-aware twins of the in-memory entry points
 //!   ([`par::for_each_triangle_par`], [`par::edge_supports_par`],
 //!   [`par::triangle_count_par`]) used by the shared-memory parallel
-//!   engine.
+//!   engine; the `*_fwd_par` variants share a caller-prebuilt
+//!   [`list::ForwardAdjacency`].
 
 pub mod count;
 pub mod external;
@@ -23,5 +28,8 @@ pub mod par;
 
 pub use count::{edge_supports, triangle_count};
 pub use external::external_edge_supports;
-pub use list::for_each_triangle;
-pub use par::{edge_supports_par, for_each_triangle_par, triangle_count_par};
+pub use list::{for_each_triangle, intersect_hybrid, intersect_merge, ForwardAdjacency, FwdList};
+pub use par::{
+    edge_supports_fwd_par, edge_supports_par, for_each_triangle_fwd_par, for_each_triangle_par,
+    triangle_count_par,
+};

@@ -1,11 +1,13 @@
 //! Thread-count-aware triangle listing and support counting.
 //!
 //! The forward algorithm ([`crate::list::for_each_triangle`]) splits
-//! cleanly: the oriented (forward) adjacency is built independently per
-//! vertex, and each triangle is discovered at exactly one vertex `u`, so
-//! enumerating over disjoint vertex ranges partitions the triangle set.
-//! [`for_each_triangle_par`] is the `list_par` entry (the callback runs
-//! concurrently and must synchronize its own writes);
+//! cleanly: each triangle is discovered at exactly one (lowest-ranked)
+//! vertex `u`, so enumerating over disjoint vertex ranges partitions the
+//! triangle set. All workers share one read-only flat
+//! [`ForwardAdjacency`] — built once in two O(m) passes, no per-vertex
+//! allocations — instead of the per-vertex `Vec<Vec<_>>` the old code
+//! rebuilt. [`for_each_triangle_par`] is the `list_par` entry (the
+//! callback runs concurrently and must synchronize its own writes);
 //! [`edge_supports_par`] / [`triangle_count_par`] are the `count_par`
 //! entries built on it, accumulating into atomics.
 //!
@@ -15,7 +17,7 @@
 //! scheduled dynamically in fixed-size vertex blocks because per-vertex
 //! triangle cost is heavily skewed on power-law graphs.
 
-use crate::list::{for_each_triangle, forward_list, intersect_forward, ranks, FwdEntry};
+use crate::list::{for_each_triangle, ForwardAdjacency};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use truss_graph::{CsrGraph, EdgeId, VertexId};
@@ -51,34 +53,40 @@ where
     });
 }
 
-/// The forward adjacency (see [`crate::list::forward_list`]), built with
-/// `threads` workers over static contiguous vertex chunks — good enough
-/// here since this pass is O(m) total, unlike the skewed enumeration pass.
-fn forward_adjacency(g: &CsrGraph, threads: usize) -> Vec<Vec<FwdEntry>> {
-    let n = g.num_vertices();
-    let rank = ranks(g);
-    let mut fwd: Vec<Vec<FwdEntry>> = vec![Vec::new(); n];
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    std::thread::scope(|scope| {
-        for (ci, slice) in fwd.chunks_mut(chunk).enumerate() {
-            let rank = &rank;
-            scope.spawn(move || {
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    *slot = forward_list(g, (ci * chunk + off) as VertexId, rank);
-                }
+/// Calls `f(u, v, w, e_uv, e_uw, e_vw)` once per triangle of `fwd`'s
+/// graph, from `threads` worker threads sharing the prebuilt flat
+/// adjacency — the entry the parallel engine uses so support
+/// initialization and any later probing reuse one structure.
+///
+/// The callback observes each triangle exactly once but runs concurrently;
+/// it must be `Sync` and synchronize any shared writes. Triangle order is
+/// unspecified.
+pub fn for_each_triangle_fwd_par<F>(fwd: &ForwardAdjacency, threads: usize, f: F)
+where
+    F: Fn(VertexId, VertexId, VertexId, EdgeId, EdgeId, EdgeId) + Sync,
+{
+    let n = fwd.num_vertices();
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 {
+        let mut f = |u, v, w, e1, e2, e3| f(u, v, w, e1, e2, e3);
+        fwd.for_each_triangle(&mut f);
+        return;
+    }
+    let f = &f;
+    par_blocks(n, threads, |range| {
+        for u in range {
+            fwd.for_each_triangle_at(u as VertexId, &mut |a, b, c, e1, e2, e3| {
+                f(a, b, c, e1, e2, e3)
             });
         }
     });
-    fwd
 }
 
 /// Calls `f(u, v, w, e_uv, e_uw, e_vw)` once per triangle of `g`, from
 /// `threads` worker threads — the parallel twin of
 /// [`crate::list::for_each_triangle`].
-///
-/// The callback observes each triangle exactly once but runs concurrently;
-/// it must be `Sync` and synchronize any shared writes (the `count_par`
-/// entries below use atomics). Triangle order is unspecified.
 pub fn for_each_triangle_par<F>(g: &CsrGraph, threads: usize, f: F)
 where
     F: Fn(VertexId, VertexId, VertexId, EdgeId, EdgeId, EdgeId) + Sync,
@@ -86,23 +94,23 @@ where
     if threads <= 1 {
         return for_each_triangle(g, f);
     }
-    let n = g.num_vertices();
-    if n == 0 {
-        return;
+    let fwd = ForwardAdjacency::build_par(g, threads);
+    for_each_triangle_fwd_par(&fwd, threads, f);
+}
+
+/// [`crate::count::edge_supports`] over a prebuilt [`ForwardAdjacency`]
+/// with `threads` workers, accumulating into atomic counters.
+pub fn edge_supports_fwd_par(fwd: &ForwardAdjacency, threads: usize) -> Vec<u32> {
+    if threads <= 1 {
+        return fwd.edge_supports();
     }
-    let fwd = forward_adjacency(g, threads);
-    let fwd = &fwd;
-    let f = &f;
-    par_blocks(n, threads, |range| {
-        for u in range {
-            let fu = &fwd[u];
-            for &(_, v, e_uv) in fu {
-                intersect_forward(fu, &fwd[v as usize], |w, e_uw, e_vw| {
-                    f(u as VertexId, v, w, e_uv, e_uw, e_vw)
-                });
-            }
-        }
+    let sup: Vec<AtomicU32> = (0..fwd.num_edges()).map(|_| AtomicU32::new(0)).collect();
+    for_each_triangle_fwd_par(fwd, threads, |_, _, _, e1, e2, e3| {
+        sup[e1 as usize].fetch_add(1, Ordering::Relaxed);
+        sup[e2 as usize].fetch_add(1, Ordering::Relaxed);
+        sup[e3 as usize].fetch_add(1, Ordering::Relaxed);
     });
+    sup.into_iter().map(AtomicU32::into_inner).collect()
 }
 
 /// [`crate::count::edge_supports`] with `threads` workers: per-edge
@@ -111,13 +119,8 @@ pub fn edge_supports_par(g: &CsrGraph, threads: usize) -> Vec<u32> {
     if threads <= 1 {
         return crate::count::edge_supports(g);
     }
-    let sup: Vec<AtomicU32> = (0..g.num_edges()).map(|_| AtomicU32::new(0)).collect();
-    for_each_triangle_par(g, threads, |_, _, _, e1, e2, e3| {
-        sup[e1 as usize].fetch_add(1, Ordering::Relaxed);
-        sup[e2 as usize].fetch_add(1, Ordering::Relaxed);
-        sup[e3 as usize].fetch_add(1, Ordering::Relaxed);
-    });
-    sup.into_iter().map(AtomicU32::into_inner).collect()
+    let fwd = ForwardAdjacency::build_par(g, threads);
+    edge_supports_fwd_par(&fwd, threads)
 }
 
 /// [`crate::count::triangle_count`] with `threads` workers.
@@ -186,6 +189,16 @@ mod tests {
             assert_eq!(g.edge(e_uw), truss_graph::Edge::new(u, w));
             assert_eq!(g.edge(e_vw), truss_graph::Edge::new(v, w));
         });
+    }
+
+    #[test]
+    fn prebuilt_adjacency_is_shareable() {
+        let g = gnm(90, 900, 2);
+        let fwd = ForwardAdjacency::build(&g);
+        let serial = edge_supports(&g);
+        for threads in [1, 2, 4] {
+            assert_eq!(edge_supports_fwd_par(&fwd, threads), serial);
+        }
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Allocation accounting for the flat forward adjacency: the build must
+//! perform a fixed handful of flat-array allocations — *zero* per-vertex
+//! heap allocations — so the count is independent of graph size.
+//!
+//! This lives in its own integration-test binary (one test, no
+//! concurrent allocator traffic) so the global counting allocator
+//! measures only what the test runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use truss_triangle::ForwardAdjacency;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_during_build(g: &truss_graph::CsrGraph) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let fwd = ForwardAdjacency::build(g);
+    let count = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(fwd.num_edges(), g.num_edges());
+    count
+}
+
+#[test]
+fn forward_adjacency_build_allocation_count_is_flat() {
+    let small = truss_graph::generators::erdos_renyi::gnm(500, 3_000, 1);
+    let large = truss_graph::generators::erdos_renyi::gnm(20_000, 120_000, 2);
+
+    // Warm up once (lazy runtime allocations, if any).
+    let _ = allocations_during_build(&small);
+
+    let a = allocations_during_build(&small);
+    let b = allocations_during_build(&large);
+    // 40x the vertices, identical allocation count: nothing per-vertex.
+    assert_eq!(a, b, "allocation count grew with graph size");
+    // And the fixed count is a small handful of flat arrays (ranks,
+    // order, counting-sort bins, offsets, cursor, three columns).
+    assert!(a <= 16, "expected a fixed handful of allocations, got {a}");
+}

@@ -23,6 +23,20 @@ fn json_u64(json: &str, field: &str) -> u64 {
         .unwrap_or_else(|_| panic!("{field} not an integer in {json}"))
 }
 
+/// Extracts a float field from a one-line JSON object.
+fn json_f64(json: &str, field: &str) -> f64 {
+    let key = format!("\"{field}\":");
+    let rest = &json[json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {json}"))
+        + key.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{field} not a number in {json}"))
+}
+
 fn temp_file(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("truss-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -123,6 +137,23 @@ fn decompose_report_json_appends_engine_report() {
             assert!(blocks > 0, "{algo}: {json}");
         } else {
             assert_eq!(blocks, 0, "{algo}: {json}");
+        }
+        // Phase breakdown: the in-memory peeling engines split their wall
+        // time into support-init (triangle) and peel; the external ones
+        // interleave the phases and report null.
+        assert!(json.contains("\"triangle_ms\":"), "{algo}: {json}");
+        assert!(json.contains("\"peel_ms\":"), "{algo}: {json}");
+        let phased = matches!(
+            kind,
+            AlgorithmKind::Inmem | AlgorithmKind::InmemPlus | AlgorithmKind::Parallel
+        );
+        if phased {
+            let t = json_f64(json, "triangle_ms");
+            let p = json_f64(json, "peel_ms");
+            assert!(t >= 0.0 && p >= 0.0, "{algo}: {json}");
+        } else {
+            assert!(json.contains("\"triangle_ms\":null"), "{algo}: {json}");
+            assert!(json.contains("\"peel_ms\":null"), "{algo}: {json}");
         }
     }
 }

@@ -7,6 +7,7 @@ use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naiv
 use truss_decomposition::core::truss::{is_k_truss, peel_to_k_truss, truss_subgraph_edges};
 use truss_decomposition::graph::{CsrGraph, Edge};
 use truss_decomposition::triangle::count::{edge_supports, triangle_count};
+use truss_decomposition::triangle::{intersect_hybrid, intersect_merge, FwdList};
 
 /// Strategy: a random simple graph with up to `n` vertices and `m` raw edges.
 fn arb_graph(n: u32, m: usize) -> impl Strategy<Value = CsrGraph> {
@@ -20,8 +21,115 @@ fn arb_graph(n: u32, m: usize) -> impl Strategy<Value = CsrGraph> {
     })
 }
 
+/// Owned columns backing a [`FwdList`]: strictly-ascending unique ranks
+/// with deterministic vertex/edge-id payloads, so every emitted triple can
+/// be traced back to the generating rank.
+#[derive(Debug, Clone)]
+struct Cols {
+    ranks: Vec<u32>,
+    verts: Vec<u32>,
+    edge_ids: Vec<u32>,
+}
+
+impl Cols {
+    fn from_ranks(mut ranks: Vec<u32>, salt: u32) -> Cols {
+        ranks.sort_unstable();
+        ranks.dedup();
+        let verts = ranks.clone();
+        let edge_ids = ranks
+            .iter()
+            .map(|r| r.wrapping_mul(31).wrapping_add(salt))
+            .collect();
+        Cols {
+            ranks,
+            verts,
+            edge_ids,
+        }
+    }
+
+    fn list(&self) -> FwdList<'_> {
+        FwdList {
+            ranks: &self.ranks,
+            verts: &self.verts,
+            edge_ids: &self.edge_ids,
+        }
+    }
+}
+
+/// Collects an intersection kernel's output.
+fn run_kernel(
+    f: impl FnOnce(FwdList<'_>, FwdList<'_>, &mut dyn FnMut(u32, u32, u32)),
+    a: &Cols,
+    b: &Cols,
+) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    f(a.list(), b.list(), &mut |w, e1, e2| out.push((w, e1, e2)));
+    out
+}
+
+/// Both kernels, both argument orders, on one pair of lists.
+fn assert_kernels_agree(a: &Cols, b: &Cols) {
+    let merge = run_kernel(|x, y, f| intersect_merge(x, y, f), a, b);
+    let hybrid = run_kernel(|x, y, f| intersect_hybrid(x, y, f), a, b);
+    assert_eq!(merge, hybrid, "a={a:?} b={b:?}");
+    let merge_r = run_kernel(|x, y, f| intersect_merge(x, y, f), b, a);
+    let hybrid_r = run_kernel(|x, y, f| intersect_hybrid(x, y, f), b, a);
+    assert_eq!(merge_r, hybrid_r, "reversed, a={a:?} b={b:?}");
+}
+
+/// Deterministic adversarial pairs for the hybrid intersection kernel:
+/// empty, singleton, disjoint, nested, and power-law-skewed lengths — the
+/// shapes that exercise the gallop/merge cutoff and the gallop cursor.
+#[test]
+fn intersection_kernels_agree_on_adversarial_shapes() {
+    let long: Vec<u32> = (0..1000).collect();
+    let sparse: Vec<u32> = (0..1000).step_by(97).collect();
+    let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+        (vec![], vec![]),
+        (vec![], long.clone()),
+        (vec![7], long.clone()),    // singleton hit
+        (vec![1001], long.clone()), // singleton miss past the end
+        (vec![0], long.clone()),    // singleton hit at the front
+        (
+            (0..40).map(|x| 2 * x).collect(),
+            (0..40).map(|x| 2 * x + 1).collect(),
+        ), // interleaved, disjoint
+        ((0..500).collect(), (2000..2100).collect()), // disjoint ranges
+        ((100..200).collect(), long.clone()), // nested run
+        (sparse.clone(), long.clone()), // power-law-ish skew, all hits
+        (vec![3, 500, 999], long.clone()), // far-apart gallop jumps
+        (long.clone(), long.clone()), // identical
+    ];
+    for (a, b) in cases {
+        assert_kernels_agree(&Cols::from_ranks(a, 1), &Cols::from_ranks(b, 1_000_000));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hybrid merge/galloping intersection emits exactly what the
+    /// plain merge emits, on randomly skewed list pairs (the short side
+    /// stays under the gallop cutoff often enough to exercise both
+    /// kernels).
+    #[test]
+    fn hybrid_intersection_matches_merge(
+        short in prop::collection::vec(0u32..600, 0..12),
+        long in prop::collection::vec(0u32..600, 0..400),
+    ) {
+        let a = Cols::from_ranks(short, 7);
+        let b = Cols::from_ranks(long, 9_999_999);
+        assert_kernels_agree(&a, &b);
+    }
+
+    /// Same, on similar-length pairs (the merge side of the cutoff).
+    #[test]
+    fn hybrid_intersection_matches_merge_balanced(
+        xs in prop::collection::vec(0u32..300, 0..120),
+        ys in prop::collection::vec(0u32..300, 0..120),
+    ) {
+        assert_kernels_agree(&Cols::from_ranks(xs, 3), &Cols::from_ranks(ys, 5_000_000));
+    }
 
     /// Definition: every edge of the k-truss has ≥ k−2 triangles inside it.
     #[test]
