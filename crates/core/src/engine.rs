@@ -240,6 +240,15 @@ pub struct EngineReport {
     /// Algorithm rounds: k-rounds for the external algorithms, peeling
     /// iterations for TD-MR.
     pub rounds: Option<u64>,
+    /// Non-empty peel levels (parallel engine only; equals
+    /// [`EngineReport::rounds`] there).
+    pub peel_levels: Option<u64>,
+    /// Bulk-synchronous sub-iterations across all levels (parallel engine
+    /// only).
+    pub peel_sub_iterations: Option<u64>,
+    /// Live-adjacency compaction passes during the peel (parallel engine
+    /// only).
+    pub peel_compactions: Option<u64>,
     /// LowerBounding iterations (TD-bottomup only).
     pub lower_bound_iterations: Option<u64>,
     /// Initial upper bound `k_1st` (TD-topdown only).
@@ -288,6 +297,8 @@ impl EngineReport {
                 "\"read_ops\":{},\"write_ops\":{},\"scans\":{},",
                 "\"total_blocks\":{}}},",
                 "\"triangles\":{},\"support_sum\":{},\"rounds\":{},",
+                "\"peel_levels\":{},\"peel_sub_iterations\":{},",
+                "\"peel_compactions\":{},",
                 "\"lower_bound_iterations\":{},\"k_first\":{},",
                 "\"mr_jobs\":{},\"mr_shuffled_records\":{}}}"
             ),
@@ -310,6 +321,9 @@ impl EngineReport {
             opt(self.triangles),
             opt(self.support_sum),
             opt(self.rounds),
+            opt(self.peel_levels),
+            opt(self.peel_sub_iterations),
+            opt(self.peel_compactions),
             opt(self.lower_bound_iterations),
             opt(self.k_first.map(u64::from)),
             opt(self.mr_jobs),

@@ -29,6 +29,7 @@
 //! assert_eq!(report.threads_used, 4);
 //! ```
 
+pub mod live;
 pub mod peel;
 
 use crate::decompose::{DecomposeStats, TrussDecomposition};
@@ -56,25 +57,35 @@ pub fn parallel_truss_decompose(g: &CsrGraph, threads: usize) -> TrussDecomposit
 ///
 /// Support initialization runs over the shared flat
 /// [`ForwardAdjacency`] — all workers enumerate one read-only
-/// struct-of-arrays instead of rebuilding per-vertex forward vectors.
+/// struct-of-arrays instead of rebuilding per-vertex forward vectors —
+/// and the same structure is *retained* through the peel, which probes it
+/// for triangle closure while walking a periodically compacted live
+/// adjacency ([`live::FrontierAdjacency`]).
 pub fn parallel_truss_decompose_with(
     g: &CsrGraph,
     pool: &ThreadPool,
 ) -> (TrussDecomposition, DecomposeStats, PeelStats) {
     let m = g.num_edges();
     let triangle_start = Instant::now();
-    let fwd = ForwardAdjacency::build_par(g, pool.threads());
+    let fwd = ForwardAdjacency::build_par(g, pool.workers());
     let fwd_bytes = fwd.heap_bytes();
-    let sup = edge_supports_fwd_par(&fwd, pool.threads());
-    drop(fwd);
+    let sup = edge_supports_fwd_par(&fwd, pool.workers());
     let triangle_time = triangle_start.elapsed();
-    // The two phases never coexist: support init holds the oriented
-    // adjacency plus the support array; the peel holds the four m-sized
-    // u32 arrays (support, epoch state, trussness, frontiers) with the
-    // adjacency already dropped. Peak is the larger phase over the graph.
-    let peak = g.heap_bytes() + (fwd_bytes + 4 * m).max(4 * 4 * m);
     let peel_start = Instant::now();
-    let (trussness, stats) = peel::peel(g, sup, pool);
+    let (trussness, stats) = peel::peel(g, &fwd, sup, pool);
+    // The oriented adjacency now lives through *both* phases (the peel
+    // probes it for triangle closure), so it is a baseline cost, not part
+    // of a max over phases. On top of it the support-init phase holds one
+    // private support array per worker plus the reduced output
+    // (4·m·(threads+1) bytes; 4·m serially) while the peel holds its live
+    // columns, the three m-sized u32 arrays and the bucket/frontier peaks
+    // — whichever transient is larger sets the high-water mark.
+    let sup_init_bytes = if pool.workers() > 1 {
+        4 * m * (pool.workers() + 1)
+    } else {
+        4 * m
+    };
+    let peak = g.heap_bytes() + fwd_bytes + sup_init_bytes.max(stats.heap_bytes);
     (
         TrussDecomposition::from_trussness(trussness),
         DecomposeStats {
@@ -110,6 +121,9 @@ impl TrussEngine for ParallelEngine {
         report.triangle_time = Some(run.triangle_time);
         report.peel_time = Some(run.peel_time);
         report.rounds = Some(stats.levels as u64);
+        report.peel_levels = Some(stats.levels as u64);
+        report.peel_sub_iterations = Some(stats.sub_iterations);
+        report.peel_compactions = Some(stats.compactions as u64);
         finish_report(&mut report, &g, &d, config);
         Ok((d, report))
     }
@@ -135,6 +149,9 @@ mod tests {
             assert_eq!(report.threads_used, threads);
             assert_eq!(report.io.total_blocks(), 0);
             assert_eq!(report.rounds, Some(4));
+            assert_eq!(report.peel_levels, Some(4));
+            assert!(report.peel_sub_iterations.unwrap() >= 4);
+            assert!(report.peel_compactions.is_some());
             assert!(report.peak_memory_estimate > 0);
         }
     }
@@ -156,7 +173,9 @@ mod tests {
         let g = d.build_scaled(d.spec().default_scale * 0.02, 42);
         let serial = crate::decompose::truss_decompose(&g);
         for threads in [2, 8] {
-            let par = parallel_truss_decompose(&g, threads);
+            // Unclamped so the multi-worker paths run even on a small box.
+            let pool = ThreadPool::unclamped(threads);
+            let (par, _, _) = parallel_truss_decompose_with(&g, &pool);
             assert_eq!(par.trussness(), serial.trussness(), "{threads} threads");
         }
     }

@@ -16,45 +16,89 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Estimated sequential work units (≈ column-entry touches) below which a
+/// fork-join fan-out costs more than it saves: a spawn-plus-join round
+/// trip runs tens of microseconds per phase, about what this many
+/// streaming memory touches cost on one core. Bulk-synchronous callers
+/// with thousands of small phases (the parallel peel's sub-iterations,
+/// seeds and compactions) compare their per-phase work estimate against
+/// this floor and run the phase inline on the calling thread when it
+/// falls below — oversubscribed or not, a tiny frontier is always
+/// cheaper single-threaded.
+pub const SPAWN_WORK_FLOOR: usize = 32 * 1024;
+
 /// Fork-join executor honoring an explicit thread count
 /// ([`crate::engine::EngineConfig::threads`]).
+///
+/// The configured width ([`Self::threads`]) is what callers asked for and
+/// what reports record; the *spawn* width ([`Self::workers`]) is capped at
+/// [`std::thread::available_parallelism`]. Every phase here is
+/// compute-bound and bulk-synchronous, so running more workers than
+/// hardware threads cannot overlap anything — it only adds spawn/join
+/// round trips, scheduler churn and cache competition between workers
+/// that time-slice one core. Results are deterministic regardless of
+/// worker count (the engine's scheduling proof does not depend on it), so
+/// the clamp is observable only as time saved.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadPool {
     threads: usize,
+    workers: usize,
 }
 
 impl ThreadPool {
-    /// A pool with exactly `threads` workers; `0` means "use the machine",
+    /// A pool with configured width `threads`; `0` means "use the machine",
     /// i.e. [`std::thread::available_parallelism`].
     pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
-        ThreadPool { threads }
+        let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = if threads == 0 { machine } else { threads };
+        ThreadPool {
+            threads,
+            workers: threads.min(machine),
+        }
     }
 
-    /// The effective worker count (what [`crate::engine::EngineReport::threads_used`]
+    /// The configured worker count (what [`crate::engine::EngineReport::threads_used`]
     /// records).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Runs `worker(thread_index)` on every worker and joins, returning the
-    /// per-worker results in thread-index order. With one thread the worker
-    /// runs inline on the caller's stack.
+    /// Workers a fan-out actually spawns: the configured width capped at
+    /// machine width. Callers sizing per-worker scratch or choosing
+    /// spawn-vs-inline should use this, not [`Self::threads`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A pool that really spawns `threads` workers even beyond machine
+    /// width. Oversubscription is never a performance win here — this
+    /// exists so correctness tests can exercise genuine multi-worker
+    /// interleavings (the atomic scheduling paths) on small machines,
+    /// where [`Self::new`] would clamp to one worker and run everything
+    /// inline.
+    pub fn unclamped(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ThreadPool {
+            threads,
+            workers: threads,
+        }
+    }
+
+    /// Runs `worker(thread_index)` on every spawned worker and joins,
+    /// returning the per-worker results in thread-index order (one entry
+    /// per [`Self::workers`]). With one worker it runs inline on the
+    /// caller's stack.
     pub fn run<R, F>(&self, worker: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads == 1 {
+        if self.workers == 1 {
             return vec![worker(0)];
         }
         let worker = &worker;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.threads)
+            let handles: Vec<_> = (0..self.workers)
                 .map(|tid| scope.spawn(move || worker(tid)))
                 .collect();
             handles
@@ -64,15 +108,15 @@ impl ThreadPool {
         })
     }
 
-    /// Splits `0..n` into one contiguous range per worker (balanced to
-    /// within one item) and runs `worker(thread_index, range)` on each.
-    /// Useful when every item costs about the same.
+    /// Splits `0..n` into one contiguous range per spawned worker
+    /// (balanced to within one item) and runs `worker(thread_index, range)`
+    /// on each. Useful when every item costs about the same.
     pub fn run_ranges<R, F>(&self, n: usize, worker: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize, Range<usize>) -> R + Sync,
     {
-        self.run(|tid| worker(tid, split_range(n, self.threads, tid)))
+        self.run(|tid| worker(tid, split_range(n, self.workers, tid)))
     }
 
     /// Runs `worker(thread_index, range)` over dynamically scheduled blocks
@@ -116,10 +160,20 @@ mod tests {
     }
 
     #[test]
+    fn workers_are_clamped_to_the_machine() {
+        let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let pool = ThreadPool::new(machine + 7);
+        assert_eq!(pool.threads(), machine + 7);
+        assert_eq!(pool.workers(), machine);
+        assert_eq!(ThreadPool::new(1).workers(), 1);
+    }
+
+    #[test]
     fn run_returns_in_thread_order() {
         for threads in [1, 2, 5] {
-            let out = ThreadPool::new(threads).run(|tid| tid * 10);
-            assert_eq!(out, (0..threads).map(|t| t * 10).collect::<Vec<_>>());
+            let pool = ThreadPool::new(threads);
+            let out = pool.run(|tid| tid * 10);
+            assert_eq!(out, (0..pool.workers()).map(|t| t * 10).collect::<Vec<_>>());
         }
     }
 

@@ -402,6 +402,17 @@ impl ForwardAdjacency {
         let (lo, hi_rank) = if ra < rb { (a, rb) } else { (b, ra) };
         let r = self.range(lo);
         let ranks = &self.ranks[r.clone()];
+        // Forward runs are short for most vertices (the orientation caps
+        // them at O(√m)); below a handful of entries a branch-predictable
+        // linear scan of the sorted run beats the binary search.
+        if ranks.len() <= 8 {
+            for (i, &rk) in ranks.iter().enumerate() {
+                if rk >= hi_rank {
+                    return (rk == hi_rank).then(|| self.edge_ids[r.start + i]);
+                }
+            }
+            return None;
+        }
         ranks
             .binary_search(&hi_rank)
             .ok()

@@ -19,7 +19,7 @@
 
 use crate::list::{for_each_triangle, ForwardAdjacency};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use truss_graph::{CsrGraph, EdgeId, VertexId};
 
 /// Vertices handed to a worker at a time. Small enough to balance skewed
@@ -99,18 +99,69 @@ where
 }
 
 /// [`crate::count::edge_supports`] over a prebuilt [`ForwardAdjacency`]
-/// with `threads` workers, accumulating into atomic counters.
+/// with `threads` workers.
+///
+/// Each worker accumulates into a private `u32` array and a column-sliced
+/// parallel pass reduces them: three plain adds per triangle instead of
+/// three `fetch_add`s on shared counters, whose cache lines the hot
+/// (high-support) edges would otherwise ping-pong between cores. Costs
+/// `threads` transient support-array copies — callers accounting peak
+/// memory should charge `4·m·(threads + 1)` bytes for this phase.
 pub fn edge_supports_fwd_par(fwd: &ForwardAdjacency, threads: usize) -> Vec<u32> {
     if threads <= 1 {
         return fwd.edge_supports();
     }
-    let sup: Vec<AtomicU32> = (0..fwd.num_edges()).map(|_| AtomicU32::new(0)).collect();
-    for_each_triangle_fwd_par(fwd, threads, |_, _, _, e1, e2, e3| {
-        sup[e1 as usize].fetch_add(1, Ordering::Relaxed);
-        sup[e2 as usize].fetch_add(1, Ordering::Relaxed);
-        sup[e3 as usize].fetch_add(1, Ordering::Relaxed);
+    let m = fwd.num_edges();
+    let n = fwd.num_vertices();
+    let cursor = AtomicUsize::new(0);
+    let mut locals: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut sup = vec![0u32; m];
+                    loop {
+                        let start = cursor.fetch_add(VERTEX_BLOCK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for u in start..(start + VERTEX_BLOCK).min(n) {
+                            fwd.for_each_triangle_at(u as VertexId, &mut |_, _, _, e1, e2, e3| {
+                                sup[e1 as usize] += 1;
+                                sup[e2 as usize] += 1;
+                                sup[e3 as usize] += 1;
+                            });
+                        }
+                    }
+                    sup
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("support worker panicked"))
+            .collect()
     });
-    sup.into_iter().map(AtomicU32::into_inner).collect()
+    let mut out = locals.swap_remove(0);
+    let rest = locals;
+    if rest.is_empty() || m == 0 {
+        return out;
+    }
+    let chunk = m.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            let rest = &rest;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for r in rest {
+                    for (i, s) in slice.iter_mut().enumerate() {
+                        *s += r[base + i];
+                    }
+                }
+            });
+        }
+    });
+    out
 }
 
 /// [`crate::count::edge_supports`] with `threads` workers: per-edge

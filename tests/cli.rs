@@ -155,6 +155,26 @@ fn decompose_report_json_appends_engine_report() {
             assert!(json.contains("\"triangle_ms\":null"), "{algo}: {json}");
             assert!(json.contains("\"peel_ms\":null"), "{algo}: {json}");
         }
+        // Peel-phase counters are the parallel engine's own telemetry
+        // (levels, bulk-synchronous sub-iterations, live-adjacency
+        // compactions); every other engine reports null for all three.
+        for field in ["peel_levels", "peel_sub_iterations", "peel_compactions"] {
+            assert!(json.contains(&format!("\"{field}\":")), "{algo}: {json}");
+        }
+        if kind == AlgorithmKind::Parallel {
+            // Figure 2 peels Φ2..Φ5: four non-empty levels, at least one
+            // sub-iteration each; compactions may legitimately be zero.
+            assert_eq!(json_u64(json, "peel_levels"), 4, "{algo}: {json}");
+            assert!(json_u64(json, "peel_sub_iterations") >= 4, "{algo}: {json}");
+            let _ = json_u64(json, "peel_compactions");
+        } else {
+            for field in ["peel_levels", "peel_sub_iterations", "peel_compactions"] {
+                assert!(
+                    json.contains(&format!("\"{field}\":null")),
+                    "{algo}: {json}"
+                );
+            }
+        }
     }
 }
 

@@ -30,6 +30,21 @@ fn suite() -> Vec<(String, CsrGraph)> {
         ("ws".into(), gen::watts_strogatz(60, 6, 0.2, 5)),
         ("ba".into(), gen::barabasi_albert(80, 3, 9)),
         ("rmat".into(), gen::rmat(gen::RmatConfig::skewed(7, 600), 4)),
+        // Degenerate degree distributions: a pure star (every edge support
+        // 0, one giant hub column) and a hub with a planted near-clique
+        // (the hub edge sits in many triangles while the leaves sit in
+        // none — the skew the degree-aware block sizing exists for).
+        ("star".into(), gen::star(300)),
+        (
+            "hub-clique".into(),
+            gen::planted_clique(&gen::star(200), 24, 7),
+        ),
+        // A heavier power-law than "rmat": twice the scale and samples,
+        // so deep k-classes coexist with long support-0 tails.
+        (
+            "rmat-heavy".into(),
+            gen::rmat(gen::RmatConfig::skewed(8, 1500), 8),
+        ),
         (
             "communities".into(),
             gen::overlapping_communities(
@@ -144,6 +159,38 @@ fn parallel_engine_matches_serial_across_thread_counts() {
                 exact.trussness(),
                 "{name}: parallel@{threads} vs inmem+"
             );
+        }
+    }
+}
+
+/// The parallel peel is *deterministic*: bit-identical trussness across
+/// repeated runs and across thread counts far beyond the machine width.
+/// Unclamped pools force genuinely concurrent workers — a regular pool on
+/// a small CI machine would silently collapse every rung to one worker —
+/// and the dense G(n,m) graph pushes the per-sub-iteration work estimate
+/// past the spawn floor, so the cost-balanced fan-out path (not just the
+/// direct path) is what must prove stable here.
+#[test]
+fn parallel_peel_is_deterministic_across_wide_ladders() {
+    use truss_decomposition::core::parallel::parallel_truss_decompose_with;
+    use truss_decomposition::core::pool::ThreadPool;
+    let graphs = [
+        ("hub-clique", gen::planted_clique(&gen::star(150), 20, 3)),
+        ("rmat-heavy", gen::rmat(gen::RmatConfig::skewed(8, 1600), 8)),
+        ("gnm-dense", gen::gnm(1200, 24_000, 9)),
+    ];
+    for (name, g) in graphs {
+        let reference = truss_decomposition::prelude::truss_decompose(&g);
+        for threads in [16usize, 32] {
+            let pool = ThreadPool::unclamped(threads);
+            for rep in 0..2 {
+                let (d, _, _) = parallel_truss_decompose_with(&g, &pool);
+                assert_eq!(
+                    d.trussness(),
+                    reference.trussness(),
+                    "{name}@{threads} rep {rep}"
+                );
+            }
         }
     }
 }
