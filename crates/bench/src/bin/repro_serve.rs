@@ -1,0 +1,29 @@
+//! Serving-layer load bench: an in-process `truss serve` daemon under a
+//! 1/4/16/64-client ladder with a mixed read/write workload, reporting
+//! qps and p50/p99 latency per rung and writing the machine-readable
+//! `BENCH_7.json` snapshot (to `TRUSS_BENCH_OUT`, default `BENCH_7.json`
+//! in the current directory). Scale with `TRUSS_SCALE=`, override the
+//! ladder with `TRUSS_CLIENTS=` (e.g. `1,4`) and the per-client read
+//! count with `TRUSS_SERVE_REQS=` (default 80).
+//!
+//! Exits non-zero if any reply's (generation, checksum) identity is
+//! inconsistent — two replies claiming one generation with different
+//! checksums — or any request fails in transport. There is no
+//! `TRUSS_GATE=warn` escape for this gate: identity coherence is a
+//! correctness property, not a timing comparison.
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::serve;
+
+fn main() {
+    let scale = BenchScale::Default;
+    let rows = serve::serve_rows(scale);
+    serve::table_serve_rows(&rows).print("truss serve under load: client ladder, mixed read/write");
+    let out = std::env::var("TRUSS_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".to_string());
+    std::fs::write(&out, serve::serve_json(&rows, scale)).expect("write snapshot");
+    eprintln!("wrote {out}");
+    if !serve::identity_clean(&rows) {
+        eprintln!("serve: identity violations above — failing");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,344 @@
+//! The serving-layer load bench: an in-process `truss serve` daemon
+//! hammered by a client ladder (1/4/16/64 connections) with a mixed
+//! read/write workload, measuring throughput and tail latency.
+//!
+//! Every reply's (generation, checksum) identity is cross-checked
+//! against a global generation → checksum registry: two replies claiming
+//! the same generation with different checksums — or a transport
+//! failure — is a correctness violation, and `repro_serve` exits
+//! non-zero on it. The bench is therefore also a stress test of the
+//! reader/writer snapshot-swap protocol, not just a stopwatch.
+
+use crate::datasets::{bench_graph, scale_factor, BenchScale};
+use crate::table::TableWriter;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use truss_core::index::TrussIndex;
+use truss_graph::generators::datasets::dataset_by_name;
+use truss_graph::{Edge, EdgeDelta};
+use truss_serve::proto::GENERATION_ANY;
+use truss_serve::server::index_checksum;
+use truss_serve::{Client, Request, Response, ServeConfig, Server};
+
+/// One ladder rung's measurements.
+pub struct ServeRow {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Read requests completed.
+    pub reads: u64,
+    /// Update requests completed (generation advances).
+    pub writes: u64,
+    /// Wall-clock seconds for the whole rung.
+    pub wall_s: f64,
+    /// Requests (reads + writes) per second.
+    pub qps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Identity violations (generation/checksum mismatches). Must be 0.
+    pub violations: u64,
+}
+
+/// The client ladder (`TRUSS_CLIENTS`, default `1,4,16,64`).
+pub fn client_ladder() -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("TRUSS_CLIENTS")
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&c| c >= 1)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        vec![1, 4, 16, 64]
+    } else {
+        parsed
+    }
+}
+
+/// Read requests per client per rung (`TRUSS_SERVE_REQS`, default 80).
+fn reads_per_client() -> usize {
+    std::env::var("TRUSS_SERVE_REQS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(80)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// The writer client's alternating delta pair: inserting then removing
+/// the same 6-clique keeps the served graph bounded however many update
+/// rounds a rung runs.
+fn flip_deltas(n: u32) -> (EdgeDelta, EdgeDelta) {
+    let mut clique = Vec::new();
+    for a in n..n + 6 {
+        for b in a + 1..n + 6 {
+            clique.push(Edge::new(a, b));
+        }
+    }
+    (
+        EdgeDelta {
+            insert: clique.clone(),
+            remove: Vec::new(),
+        },
+        EdgeDelta {
+            insert: Vec::new(),
+            remove: clique,
+        },
+    )
+}
+
+/// Shared identity registry: generation → checksum, first writer wins,
+/// later replies must agree.
+struct IdentityCheck {
+    seen: Mutex<HashMap<u64, u64>>,
+    violations: AtomicU64,
+}
+
+impl IdentityCheck {
+    fn new() -> Self {
+        IdentityCheck {
+            seen: Mutex::new(HashMap::new()),
+            violations: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, generation: u64, checksum: u64) {
+        let mut seen = self.seen.lock().unwrap();
+        let prior = *seen.entry(generation).or_insert(checksum);
+        if prior != checksum {
+            drop(seen);
+            eprintln!(
+                "serve: generation {generation} served with checksum {checksum:016x} \
+                 but was previously {prior:016x}"
+            );
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs one ladder rung: `clients` reader connections doing the mixed
+/// read workload, plus one writer connection advancing generations the
+/// whole time.
+fn run_rung(index: &TrussIndex, checksum: u64, clients: usize) -> ServeRow {
+    let handle = Server::start(
+        index.clone(),
+        checksum,
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: clients + 1,
+            snapshot_path: None,
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr().to_string();
+    let check = Arc::new(IdentityCheck::new());
+    let reads = reads_per_client();
+    let max_v = index.num_vertices() as u32;
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for t in 0..clients {
+        let addr = addr.clone();
+        let check = Arc::clone(&check);
+        threads.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(reads);
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("serve: connect failed: {e}");
+                    check.violations.fetch_add(1, Ordering::Relaxed);
+                    return lat;
+                }
+            };
+            for i in 0..reads {
+                let req = match (t + i) % 4 {
+                    0 => Request::Edge {
+                        u: (i as u32 * 17) % max_v,
+                        v: (i as u32 * 31 + 1) % max_v,
+                    },
+                    1 => Request::KTruss { k: 3 },
+                    2 => Request::Spectrum,
+                    _ => Request::Communities { k: 4 },
+                };
+                let sent = Instant::now();
+                match client.request(&req) {
+                    Ok(reply) => {
+                        lat.push(sent.elapsed());
+                        check.observe(reply.generation, reply.checksum);
+                    }
+                    Err(e) => {
+                        eprintln!("serve: request failed: {e}");
+                        check.violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            lat
+        }));
+    }
+
+    // The writer shares the rung's wall clock: it keeps flipping a
+    // clique in and out until every reader is done, so reads race
+    // generation swaps for the whole measurement.
+    let stop = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let addr = addr.clone();
+        let check = Arc::clone(&check);
+        let stop = Arc::clone(&stop);
+        let (add, del) = flip_deltas(max_v / 2);
+        std::thread::spawn(move || {
+            let mut writes = 0u64;
+            let mut lat = Vec::new();
+            let Ok(mut client) = Client::connect(&addr) else {
+                return (writes, lat);
+            };
+            while stop.load(Ordering::Relaxed) == 0 {
+                let delta = if writes.is_multiple_of(2) { &add } else { &del };
+                let sent = Instant::now();
+                match client.request(&Request::Update {
+                    base_generation: GENERATION_ANY,
+                    delta: delta.clone(),
+                }) {
+                    Ok(reply) => {
+                        lat.push(sent.elapsed());
+                        check.observe(reply.generation, reply.checksum);
+                        if !matches!(reply.body, Ok(Response::Update(_))) {
+                            eprintln!("serve: update rejected: {:?}", reply.body);
+                            check.violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        writes += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("serve: update failed: {e}");
+                        check.violations.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            (writes, lat)
+        })
+    };
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut read_count = 0u64;
+    for t in threads {
+        let lat = t.join().expect("client thread");
+        read_count += lat.len() as u64;
+        latencies.extend(lat);
+    }
+    stop.store(1, Ordering::Relaxed);
+    let (writes, write_lat) = writer.join().expect("writer thread");
+    latencies.extend(write_lat);
+    let wall = start.elapsed();
+    handle.shutdown();
+
+    latencies.sort_unstable();
+    ServeRow {
+        clients,
+        reads: read_count,
+        writes,
+        wall_s: wall.as_secs_f64(),
+        qps: (read_count + writes) as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        violations: check.violations.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs the whole ladder over the `p2p` analogue at `scale`.
+pub fn serve_rows(scale: BenchScale) -> Vec<ServeRow> {
+    let g = bench_graph(dataset_by_name("p2p").expect("p2p dataset"), scale);
+    let index = TrussIndex::from_decompose(g);
+    let checksum = index_checksum(&index).expect("checksum");
+    client_ladder()
+        .into_iter()
+        .map(|clients| run_rung(&index, checksum, clients))
+        .collect()
+}
+
+/// Renders the ladder table.
+pub fn table_serve_rows(rows: &[ServeRow]) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "clients",
+        "reads",
+        "writes",
+        "wall_s",
+        "qps",
+        "p50_ms",
+        "p99_ms",
+        "violations",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.clients.to_string(),
+            r.reads.to_string(),
+            r.writes.to_string(),
+            format!("{:.3}", r.wall_s),
+            format!("{:.0}", r.qps),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
+            r.violations.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable `BENCH_7.json` snapshot.
+pub fn serve_json(rows: &[ServeRow], scale: BenchScale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"repro_serve\",\n  \"scale_factor\": {},\n  \"dataset\": \"p2p\",\n  \"rungs\": [\n",
+        scale_factor(scale)
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"reads\": {}, \"writes\": {}, \"wall_s\": {:.6}, \
+             \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"violations\": {}}}{}\n",
+            r.clients,
+            r.reads,
+            r.writes,
+            r.wall_s,
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.violations,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// True when every rung finished with zero identity violations.
+pub fn identity_clean(rows: &[ServeRow]) -> bool {
+    rows.iter().all(|r| r.violations == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_tiny_rung_is_clean() {
+        std::env::set_var("TRUSS_SERVE_REQS", "6");
+        let g = bench_graph(dataset_by_name("p2p").unwrap(), BenchScale::Tiny);
+        let index = TrussIndex::from_decompose(g);
+        let checksum = index_checksum(&index).unwrap();
+        let row = run_rung(&index, checksum, 2);
+        assert_eq!(row.violations, 0);
+        assert_eq!(row.reads, 12);
+        assert!(row.qps > 0.0);
+        std::env::remove_var("TRUSS_SERVE_REQS");
+    }
+}

@@ -267,6 +267,43 @@ impl TrussIndex {
         truss_communities(&self.graph, &self.decomp, k)
     }
 
+    /// The k-truss community containing vertex `v`, or `None` when `v`
+    /// has no incident edge of trussness ≥ `k` (including out-of-range
+    /// `v`). Output-sensitive: a BFS over the component's own adjacency —
+    /// it never touches edges outside the answer, unlike
+    /// [`TrussIndex::k_truss_communities`] which scans the whole k-truss.
+    pub fn community_of(&self, v: VertexId, k: u32) -> Option<TrussCommunity> {
+        let k = k.max(2);
+        if (v as usize) >= self.graph.num_vertices() || self.vertex_truss[v as usize] < k {
+            return None;
+        }
+        let trussness = self.decomp.trussness();
+        let mut vertices = vec![v];
+        let mut edges = Vec::new();
+        let mut seen = truss_graph::hash::FxHashSet::default();
+        seen.insert(v);
+        let mut head = 0;
+        while head < vertices.len() {
+            let u = vertices[head];
+            head += 1;
+            for (i, &w) in self.graph.neighbors(u).iter().enumerate() {
+                let id = self.graph.neighbor_edge_ids(u)[i];
+                if trussness[id as usize] < k {
+                    continue;
+                }
+                if u < w {
+                    edges.push(Edge::new(u, w));
+                }
+                if seen.insert(w) {
+                    vertices.push(w);
+                }
+            }
+        }
+        vertices.sort_unstable();
+        edges.sort_unstable();
+        Some(TrussCommunity { k, vertices, edges })
+    }
+
     /// Aggregate spectrum statistics of the decomposition.
     pub fn spectrum(&self) -> TrussSpectrum {
         truss_spectrum(&self.graph, &self.decomp)
@@ -289,18 +326,25 @@ impl TrussIndex {
             IndexFormat::V1 => {
                 index_file::write_index_file(&self.graph, self.decomp.trussness(), file)
             }
-            IndexFormat::V2 => snapshot::write_index_snapshot(
-                &IndexSnapshotParts {
-                    graph: &self.graph,
-                    k_max: self.decomp.k_max(),
-                    trussness: self.decomp.trussness(),
-                    order: &self.order,
-                    count_ge: &self.count_ge,
-                    vertex_truss: &self.vertex_truss,
-                },
-                file,
-            ),
+            IndexFormat::V2 => self.write_snapshot(file).map(|_| ()),
         }
+    }
+
+    /// Streams the index as a v2 snapshot into `w`, returning the
+    /// container checksum — the artifact identity `truss serve` stamps on
+    /// every response served from this exact byte image.
+    pub fn write_snapshot<W: std::io::Write>(&self, w: W) -> Result<u64, StorageError> {
+        snapshot::write_index_snapshot(
+            &IndexSnapshotParts {
+                graph: &self.graph,
+                k_max: self.decomp.k_max(),
+                trussness: self.decomp.trussness(),
+                order: &self.order,
+                count_ge: &self.count_ge,
+                vertex_truss: &self.vertex_truss,
+            },
+            w,
+        )
     }
 
     /// Loads an index persisted by [`TrussIndex::save`] /
@@ -425,6 +469,45 @@ mod tests {
                 assert_eq!(ids, peeled, "seed {seed} k {k}");
             }
         }
+    }
+
+    #[test]
+    fn community_of_matches_component_enumeration() {
+        for seed in 0..3 {
+            let g = gnm(60, 400, seed);
+            let index = TrussIndex::from_decompose(g.clone());
+            for k in 2..=index.max_k() {
+                let all = index.k_truss_communities(k);
+                for c in &all {
+                    for &v in &c.vertices {
+                        let found = index
+                            .community_of(v, k)
+                            .unwrap_or_else(|| panic!("seed {seed} k {k} v {v}"));
+                        assert_eq!(found.vertices, c.vertices, "seed {seed} k {k} v {v}");
+                        assert_eq!(found.edges, c.edges, "seed {seed} k {k} v {v}");
+                        assert_eq!(found.k, k);
+                    }
+                }
+                // Vertices in no community answer None.
+                let covered: std::collections::HashSet<u32> = all
+                    .iter()
+                    .flat_map(|c| c.vertices.iter().copied())
+                    .collect();
+                for v in 0..g.num_vertices() as u32 {
+                    if !covered.contains(&v) {
+                        assert!(
+                            index.community_of(v, k).is_none(),
+                            "seed {seed} k {k} v {v}"
+                        );
+                    }
+                }
+            }
+        }
+        // Out-of-range vertices are "no community", not a panic.
+        let index = TrussIndex::from_decompose(figure2_graph());
+        assert!(index.community_of(99_999, 3).is_none());
+        // k below 2 clamps to 2 like every other k-truss query.
+        assert!(index.community_of(0, 0).is_some());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The single query-evaluation path: one function from (index, request)
+//! to a wire-level [`Response`], used by the daemon's reader threads
+//! *and* by `truss query` against a local file. Both therefore produce
+//! bit-identical payloads for the same query on the same index — the
+//! invariant the golden CLI test pins down.
+
+use crate::proto::{CommunitySummary, ErrorCode, Request, Response, ServeError};
+use truss_core::communities::TrussCommunity;
+use truss_core::index::TrussIndex;
+
+/// Converts a computed community into its wire summary.
+pub fn summarize_community(c: &TrussCommunity) -> CommunitySummary {
+    CommunitySummary {
+        k: c.k,
+        num_edges: c.edges.len() as u64,
+        vertices: c.vertices.clone(),
+    }
+}
+
+/// Answers a *read* query against `index`. [`Request::Update`],
+/// [`Request::Status`] and [`Request::Shutdown`] are not index queries —
+/// they need server state — and fail with [`ErrorCode::BadQuery`].
+pub fn answer(index: &TrussIndex, req: &Request) -> Result<Response, ServeError> {
+    match req {
+        Request::Spectrum => Ok(Response::Spectrum(index.spectrum())),
+        Request::KTruss { k } => Ok(Response::KTruss {
+            k: *k,
+            edges: index.k_truss_edges(*k),
+        }),
+        Request::Communities { k } => Ok(Response::Communities {
+            k: *k,
+            communities: index
+                .k_truss_communities(*k)
+                .iter()
+                .map(summarize_community)
+                .collect(),
+        }),
+        Request::Edge { u, v } => match index.truss_of(*u, *v) {
+            Some(trussness) => Ok(Response::Edge { trussness }),
+            None => Err(ServeError::new(
+                ErrorCode::NotAnEdge,
+                format!("({u}, {v}) is not an edge of the indexed graph"),
+            )),
+        },
+        Request::CommunityOf { v, k } => match index.community_of(*v, *k) {
+            Some(c) => Ok(Response::CommunityOf {
+                v: *v,
+                community: summarize_community(&c),
+            }),
+            None => Err(ServeError::new(
+                ErrorCode::BadQuery,
+                format!("vertex {v} is in no {k}-truss community"),
+            )),
+        },
+        Request::Update { .. } | Request::Status | Request::Shutdown => Err(ServeError::new(
+            ErrorCode::BadQuery,
+            "not a read query".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_graph::generators::figure2_graph;
+
+    #[test]
+    fn answers_match_index_queries() {
+        let index = TrussIndex::from_decompose(figure2_graph());
+        match answer(&index, &Request::Edge { u: 0, v: 1 }).unwrap() {
+            Response::Edge { trussness } => assert_eq!(trussness, 5),
+            other => panic!("{other:?}"),
+        }
+        let err = answer(&index, &Request::Edge { u: 0, v: 10 }).unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotAnEdge);
+        match answer(&index, &Request::KTruss { k: 5 }).unwrap() {
+            Response::KTruss { edges, .. } => assert_eq!(edges.len(), 10),
+            other => panic!("{other:?}"),
+        }
+        match answer(&index, &Request::Communities { k: 4 }).unwrap() {
+            Response::Communities { communities, .. } => assert_eq!(communities.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match answer(&index, &Request::CommunityOf { v: 0, k: 5 }).unwrap() {
+            Response::CommunityOf { community, .. } => {
+                assert_eq!(community.vertices, vec![0, 1, 2, 3, 4]);
+                assert_eq!(community.num_edges, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            answer(&index, &Request::Status).unwrap_err().code,
+            ErrorCode::BadQuery
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Blocking client for the `truss serve` wire protocol: one TCP
+//! connection, one request/reply exchange per call.
+
+use crate::proto::{
+    decode_reply, encode_request, read_frame, write_frame, Reply, Request, MAX_RESPONSE_FRAME,
+};
+use std::io::{Error, ErrorKind, Result};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon, e.g. `Client::connect("127.0.0.1:7070")`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its reply. Protocol-level
+    /// failures (query errors, stale generation, ...) come back inside
+    /// [`Reply::body`]; an `Err` here means the transport itself failed.
+    pub fn request(&mut self, req: &Request) -> Result<Reply> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream, MAX_RESPONSE_FRAME)?
+            .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof, "server closed the connection"))?;
+        decode_reply(&frame)
+            .map_err(|e| Error::new(ErrorKind::InvalidData, format!("bad reply frame: {e}")))
+    }
+}

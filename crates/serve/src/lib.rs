@@ -1,0 +1,34 @@
+//! `truss-serve`: the concurrent query daemon over truss-index
+//! snapshots, plus its wire protocol and client.
+//!
+//! Layers, bottom up:
+//!
+//! * [`proto`] — the length-prefixed, versioned binary protocol: pure
+//!   encode/decode, no I/O types in the hot path, so every frame shape
+//!   is property-testable in isolation.
+//! * [`mod@answer`] — the single (index, request) → response evaluation
+//!   path, shared by the daemon and the local `truss query` CLI.
+//! * [`mod@render`] — the single response → text formatter, shared by local
+//!   and `--remote` CLI paths (their stdout is byte-identical).
+//! * [`server`] — N reader threads over an `Arc`-swapped generation,
+//!   one writer applying [`truss_graph::EdgeDelta`] batches through the
+//!   incremental re-peel, atomic write-new + rename snapshot rotation.
+//! * [`client`] — a blocking request/reply TCP client.
+//! * [`signal`] — SIGINT/SIGTERM latch for graceful daemon shutdown.
+//!
+//! Every reply carries the identity of the artifact that served it: the
+//! generation number and the v2 container checksum of that generation's
+//! byte image. See `FORMATS.md` for the byte-level wire layout.
+
+pub mod answer;
+pub mod client;
+pub mod proto;
+pub mod render;
+pub mod server;
+pub mod signal;
+
+pub use answer::answer;
+pub use client::Client;
+pub use proto::{ErrorCode, Reply, Request, Response, ServeError};
+pub use render::{render, Rendered};
+pub use server::{index_checksum, ServeConfig, Server, ServerHandle};

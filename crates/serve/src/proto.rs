@@ -1,0 +1,919 @@
+//! The versioned, length-prefixed binary wire protocol of `truss serve`.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` byte
+//! length followed by that many body bytes. Request bodies open with the
+//! 4-byte magic [`REQUEST_MAGIC`], a protocol version byte and an opcode;
+//! response bodies open with [`RESPONSE_MAGIC`], the version, a status
+//! byte, and — on **every** response, success or error — the identity of
+//! the artifact that answered: the snapshot *generation* number and the
+//! v2 container *checksum* of that generation's byte image. A client can
+//! therefore always tell exactly which snapshot produced an answer, and
+//! cross-check that concurrent responses claiming the same generation
+//! agree on its checksum. See `docs/FORMATS.md` for the full byte
+//! layout.
+//!
+//! Encoding and decoding are pure functions over byte vectors
+//! ([`encode_request`]/[`decode_request`], [`encode_reply`]/
+//! [`decode_reply`]), so the proptest suite round-trips and fuzzes them
+//! without a socket in sight. Decoders never panic on adversarial input:
+//! every malformed, truncated, over-long, wrong-magic or future-version
+//! body decodes to a [`ServeError`], which the server answers as an
+//! error frame ([`ErrorCode`]) instead of dropping the connection.
+
+use std::io::{Read, Write};
+use truss_core::spectrum::TrussSpectrum;
+use truss_graph::{Edge, EdgeDelta};
+
+/// Protocol version carried by every request and response body.
+pub const PROTO_VERSION: u8 = 1;
+
+/// First four bytes of every request body.
+pub const REQUEST_MAGIC: [u8; 4] = *b"TRSQ";
+
+/// First four bytes of every response body.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"TRSP";
+
+/// Hard cap on request frames the server will buffer (deltas included).
+pub const MAX_REQUEST_FRAME: usize = 16 << 20;
+
+/// Hard cap on response frames the client will buffer (a k-truss edge
+/// list of a large graph is the biggest payload).
+pub const MAX_RESPONSE_FRAME: usize = 1 << 30;
+
+/// `base_generation` wildcard: apply the update against whatever
+/// generation is current instead of failing with
+/// [`ErrorCode::StaleGeneration`].
+pub const GENERATION_ANY: u64 = u64::MAX;
+
+/// A request frame body, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Aggregate spectrum statistics of the decomposition.
+    Spectrum,
+    /// Edges of the k-truss.
+    KTruss {
+        /// The truss level.
+        k: u32,
+    },
+    /// Connected components of the k-truss.
+    Communities {
+        /// The truss level.
+        k: u32,
+    },
+    /// Truss number of one edge.
+    Edge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// The k-truss community containing a vertex.
+    CommunityOf {
+        /// The vertex.
+        v: u32,
+        /// The truss level.
+        k: u32,
+    },
+    /// Apply a batch of edge insertions/removals through the single
+    /// writer, rotating the served snapshot.
+    Update {
+        /// Generation the client built the delta against, or
+        /// [`GENERATION_ANY`]. A mismatch fails with
+        /// [`ErrorCode::StaleGeneration`] without applying anything.
+        base_generation: u64,
+        /// The batch.
+        delta: EdgeDelta,
+    },
+    /// Server and snapshot identity (no index work).
+    Status,
+    /// Graceful shutdown: the server acks, drains in-flight requests and
+    /// exits 0.
+    Shutdown,
+}
+
+impl Request {
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::Spectrum => 1,
+            Request::KTruss { .. } => 2,
+            Request::Communities { .. } => 3,
+            Request::Edge { .. } => 4,
+            Request::CommunityOf { .. } => 5,
+            Request::Update { .. } => 6,
+            Request::Status => 7,
+            Request::Shutdown => 8,
+        }
+    }
+}
+
+/// Per-request failure classes, carried in the response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The body did not parse (bad magic, short payload, trailing bytes).
+    Malformed = 1,
+    /// The body's protocol version is newer than this server speaks.
+    UnsupportedVersion = 2,
+    /// Unknown opcode within a known version.
+    UnknownOpcode = 3,
+    /// An edge query named a pair that is not an edge.
+    NotAnEdge = 4,
+    /// A structurally valid query the index cannot answer (e.g. a
+    /// community lookup for a vertex in no k-truss).
+    BadQuery = 5,
+    /// An update's `base_generation` no longer matches the current one.
+    StaleGeneration = 6,
+    /// The server is draining for shutdown and takes no new work.
+    ShuttingDown = 7,
+    /// The request frame exceeded [`MAX_REQUEST_FRAME`]; the connection
+    /// closes after this error (framing is unrecoverable).
+    Oversized = 8,
+    /// The server failed internally (e.g. snapshot rotation I/O error).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::NotAnEdge,
+            5 => ErrorCode::BadQuery,
+            6 => ErrorCode::StaleGeneration,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::Oversized,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed per-request error: code plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// Detail for humans; the CLI surfaces it verbatim.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Constructs an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ServeError {
+        ServeError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One k-truss community, as the wire carries it: the vertex set plus
+/// the edge *count* (enough for every report the CLI prints — density is
+/// derived — without shipping the full edge list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunitySummary {
+    /// The truss level.
+    pub k: u32,
+    /// Number of edges in the community.
+    pub num_edges: u64,
+    /// Vertices of the community (sorted).
+    pub vertices: Vec<u32>,
+}
+
+impl CommunitySummary {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Edge density relative to a clique on the same vertices — the same
+    /// formula as `TrussCommunity::density`, so local and remote
+    /// rendering agree to the bit.
+    pub fn density(&self) -> f64 {
+        let n = self.vertices.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        self.num_edges as f64 / (n * (n - 1.0) / 2.0)
+    }
+}
+
+/// What an applied update did, as reported back to the requesting
+/// client (mirrors `truss_core::index::UpdateStats` plus rotation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateSummary {
+    /// Edges actually inserted.
+    pub inserted: u64,
+    /// Edges actually removed.
+    pub removed: u64,
+    /// No-op operations skipped.
+    pub skipped: u64,
+    /// Edges seeded into the incremental re-peel.
+    pub seeded: u64,
+    /// Worklist relaxations performed.
+    pub settled: u64,
+    /// Relaxations that lowered a truss bound.
+    pub lowered: u64,
+    /// True when the new generation was persisted (write-new + rename).
+    pub rotated: bool,
+}
+
+/// Server identity and shape, for `--query status` and smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusSummary {
+    /// Vertices of the served graph.
+    pub num_vertices: u64,
+    /// Edges of the served graph.
+    pub num_edges: u64,
+    /// Largest k with a non-empty k-truss.
+    pub k_max: u32,
+    /// Reader threads serving connections.
+    pub threads: u32,
+}
+
+/// A successful response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Spectrum`].
+    Spectrum(TrussSpectrum),
+    /// Answer to [`Request::KTruss`].
+    KTruss {
+        /// The queried level.
+        k: u32,
+        /// Edges of the k-truss in lexicographic order.
+        edges: Vec<Edge>,
+    },
+    /// Answer to [`Request::Communities`].
+    Communities {
+        /// The queried level.
+        k: u32,
+        /// Components, largest first.
+        communities: Vec<CommunitySummary>,
+    },
+    /// Answer to [`Request::Edge`].
+    Edge {
+        /// The edge's truss number.
+        trussness: u32,
+    },
+    /// Answer to [`Request::CommunityOf`].
+    CommunityOf {
+        /// The queried vertex.
+        v: u32,
+        /// The community containing it.
+        community: CommunitySummary,
+    },
+    /// Answer to [`Request::Update`].
+    Update(UpdateSummary),
+    /// Answer to [`Request::Status`].
+    Status(StatusSummary),
+    /// Ack of [`Request::Shutdown`]; the server drains and exits after
+    /// sending it.
+    ShuttingDown,
+}
+
+impl Response {
+    fn kind(&self) -> u8 {
+        match self {
+            Response::Spectrum(_) => 1,
+            Response::KTruss { .. } => 2,
+            Response::Communities { .. } => 3,
+            Response::Edge { .. } => 4,
+            Response::CommunityOf { .. } => 5,
+            Response::Update(_) => 6,
+            Response::Status(_) => 7,
+            Response::ShuttingDown => 8,
+        }
+    }
+}
+
+/// A full response frame body: the served-artifact identity plus either
+/// a payload or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Generation number of the snapshot that answered (0 = the snapshot
+    /// the server started from; +1 per applied update).
+    pub generation: u64,
+    /// v2 container checksum of that generation's byte image.
+    pub checksum: u64,
+    /// Payload or error.
+    pub body: Result<Response, ServeError>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn encode_community(e: &mut Enc, c: &CommunitySummary) {
+    e.u32(c.k);
+    e.u64(c.num_edges);
+    e.u32(c.vertices.len() as u32);
+    for &v in &c.vertices {
+        e.u32(v);
+    }
+}
+
+/// Serializes a request as one frame body (without the length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(16));
+    e.0.extend_from_slice(&REQUEST_MAGIC);
+    e.u8(PROTO_VERSION);
+    e.u8(req.opcode());
+    match req {
+        Request::Spectrum | Request::Status | Request::Shutdown => {}
+        Request::KTruss { k } | Request::Communities { k } => e.u32(*k),
+        Request::Edge { u, v } => {
+            e.u32(*u);
+            e.u32(*v);
+        }
+        Request::CommunityOf { v, k } => {
+            e.u32(*v);
+            e.u32(*k);
+        }
+        Request::Update {
+            base_generation,
+            delta,
+        } => {
+            e.u64(*base_generation);
+            e.u32(delta.insert.len() as u32);
+            e.u32(delta.remove.len() as u32);
+            for edge in delta.insert.iter().chain(delta.remove.iter()) {
+                e.u32(edge.u);
+                e.u32(edge.v);
+            }
+        }
+    }
+    e.0
+}
+
+/// Serializes a reply as one frame body (without the length prefix).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(32));
+    e.0.extend_from_slice(&RESPONSE_MAGIC);
+    e.u8(PROTO_VERSION);
+    match &reply.body {
+        Ok(_) => e.u8(0),
+        Err(err) => e.u8(err.code as u8),
+    }
+    e.u8(0);
+    e.u8(0);
+    e.u64(reply.generation);
+    e.u64(reply.checksum);
+    match &reply.body {
+        Err(err) => e.0.extend_from_slice(err.message.as_bytes()),
+        Ok(resp) => {
+            e.u8(resp.kind());
+            match resp {
+                Response::Spectrum(s) => {
+                    e.u32(s.k_max);
+                    e.u32(s.median_trussness);
+                    e.f64(s.mean_trussness);
+                    e.f64(s.phi2_fraction);
+                    e.u32(s.class_sizes.len() as u32);
+                    for &(k, size) in &s.class_sizes {
+                        e.u32(k);
+                        e.u64(size as u64);
+                    }
+                    e.u32(s.truss_sizes.len() as u32);
+                    for &(k, edges, verts) in &s.truss_sizes {
+                        e.u32(k);
+                        e.u64(edges as u64);
+                        e.u64(verts as u64);
+                    }
+                }
+                Response::KTruss { k, edges } => {
+                    e.u32(*k);
+                    e.u64(edges.len() as u64);
+                    for edge in edges {
+                        e.u32(edge.u);
+                        e.u32(edge.v);
+                    }
+                }
+                Response::Communities { k, communities } => {
+                    e.u32(*k);
+                    e.u32(communities.len() as u32);
+                    for c in communities {
+                        encode_community(&mut e, c);
+                    }
+                }
+                Response::Edge { trussness } => e.u32(*trussness),
+                Response::CommunityOf { v, community } => {
+                    e.u32(*v);
+                    encode_community(&mut e, community);
+                }
+                Response::Update(u) => {
+                    e.u64(u.inserted);
+                    e.u64(u.removed);
+                    e.u64(u.skipped);
+                    e.u64(u.seeded);
+                    e.u64(u.settled);
+                    e.u64(u.lowered);
+                    e.u8(u.rotated as u8);
+                }
+                Response::Status(s) => {
+                    e.u64(s.num_vertices);
+                    e.u64(s.num_edges);
+                    e.u32(s.k_max);
+                    e.u32(s.threads);
+                }
+                Response::ShuttingDown => {}
+            }
+        }
+    }
+    e.0
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, at: 0 }
+    }
+
+    fn short(&self) -> ServeError {
+        ServeError::new(
+            ErrorCode::Malformed,
+            format!("truncated body at byte {} of {}", self.at, self.bytes.len()),
+        )
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(self.short()),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A count field about to drive a `Vec::with_capacity` + loop: bound
+    /// it by the bytes actually remaining so absurd counts in corrupt
+    /// frames fail fast instead of allocating.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, ServeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes) > self.bytes.len() - self.at.min(self.bytes.len()) {
+            return Err(ServeError::new(
+                ErrorCode::Malformed,
+                format!("count {n} exceeds remaining body"),
+            ));
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> Result<(), ServeError> {
+        if self.at != self.bytes.len() {
+            return Err(ServeError::new(
+                ErrorCode::Malformed,
+                format!("{} trailing bytes after body", self.bytes.len() - self.at),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn decode_community(d: &mut Dec<'_>) -> Result<CommunitySummary, ServeError> {
+    let k = d.u32()?;
+    let num_edges = d.u64()?;
+    let n = d.count(4)?;
+    let mut vertices = Vec::with_capacity(n);
+    for _ in 0..n {
+        vertices.push(d.u32()?);
+    }
+    Ok(CommunitySummary {
+        k,
+        num_edges,
+        vertices,
+    })
+}
+
+fn check_header(d: &mut Dec<'_>, magic: &[u8; 4], what: &str) -> Result<(), ServeError> {
+    let got = d.take(4)?;
+    if got != magic {
+        return Err(ServeError::new(
+            ErrorCode::Malformed,
+            format!("bad {what} magic {got:?}, expected {magic:?}"),
+        ));
+    }
+    let version = d.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ServeError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("protocol version {version} not supported (this build speaks {PROTO_VERSION})"),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a request frame body. Never panics: adversarial bytes produce
+/// a [`ServeError`] the server answers as an error frame.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, ServeError> {
+    let mut d = Dec::new(bytes);
+    check_header(&mut d, &REQUEST_MAGIC, "request")?;
+    let opcode = d.u8()?;
+    let req = match opcode {
+        1 => Request::Spectrum,
+        2 => Request::KTruss { k: d.u32()? },
+        3 => Request::Communities { k: d.u32()? },
+        4 => Request::Edge {
+            u: d.u32()?,
+            v: d.u32()?,
+        },
+        5 => Request::CommunityOf {
+            v: d.u32()?,
+            k: d.u32()?,
+        },
+        6 => {
+            let base_generation = d.u64()?;
+            let n_insert = d.count(8)?;
+            let n_remove = d.count(8)?;
+            let mut read_edges = |n: usize| -> Result<Vec<Edge>, ServeError> {
+                let mut edges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let u = d.u32()?;
+                    let v = d.u32()?;
+                    if u == v {
+                        return Err(ServeError::new(
+                            ErrorCode::Malformed,
+                            format!("self-loop ({u}, {u}) in delta"),
+                        ));
+                    }
+                    edges.push(Edge::new(u, v));
+                }
+                Ok(edges)
+            };
+            let insert = read_edges(n_insert)?;
+            let remove = read_edges(n_remove)?;
+            Request::Update {
+                base_generation,
+                delta: EdgeDelta { insert, remove },
+            }
+        }
+        7 => Request::Status,
+        8 => Request::Shutdown,
+        other => {
+            return Err(ServeError::new(
+                ErrorCode::UnknownOpcode,
+                format!("unknown opcode {other}"),
+            ))
+        }
+    };
+    d.done()?;
+    Ok(req)
+}
+
+/// Parses a response frame body (the client side). Never panics.
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply, ServeError> {
+    let mut d = Dec::new(bytes);
+    check_header(&mut d, &RESPONSE_MAGIC, "response")?;
+    let status = d.u8()?;
+    d.take(2)?; // padding
+    let generation = d.u64()?;
+    let checksum = d.u64()?;
+    if status != 0 {
+        let code = ErrorCode::from_u8(status).ok_or_else(|| {
+            ServeError::new(ErrorCode::Malformed, format!("unknown status {status}"))
+        })?;
+        let message = String::from_utf8_lossy(&d.bytes[d.at..]).into_owned();
+        return Ok(Reply {
+            generation,
+            checksum,
+            body: Err(ServeError::new(code, message)),
+        });
+    }
+    let kind = d.u8()?;
+    let resp = match kind {
+        1 => {
+            let k_max = d.u32()?;
+            let median_trussness = d.u32()?;
+            let mean_trussness = d.f64()?;
+            let phi2_fraction = d.f64()?;
+            let nc = d.count(12)?;
+            let mut class_sizes = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                let k = d.u32()?;
+                class_sizes.push((k, d.u64()? as usize));
+            }
+            let nt = d.count(20)?;
+            let mut truss_sizes = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                let k = d.u32()?;
+                let edges = d.u64()? as usize;
+                truss_sizes.push((k, edges, d.u64()? as usize));
+            }
+            Response::Spectrum(TrussSpectrum {
+                class_sizes,
+                truss_sizes,
+                k_max,
+                mean_trussness,
+                median_trussness,
+                phi2_fraction,
+            })
+        }
+        2 => {
+            let k = d.u32()?;
+            let n = d.u64()? as usize;
+            if n.saturating_mul(8) > d.bytes.len() - d.at {
+                return Err(ServeError::new(
+                    ErrorCode::Malformed,
+                    format!("edge count {n} exceeds remaining body"),
+                ));
+            }
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let u = d.u32()?;
+                let v = d.u32()?;
+                edges.push(Edge { u, v });
+            }
+            Response::KTruss { k, edges }
+        }
+        3 => {
+            let k = d.u32()?;
+            let n = d.count(16)?;
+            let mut communities = Vec::with_capacity(n);
+            for _ in 0..n {
+                communities.push(decode_community(&mut d)?);
+            }
+            Response::Communities { k, communities }
+        }
+        4 => Response::Edge {
+            trussness: d.u32()?,
+        },
+        5 => Response::CommunityOf {
+            v: d.u32()?,
+            community: decode_community(&mut d)?,
+        },
+        6 => Response::Update(UpdateSummary {
+            inserted: d.u64()?,
+            removed: d.u64()?,
+            skipped: d.u64()?,
+            seeded: d.u64()?,
+            settled: d.u64()?,
+            lowered: d.u64()?,
+            rotated: d.u8()? != 0,
+        }),
+        7 => Response::Status(StatusSummary {
+            num_vertices: d.u64()?,
+            num_edges: d.u64()?,
+            k_max: d.u32()?,
+            threads: d.u32()?,
+        }),
+        8 => Response::ShuttingDown,
+        other => {
+            return Err(ServeError::new(
+                ErrorCode::Malformed,
+                format!("unknown response kind {other}"),
+            ))
+        }
+    };
+    d.done()?;
+    Ok(Reply {
+        generation,
+        checksum,
+        body: Ok(resp),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, enforcing `max` on the declared
+/// length. Returns `Ok(None)` on clean EOF at a frame boundary; EOF
+/// mid-frame is an `UnexpectedEof` error.
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside frame length",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let bytes = encode_reply(&reply);
+        assert_eq!(decode_reply(&bytes).unwrap(), reply, "{reply:?}");
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_request(Request::Spectrum);
+        round_trip_request(Request::KTruss { k: 7 });
+        round_trip_request(Request::Communities { k: 3 });
+        round_trip_request(Request::Edge { u: 12, v: 9 });
+        round_trip_request(Request::CommunityOf { v: 4, k: 5 });
+        round_trip_request(Request::Status);
+        round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Update {
+            base_generation: GENERATION_ANY,
+            delta: EdgeDelta {
+                insert: vec![Edge::new(1, 2), Edge::new(3, 9)],
+                remove: vec![Edge::new(0, 5)],
+            },
+        });
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let ok = |resp: Response| Reply {
+            generation: 3,
+            checksum: 0xdead_beef_0042,
+            body: Ok(resp),
+        };
+        round_trip_reply(ok(Response::Edge { trussness: 5 }));
+        round_trip_reply(ok(Response::ShuttingDown));
+        round_trip_reply(ok(Response::KTruss {
+            k: 4,
+            edges: vec![Edge::new(0, 1), Edge::new(1, 2)],
+        }));
+        round_trip_reply(ok(Response::Communities {
+            k: 4,
+            communities: vec![CommunitySummary {
+                k: 4,
+                num_edges: 6,
+                vertices: vec![0, 1, 2, 3],
+            }],
+        }));
+        round_trip_reply(ok(Response::CommunityOf {
+            v: 2,
+            community: CommunitySummary {
+                k: 3,
+                num_edges: 3,
+                vertices: vec![1, 2, 4],
+            },
+        }));
+        round_trip_reply(ok(Response::Update(UpdateSummary {
+            inserted: 2,
+            removed: 1,
+            skipped: 0,
+            seeded: 17,
+            settled: 40,
+            lowered: 3,
+            rotated: true,
+        })));
+        round_trip_reply(ok(Response::Status(StatusSummary {
+            num_vertices: 100,
+            num_edges: 400,
+            k_max: 9,
+            threads: 16,
+        })));
+        round_trip_reply(ok(Response::Spectrum(TrussSpectrum {
+            class_sizes: vec![(2, 1), (3, 9)],
+            truss_sizes: vec![(2, 10, 8), (3, 9, 7)],
+            k_max: 3,
+            mean_trussness: 2.9,
+            median_trussness: 3,
+            phi2_fraction: 0.1,
+        })));
+        round_trip_reply(Reply {
+            generation: 0,
+            checksum: 7,
+            body: Err(ServeError::new(
+                ErrorCode::NotAnEdge,
+                "(1, 2) is not an edge",
+            )),
+        });
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_opcode() {
+        let mut good = encode_request(&Request::Spectrum);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_request(&bad).unwrap_err().code, ErrorCode::Malformed);
+
+        let mut future = good.clone();
+        future[4] = PROTO_VERSION + 1;
+        assert_eq!(
+            decode_request(&future).unwrap_err().code,
+            ErrorCode::UnsupportedVersion
+        );
+
+        good[5] = 200;
+        assert_eq!(
+            decode_request(&good).unwrap_err().code,
+            ErrorCode::UnknownOpcode
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let full = encode_request(&Request::Edge { u: 3, v: 8 });
+        for cut in 0..full.len() {
+            assert!(decode_request(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = full.clone();
+        long.push(0);
+        assert_eq!(
+            decode_request(&long).unwrap_err().code,
+            ErrorCode::Malformed
+        );
+    }
+
+    #[test]
+    fn rejects_absurd_counts_without_allocating() {
+        // An update frame claiming u32::MAX insertions but carrying none.
+        let mut e = Vec::new();
+        e.extend_from_slice(&REQUEST_MAGIC);
+        e.push(PROTO_VERSION);
+        e.push(6);
+        e.extend_from_slice(&0u64.to_le_bytes());
+        e.extend_from_slice(&u32::MAX.to_le_bytes());
+        e.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_request(&e).unwrap_err().code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_enforces_max() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 64).unwrap().is_none());
+
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, &[0u8; 100]).unwrap();
+        assert!(read_frame(&mut &oversized[..], 10).is_err());
+    }
+}

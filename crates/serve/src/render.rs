@@ -1,0 +1,123 @@
+//! The single output formatter: one function from a wire-level
+//! [`Response`] to the text the CLI prints. `truss query` against a
+//! local file and against `--remote` both render through here, which is
+//! what makes their stdout byte-identical (the golden CLI test); the
+//! legacy `truss index query` delegates to the same functions.
+
+use crate::proto::{CommunitySummary, Response};
+use truss_core::spectrum::render_spectrum;
+
+/// Rendered output of one response: what goes on stdout (the data) and
+/// what goes on stderr (human diagnostics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rendered {
+    /// Query data, exactly as printed to stdout.
+    pub stdout: String,
+    /// Diagnostics, printed to stderr.
+    pub diag: String,
+}
+
+fn community_line(out: &mut String, index: Option<usize>, c: &CommunitySummary) {
+    use std::fmt::Write;
+    if let Some(i) = index {
+        let _ = write!(out, "{i}\t");
+    }
+    let vertices: Vec<String> = c.vertices.iter().map(u32::to_string).collect();
+    let _ = writeln!(
+        out,
+        "{}\t{}\t{:.4}\t{}",
+        c.num_vertices(),
+        c.num_edges,
+        c.density(),
+        vertices.join(" ")
+    );
+}
+
+/// Renders one response.
+pub fn render(resp: &Response) -> Rendered {
+    use std::fmt::Write;
+    let mut r = Rendered::default();
+    match resp {
+        Response::Spectrum(s) => r.stdout = render_spectrum(s),
+        Response::KTruss { k, edges } => {
+            for e in edges {
+                let _ = writeln!(r.stdout, "{}\t{}", e.u, e.v);
+            }
+            let _ = writeln!(r.diag, "{}-truss: {} edges", k, edges.len());
+        }
+        Response::Communities { k, communities } => {
+            for (i, c) in communities.iter().enumerate() {
+                community_line(&mut r.stdout, Some(i), c);
+            }
+            let _ = writeln!(r.diag, "{}-truss: {} communities", k, communities.len());
+        }
+        Response::Edge { trussness } => {
+            let _ = writeln!(r.stdout, "{trussness}");
+        }
+        Response::CommunityOf { v, community } => {
+            community_line(&mut r.stdout, None, community);
+            let _ = writeln!(
+                r.diag,
+                "{}-truss community of {v}: {} vertices, {} edges",
+                community.k,
+                community.num_vertices(),
+                community.num_edges
+            );
+        }
+        Response::Update(u) => {
+            let _ = writeln!(
+                r.diag,
+                "applied: +{} -{} ({} skipped), {} edges seeded, \
+                 {} relaxations ({} lowered){}",
+                u.inserted,
+                u.removed,
+                u.skipped,
+                u.seeded,
+                u.settled,
+                u.lowered,
+                if u.rotated { ", snapshot rotated" } else { "" }
+            );
+        }
+        Response::Status(s) => {
+            let _ = writeln!(r.stdout, "vertices  {}", s.num_vertices);
+            let _ = writeln!(r.stdout, "edges     {}", s.num_edges);
+            let _ = writeln!(r.stdout, "k_max     {}", s.k_max);
+            let _ = writeln!(r.stdout, "threads   {}", s.threads);
+        }
+        Response::ShuttingDown => {
+            let _ = writeln!(r.diag, "server is shutting down");
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::answer;
+    use crate::proto::Request;
+    use truss_core::index::TrussIndex;
+    use truss_graph::generators::figure2_graph;
+
+    #[test]
+    fn renders_the_legacy_cli_shapes() {
+        let index = TrussIndex::from_decompose(figure2_graph());
+        let resp = answer(&index, &Request::KTruss { k: 5 }).unwrap();
+        let r = render(&resp);
+        assert_eq!(r.stdout.lines().count(), 10);
+        assert!(r.stdout.lines().all(|l| l.split('\t').count() == 2));
+        assert_eq!(r.diag, "5-truss: 10 edges\n");
+
+        let resp = answer(&index, &Request::Communities { k: 4 }).unwrap();
+        let r = render(&resp);
+        assert_eq!(r.stdout.lines().count(), 2);
+        // index, n_vertices, n_edges, density, vertex list.
+        assert!(r.stdout.lines().all(|l| l.split('\t').count() == 5));
+
+        let resp = answer(&index, &Request::Edge { u: 0, v: 1 }).unwrap();
+        assert_eq!(render(&resp).stdout, "5\n");
+
+        let resp = answer(&index, &Request::Spectrum).unwrap();
+        assert!(render(&resp).stdout.contains("k_max = 5"));
+    }
+}

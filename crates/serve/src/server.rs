@@ -1,0 +1,528 @@
+//! The `truss serve` daemon: N reader threads over one shared snapshot
+//! generation, a single writer, atomic rotation.
+//!
+//! ## Dataflow
+//!
+//! ```text
+//!                     ┌────────────────────────────────────────────┐
+//!  TCP clients ──────►│ reader 1..N   (accept → frame → answer)    │
+//!                     │   each request clones Arc<Generation> once │──► replies
+//!                     └──────┬─────────────────────────────────────┘    (generation,
+//!                            │ Update frames                            checksum on
+//!                            ▼                                          every one)
+//!                     ┌──────────────┐   write tmp ──► fsync ──► rename
+//!                     │ writer (one) │──────────────────────────────► snapshot path
+//!                     └──────────────┘   publish Arc<Generation { n+1 }>
+//! ```
+//!
+//! * **Readers never block on the writer.** The current generation lives
+//!   behind an [`RwLock`]`<Arc<Generation>>` held only long enough to
+//!   clone the `Arc`; the writer's apply/rotate work happens entirely on
+//!   its own copy, and publishing is one pointer store. A request that
+//!   started on generation *g* finishes on *g* even if *g+1* lands
+//!   mid-answer — which is why its reply's (generation, checksum) pair
+//!   is always internally consistent.
+//! * **One writer.** All [`Request::Update`] frames funnel through one
+//!   mpsc channel into a single thread, which applies the batch through
+//!   the incremental re-peel ([`TrussIndex::apply`]), persists the new
+//!   snapshot (write-new + rename, the `truss convert` pattern — a crash
+//!   between the two leaves the old file untouched), and only then
+//!   publishes the new generation.
+//! * **Generation identity.** Generation 0 is the snapshot the server
+//!   started from; each applied batch increments it. The checksum is the
+//!   v2 container checksum of that generation's byte image — exactly
+//!   what [`truss_storage::snapshot_checksum`] reads back from the file,
+//!   so a client can verify the served artifact against disk.
+//!
+//! Shutdown (SIGTERM/SIGINT via [`crate::signal`], or a
+//! [`Request::Shutdown`] frame) is graceful: readers finish buffered
+//! requests and close, the writer drains queued updates, then all
+//! threads join and [`ServerHandle::join`] returns.
+
+use crate::answer::answer;
+use crate::proto::{
+    decode_request, encode_reply, write_frame, ErrorCode, Reply, Request, Response, ServeError,
+    StatusSummary, UpdateSummary, MAX_REQUEST_FRAME,
+};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use truss_core::index::TrussIndex;
+use truss_graph::EdgeDelta;
+use truss_storage::LoadMode;
+
+/// How long blocked readers/writer sleep between shutdown-flag checks.
+const POLL: Duration = Duration::from_millis(50);
+
+/// One immutable served snapshot generation.
+pub struct Generation {
+    /// The index every reader answers from.
+    pub index: Arc<TrussIndex>,
+    /// Generation number (0 = the snapshot the server started from).
+    pub number: u64,
+    /// v2 container checksum of this generation's byte image.
+    pub checksum: u64,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Reader threads. Each serves one connection at a time, so this is
+    /// also the number of concurrently served clients; size it to the
+    /// expected client count.
+    pub threads: usize,
+    /// Where applied updates are persisted (write-new + rename). `None`
+    /// keeps updates in memory only — generations still advance and
+    /// carry the checksum the rotation *would* have written.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 4,
+            snapshot_path: None,
+        }
+    }
+}
+
+struct Shared {
+    current: RwLock<Arc<Generation>>,
+    shutdown: AtomicBool,
+    threads: u32,
+    /// Requests answered (all kinds), for diagnostics.
+    served: AtomicU64,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<Generation> {
+        self.current.read().expect("generation lock").clone()
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+struct WriteJob {
+    base_generation: u64,
+    delta: EdgeDelta,
+    reply: Sender<Result<(UpdateSummary, u64, u64), ServeError>>,
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] (or send a [`Request::Shutdown`]
+/// frame) for a graceful stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `--port 0` to the real ephemeral
+    /// port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current (generation number, checksum).
+    pub fn generation(&self) -> (u64, u64) {
+        let g = self.shared.current();
+        (g.number, g.checksum)
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Signals shutdown without waiting.
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once every server thread has exited (e.g. after a remote
+    /// [`Request::Shutdown`]).
+    pub fn is_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.is_finished())
+    }
+
+    /// Waits for the server to exit (however shutdown was triggered).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful stop: drain in-flight requests, then join every thread.
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.join();
+    }
+}
+
+/// The daemon entry points.
+pub struct Server;
+
+impl Server {
+    /// Starts a daemon over an in-memory index whose byte-image checksum
+    /// is `checksum` (pass [`index_checksum`]'s result, or the value
+    /// [`truss_storage::snapshot_checksum`] read from the file the index
+    /// came from). Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and returns once all threads are running.
+    pub fn start(
+        index: TrussIndex,
+        checksum: u64,
+        bind: &str,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            current: RwLock::new(Arc::new(Generation {
+                index: Arc::new(index),
+                number: 0,
+                checksum,
+            })),
+            shutdown: AtomicBool::new(false),
+            threads: threads as u32,
+            served: AtomicU64::new(0),
+        });
+
+        let (writer_tx, writer_rx) = mpsc::channel::<WriteJob>();
+        let mut handles = Vec::with_capacity(threads + 1);
+        {
+            let shared = Arc::clone(&shared);
+            let snapshot_path = config.snapshot_path.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("truss-serve-writer".into())
+                    .spawn(move || writer_loop(writer_rx, shared, snapshot_path))?,
+            );
+        }
+        for i in 0..threads {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let writer_tx = writer_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("truss-serve-reader-{i}"))
+                    .spawn(move || reader_loop(listener, shared, writer_tx))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads: handles,
+        })
+    }
+
+    /// Starts a daemon over a saved index file: loads it (v2 snapshots
+    /// map in O(1)), takes the container checksum as generation 0's
+    /// identity, and rotates updated generations over the same path.
+    pub fn open(path: &Path, bind: &str, threads: usize) -> Result<ServerHandle, String> {
+        let (index, _) = TrussIndex::load_with(path, LoadMode::Auto)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        // A v1 file has no container checksum; either way the identity
+        // is the v2 byte image this exact index would rotate out.
+        let checksum = truss_storage::snapshot_checksum(path)
+            .or_else(|_| index_checksum(&index))
+            .map_err(|e| e.to_string())?;
+        let config = ServeConfig {
+            threads,
+            snapshot_path: Some(path.to_path_buf()),
+        };
+        Server::start(index, checksum, bind, config).map_err(|e| e.to_string())
+    }
+}
+
+/// The v2 container checksum `index` *would* be persisted with — a
+/// streaming hash pass, no allocation proportional to the index.
+pub fn index_checksum(index: &TrussIndex) -> Result<u64, truss_storage::StorageError> {
+    index.write_snapshot(std::io::sink())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+/// Crash-injection hook for the rotation fault test: aborts the process
+/// at the named point. Values: `before-rename`, `after-rename`.
+fn crash_point(at: &str) {
+    if std::env::var("TRUSS_SERVE_CRASH").as_deref() == Ok(at) {
+        eprintln!("TRUSS_SERVE_CRASH={at}: aborting");
+        std::process::abort();
+    }
+}
+
+/// Persists `index` at `path` atomically: write a sibling temp file,
+/// fsync it, rename over the target. Readers mapping the old generation
+/// keep their pages; a crash anywhere leaves either the old or the new
+/// snapshot at `path`, never a torn one.
+fn rotate(index: &TrussIndex, path: &Path) -> Result<u64, String> {
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(format!(".rotate{}", std::process::id()));
+        PathBuf::from(os)
+    };
+    let write = || -> Result<u64, String> {
+        let file = std::fs::File::create(&tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        let mut w = std::io::BufWriter::new(file);
+        let checksum = index
+            .write_snapshot(&mut w)
+            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        let file = w
+            .into_inner()
+            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        file.sync_all()
+            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        crash_point("before-rename");
+        std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+        crash_point("after-rename");
+        Ok(checksum)
+    };
+    let out = write();
+    if out.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    out
+}
+
+fn writer_loop(rx: mpsc::Receiver<WriteJob>, shared: Arc<Shared>, path: Option<PathBuf>) {
+    loop {
+        let job = match rx.recv_timeout(POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutting_down() {
+                    // Drain whatever is still queued, then exit.
+                    while let Ok(job) = rx.try_recv() {
+                        apply_job(job, &shared, path.as_deref());
+                    }
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        apply_job(job, &shared, path.as_deref());
+    }
+}
+
+fn apply_job(job: WriteJob, shared: &Shared, path: Option<&Path>) {
+    let cur = shared.current();
+    if job.base_generation != crate::proto::GENERATION_ANY && job.base_generation != cur.number {
+        let _ = job.reply.send(Err(ServeError::new(
+            ErrorCode::StaleGeneration,
+            format!(
+                "update based on generation {}, but {} is current",
+                job.base_generation, cur.number
+            ),
+        )));
+        return;
+    }
+    // The writer works on its own copy; readers keep serving `cur`
+    // untouched the whole time.
+    let mut next = (*cur.index).clone();
+    let stats = next.apply(&job.delta);
+    let (checksum, rotated) = match path {
+        Some(path) => match rotate(&next, path) {
+            Ok(c) => (c, true),
+            Err(e) => {
+                let _ = job.reply.send(Err(ServeError::new(
+                    ErrorCode::Internal,
+                    format!("rotation failed: {e}"),
+                )));
+                return;
+            }
+        },
+        None => match index_checksum(&next) {
+            Ok(c) => (c, false),
+            Err(e) => {
+                let _ = job
+                    .reply
+                    .send(Err(ServeError::new(ErrorCode::Internal, e.to_string())));
+                return;
+            }
+        },
+    };
+    let number = cur.number + 1;
+    // Publish: one pointer store under the write lock. Readers that
+    // already cloned `cur` finish their request on it.
+    *shared.current.write().expect("generation lock") = Arc::new(Generation {
+        index: Arc::new(next),
+        number,
+        checksum,
+    });
+    let summary = UpdateSummary {
+        inserted: stats.inserted as u64,
+        removed: stats.removed as u64,
+        skipped: stats.skipped as u64,
+        seeded: stats.seeded as u64,
+        settled: stats.settled as u64,
+        lowered: stats.lowered as u64,
+        rotated,
+    };
+    let _ = job.reply.send(Ok((summary, number, checksum)));
+}
+
+// ---------------------------------------------------------------------------
+// Readers
+
+fn reader_loop(listener: TcpListener, shared: Arc<Shared>, writer_tx: Sender<WriteJob>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking (for shutdown polling);
+                // the accepted stream must not be.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                handle_conn(stream, &shared, &writer_tx);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, an unrecoverable framing
+/// violation, or shutdown (which still drains fully buffered requests).
+fn handle_conn(mut stream: TcpStream, shared: &Shared, writer_tx: &Sender<WriteJob>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        // Serve every complete frame already buffered.
+        while buf.len() >= 4 {
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            if len > MAX_REQUEST_FRAME {
+                // Framing is unrecoverable past an oversized length:
+                // answer an error frame, then close.
+                let gen = shared.current();
+                let reply = Reply {
+                    generation: gen.number,
+                    checksum: gen.checksum,
+                    body: Err(ServeError::new(
+                        ErrorCode::Oversized,
+                        format!("frame of {len} bytes exceeds the {MAX_REQUEST_FRAME}-byte limit"),
+                    )),
+                };
+                let _ = write_frame(&mut stream, &encode_reply(&reply));
+                return;
+            }
+            if buf.len() < 4 + len {
+                break;
+            }
+            let body: Vec<u8> = buf[4..4 + len].to_vec();
+            buf.drain(..4 + len);
+            let (reply, close) = handle_request(&body, shared, writer_tx);
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            if write_frame(&mut stream, &encode_reply(&reply)).is_err() || close {
+                return;
+            }
+        }
+        if shared.shutting_down() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one request body. Returns the reply and whether the
+/// connection must close afterwards.
+fn handle_request(body: &[u8], shared: &Shared, writer_tx: &Sender<WriteJob>) -> (Reply, bool) {
+    // Snapshot the generation once: the reply's identity is the index
+    // that actually answers, even if the writer publishes mid-request.
+    let gen = shared.current();
+    let reply_with = |body: Result<Response, ServeError>| Reply {
+        generation: gen.number,
+        checksum: gen.checksum,
+        body,
+    };
+    let req = match decode_request(body) {
+        Ok(req) => req,
+        Err(e) => return (reply_with(Err(e)), false),
+    };
+    if shared.shutting_down() && !matches!(req, Request::Shutdown | Request::Status) {
+        return (
+            reply_with(Err(ServeError::new(
+                ErrorCode::ShuttingDown,
+                "server is draining for shutdown",
+            ))),
+            false,
+        );
+    }
+    match req {
+        Request::Status => (
+            reply_with(Ok(Response::Status(StatusSummary {
+                num_vertices: gen.index.num_vertices() as u64,
+                num_edges: gen.index.num_edges() as u64,
+                k_max: gen.index.max_k(),
+                threads: shared.threads,
+            }))),
+            false,
+        ),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (reply_with(Ok(Response::ShuttingDown)), true)
+        }
+        Request::Update {
+            base_generation,
+            delta,
+        } => {
+            let (tx, rx) = mpsc::channel();
+            let job = WriteJob {
+                base_generation,
+                delta,
+                reply: tx,
+            };
+            if writer_tx.send(job).is_err() {
+                return (
+                    reply_with(Err(ServeError::new(
+                        ErrorCode::ShuttingDown,
+                        "writer has exited",
+                    ))),
+                    false,
+                );
+            }
+            match rx.recv() {
+                Ok(Ok((summary, number, checksum))) => (
+                    Reply {
+                        generation: number,
+                        checksum,
+                        body: Ok(Response::Update(summary)),
+                    },
+                    false,
+                ),
+                Ok(Err(e)) => (reply_with(Err(e)), false),
+                Err(_) => (
+                    reply_with(Err(ServeError::new(
+                        ErrorCode::ShuttingDown,
+                        "writer exited before applying the update",
+                    ))),
+                    false,
+                ),
+            }
+        }
+        read_query => (reply_with(answer(&gen.index, &read_query)), false),
+    }
+}

@@ -1,0 +1,284 @@
+//! Property tests for the wire protocol: every frame kind round-trips
+//! bit-exactly, and adversarial bytes (truncations, corruptions,
+//! oversized lengths, future versions) always come back as typed errors
+//! — never a panic, never a hang.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use truss_core::spectrum::TrussSpectrum;
+use truss_graph::{Edge, EdgeDelta};
+use truss_serve::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
+    CommunitySummary, ErrorCode, Reply, Request, Response, ServeError, StatusSummary,
+    UpdateSummary, MAX_REQUEST_FRAME, PROTO_VERSION, REQUEST_MAGIC,
+};
+
+fn to_bytes(words: Vec<u32>) -> Vec<u8> {
+    words.into_iter().map(|w| w as u8).collect()
+}
+
+fn arb_edge() -> impl Strategy<Value = Edge> {
+    (0u32..1000, 0u32..1000)
+        .prop_filter_map("self loop", |(a, b)| (a != b).then(|| Edge::new(a, b)))
+}
+
+fn arb_delta() -> impl Strategy<Value = EdgeDelta> {
+    (
+        prop::collection::vec(arb_edge(), 0..40),
+        prop::collection::vec(arb_edge(), 0..40),
+    )
+        .prop_map(|(insert, remove)| EdgeDelta { insert, remove })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..8, 0u32..2000, 0u32..2000, 0u64..100, arb_delta()).prop_filter_map(
+        "variant",
+        |(sel, a, b, gen, delta)| {
+            Some(match sel {
+                0 => Request::Spectrum,
+                1 => Request::KTruss { k: a },
+                2 => Request::Communities { k: a },
+                3 => {
+                    if a == b {
+                        return None;
+                    }
+                    Request::Edge { u: a, v: b }
+                }
+                4 => Request::CommunityOf { v: a, k: b },
+                5 => Request::Update {
+                    base_generation: gen,
+                    delta,
+                },
+                6 => Request::Status,
+                _ => Request::Shutdown,
+            })
+        },
+    )
+}
+
+fn arb_community() -> impl Strategy<Value = CommunitySummary> {
+    (
+        2u32..12,
+        0u64..500,
+        prop::collection::vec(0u32..1000, 0..30),
+    )
+        .prop_map(|(k, num_edges, mut vertices)| {
+            vertices.sort_unstable();
+            vertices.dedup();
+            CommunitySummary {
+                k,
+                num_edges,
+                vertices,
+            }
+        })
+}
+
+fn arb_spectrum() -> impl Strategy<Value = TrussSpectrum> {
+    (
+        prop::collection::vec((2u32..10, 0usize..10_000), 0..8),
+        prop::collection::vec((2u32..10, 0usize..10_000, 0usize..5000), 0..8),
+        (2u32..10, 2u32..10),
+        (0u64..u64::MAX, 0u64..u64::MAX),
+    )
+        .prop_map(
+            |(class_sizes, truss_sizes, (k_max, median), (mean_bits, phi_bits))| {
+                // Exercise arbitrary f64 bit patterns (except NaN, which
+                // breaks PartialEq round-trip comparison, not the codec).
+                let as_f64 = |bits: u64| {
+                    let f = f64::from_bits(bits);
+                    if f.is_nan() {
+                        0.5
+                    } else {
+                        f
+                    }
+                };
+                TrussSpectrum {
+                    class_sizes,
+                    truss_sizes,
+                    k_max,
+                    mean_trussness: as_f64(mean_bits),
+                    median_trussness: median,
+                    phi2_fraction: as_f64(phi_bits),
+                }
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..8,
+        arb_spectrum(),
+        arb_community(),
+        prop::collection::vec(arb_edge(), 0..50),
+        (0u32..100, 0u64..9000, 0u64..9000),
+    )
+        .prop_map(
+            |(sel, spectrum, community, edges, (small, big_a, big_b))| match sel {
+                0 => Response::Spectrum(spectrum),
+                1 => Response::KTruss { k: small, edges },
+                2 => Response::Communities {
+                    k: small,
+                    communities: vec![community.clone(), community],
+                },
+                3 => Response::Edge { trussness: small },
+                4 => Response::CommunityOf {
+                    v: small,
+                    community,
+                },
+                5 => Response::Update(UpdateSummary {
+                    inserted: big_a,
+                    removed: big_b,
+                    skipped: big_a % 7,
+                    seeded: big_b % 11,
+                    settled: big_a % 13,
+                    lowered: big_b % 17,
+                    rotated: small % 2 == 0,
+                }),
+                6 => Response::Status(StatusSummary {
+                    num_vertices: big_a,
+                    num_edges: big_b,
+                    k_max: small,
+                    threads: small + 1,
+                }),
+                _ => Response::ShuttingDown,
+            },
+        )
+}
+
+fn arb_error() -> impl Strategy<Value = ServeError> {
+    (1u8..10, prop::collection::vec(32u8..127, 0..60)).prop_map(|(code, msg)| ServeError {
+        code: match code {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::NotAnEdge,
+            5 => ErrorCode::BadQuery,
+            6 => ErrorCode::StaleGeneration,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::Oversized,
+            _ => ErrorCode::Internal,
+        },
+        message: String::from_utf8(msg).unwrap(),
+    })
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        0u8..2,
+        arb_response(),
+        arb_error(),
+    )
+        .prop_map(|(generation, checksum, which, resp, err)| Reply {
+            generation,
+            checksum,
+            body: if which == 0 { Ok(resp) } else { Err(err) },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_round_trips(reply in arb_reply()) {
+        let bytes = encode_reply(&reply);
+        prop_assert_eq!(decode_reply(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn truncated_requests_are_malformed(req in arb_request(), frac in 0u32..1000) {
+        let bytes = encode_request(&req);
+        // Cut strictly inside the body, at a position scaled by `frac`.
+        let cut = (bytes.len() - 1) * frac as usize / 1000;
+        let err = decode_request(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            err.code == ErrorCode::Malformed || err.code == ErrorCode::UnsupportedVersion,
+            "cut at {cut}: {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_replies_error_not_panic(reply in arb_reply(), frac in 0u32..1000) {
+        let bytes = encode_reply(&reply);
+        let cut = (bytes.len() - 1) * frac as usize / 1000;
+        let res = decode_reply(&bytes[..cut]);
+        if reply.body.is_ok() {
+            // Every Ok payload is length-counted, so any truncation is
+            // detectable.
+            prop_assert!(res.is_err());
+        }
+        // Error frames end in a free-form message: truncating inside it
+        // yields a valid shorter error frame. Not panicking is the test.
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u32..256, 0..200).prop_map(to_bytes)) {
+        // Outcome (Ok or typed Err) is irrelevant; surviving is the test.
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+
+    #[test]
+    fn corrupted_valid_requests_never_panic(
+        req in arb_request(),
+        pos_frac in 0u32..1000,
+        xor in 1u32..256,
+    ) {
+        let mut bytes = encode_request(&req);
+        let pos = (bytes.len() - 1) * pos_frac as usize / 1000;
+        bytes[pos] ^= xor as u8;
+        let _ = decode_request(&bytes);
+    }
+
+    #[test]
+    fn future_versions_are_rejected(req in arb_request(), bump in 1u8..200) {
+        let mut bytes = encode_request(&req);
+        // Byte 4 is the version (after the 4-byte magic).
+        bytes[4] = PROTO_VERSION.wrapping_add(bump);
+        let err = decode_request(&bytes).unwrap_err();
+        prop_assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+    }
+
+    #[test]
+    fn bad_magic_is_malformed(req in arb_request(), b0 in 0u32..256) {
+        let mut bytes = encode_request(&req);
+        if b0 as u8 != REQUEST_MAGIC[0] {
+            bytes[0] = b0 as u8;
+            prop_assert_eq!(decode_request(&bytes).unwrap_err().code, ErrorCode::Malformed);
+        }
+    }
+
+    #[test]
+    fn frame_io_round_trips(body in prop::collection::vec(0u32..256, 0..300).prop_map(to_bytes)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let got = read_frame(&mut Cursor::new(&wire), MAX_REQUEST_FRAME).unwrap();
+        prop_assert_eq!(got, Some(body));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors(body in prop::collection::vec(0u32..256, 1..300).prop_map(to_bytes), frac in 0u32..1000) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        // Any cut after the length prefix but before the end is a
+        // mid-frame EOF; cuts inside the prefix are too (if non-empty).
+        let cut = 1 + (wire.len() - 2) * frac as usize / 1000;
+        let res = read_frame(&mut Cursor::new(&wire[..cut]), MAX_REQUEST_FRAME);
+        prop_assert!(res.is_err(), "cut at {cut} of {}", wire.len());
+    }
+
+    #[test]
+    fn oversized_declared_lengths_are_rejected(len in (MAX_REQUEST_FRAME as u32 + 1)..u32::MAX) {
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]);
+        let res = read_frame(&mut Cursor::new(&wire), MAX_REQUEST_FRAME);
+        prop_assert!(res.is_err());
+    }
+}

@@ -41,9 +41,9 @@ pub use partition::{Partition, PartitionStrategy};
 pub use record::{EdgeListFile, EdgeListWriter, EdgeRec};
 pub use scratch::ScratchDir;
 pub use snapshot::{
-    load_graph_auto, open_graph_snapshot, open_index_snapshot, sniff_file, write_graph_snapshot,
-    write_index_snapshot, FileKind, IndexSnapshot, IndexSnapshotParts, GRAPH_MAGIC_V2,
-    SNAPSHOT_VERSION,
+    load_graph_auto, open_graph_snapshot, open_index_snapshot, snapshot_checksum, sniff_file,
+    write_graph_snapshot, write_index_snapshot, FileKind, IndexSnapshot, IndexSnapshotParts,
+    GRAPH_MAGIC_V2, SNAPSHOT_VERSION,
 };
 
 /// Errors from the storage layer.

@@ -171,7 +171,7 @@ impl<'a> SnapshotWriter<'a> {
         self.sections.push((kind, section_le_bytes(data)));
     }
 
-    fn finish<W: Write>(self, mut w: W) -> Result<()> {
+    fn finish<W: Write>(self, mut w: W) -> Result<u64> {
         let table_end = HEADER_BYTES + TABLE_ENTRY_BYTES * self.sections.len();
 
         // Layout pass: absolute offsets with 8-byte alignment between
@@ -226,7 +226,7 @@ impl<'a> SnapshotWriter<'a> {
         }
         w.write_all(&PAD[..pad_to_8(written)])?;
         w.flush()?;
-        Ok(())
+        Ok(checksum)
     }
 }
 
@@ -392,8 +392,10 @@ impl SnapshotReader {
     }
 }
 
-/// Serializes `g` as a `TRUSSGR2` snapshot.
-pub fn write_graph_snapshot<W: Write>(g: &CsrGraph, w: W) -> Result<()> {
+/// Serializes `g` as a `TRUSSGR2` snapshot, returning the container
+/// checksum written into the header (the snapshot's identity — the
+/// serving layer reports it with every response).
+pub fn write_graph_snapshot<W: Write>(g: &CsrGraph, w: W) -> Result<u64> {
     let mut snap = SnapshotWriter::new(
         GRAPH_MAGIC_V2,
         g.num_vertices() as u64,
@@ -457,8 +459,11 @@ pub struct IndexSnapshot {
     pub vertex_truss: SectionBuf<u32>,
 }
 
-/// Serializes an index as a `TRUSSIDX` version-2 snapshot.
-pub fn write_index_snapshot<W: Write>(parts: &IndexSnapshotParts<'_>, w: W) -> Result<()> {
+/// Serializes an index as a `TRUSSIDX` version-2 snapshot, returning the
+/// container checksum written into the header. `truss serve` uses the
+/// returned value as the generation's artifact identity without
+/// re-reading the file it just wrote.
+pub fn write_index_snapshot<W: Write>(parts: &IndexSnapshotParts<'_>, w: W) -> Result<u64> {
     let (n, m) = (parts.graph.num_vertices(), parts.graph.num_edges());
     if parts.trussness.len() != m || parts.order.len() != m {
         return Err(StorageError::Corrupt(format!(
@@ -519,6 +524,32 @@ pub fn read_index_snapshot_from(region: Arc<Region>) -> Result<IndexSnapshot> {
 /// parsing, no derived-structure rebuild).
 pub fn open_index_snapshot(path: &Path, mode: LoadMode) -> Result<IndexSnapshot> {
     read_index_snapshot_from(Region::open_backing(path, mode)?)
+}
+
+/// Reads the container checksum stored in a v2 snapshot's header (graph
+/// or index — byte 48 of either container) without validating or mapping
+/// the payload. The serving layer uses this at startup as the identity of
+/// the snapshot it is about to serve; a full [`open_index_snapshot`] open
+/// still verifies the payload actually hashes to this value.
+pub fn snapshot_checksum(path: &Path) -> Result<u64> {
+    use std::io::Read;
+    let mut head = [0u8; HEADER_BYTES];
+    let mut file = std::fs::File::open(path)?;
+    file.read_exact(&mut head)
+        .map_err(|_| StorageError::Corrupt("truncated snapshot header".into()))?;
+    if &head[0..8] != GRAPH_MAGIC_V2 && &head[0..8] != crate::index_file::INDEX_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "bad magic {:?}, expected a v2 snapshot",
+            &head[0..8]
+        )));
+    }
+    if head[8] != SNAPSHOT_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported snapshot version {} (this build reads version {SNAPSHOT_VERSION})",
+            head[8]
+        )));
+    }
+    Ok(le_u64(&head[48..]))
 }
 
 /// What a storage file claims to be, from its magic (and, for
@@ -633,6 +664,20 @@ mod tests {
         assert!(!g3.is_mapped());
         assert_eq!(g3.edges(), g2.edges());
         assert_eq!(sniff_file(&path).unwrap(), FileKind::GraphV2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_returns_the_header_checksum() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        let returned = write_graph_snapshot(&g, &mut buf).unwrap();
+        assert_eq!(returned, le_u64(&buf[48..]));
+        assert_eq!(returned, fnv1a64(&buf[HEADER_BYTES..]));
+
+        let path = std::env::temp_dir().join(format!("truss-cksum-{}.gr2", std::process::id()));
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(snapshot_checksum(&path).unwrap(), returned);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -8,6 +8,9 @@
 //! truss index query [--query spectrum|ktruss|communities|edge]
 //!                   [--k K] [--u A --v B] <index>
 //! truss index update --delta FILE [--out INDEX] <index>
+//! truss serve [--host H] [--port P] [--threads N] <index>
+//! truss query [--remote HOST:PORT] [--query KIND] [--k K] [--u A --v B]
+//!             [--delta FILE] [--base GEN] [<index>]
 //! truss convert [--to v1|v2] <input> <output>
 //! truss ktruss --k K <input.snap>
 //! truss topt --t T [--memory BYTES] <input.snap>
@@ -40,6 +43,14 @@
 //! community, spectrum and per-edge lookups from the saved file without
 //! recomputing anything; `index update` applies a text edge-delta file
 //! (`+ u v` / `- u v` lines) through the incremental maintenance layer.
+//!
+//! `truss serve` turns a saved index into a long-running TCP daemon
+//! (concurrent readers, one writer applying deltas with atomic snapshot
+//! rotation — see `truss_serve`), and `truss query` asks questions of a
+//! local index file or, with `--remote`, of a running daemon. Both paths
+//! evaluate and render through the same `truss_serve::{answer, render}`
+//! functions, so their stdout is byte-identical for the same query on
+//! the same snapshot; `index query` delegates there too.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -47,7 +58,6 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 use truss_decomposition::core::index::IndexFormat;
-use truss_decomposition::core::spectrum::render_spectrum;
 use truss_decomposition::core::top_down::{top_down_decompose, TopDownConfig};
 use truss_decomposition::core::TrussDecomposition;
 use truss_decomposition::engine::{registry, EngineConfig, EngineInput, EngineRegistry};
@@ -55,6 +65,9 @@ use truss_decomposition::graph::generators::datasets::dataset_by_name;
 use truss_decomposition::graph::metrics::{average_local_clustering, degree_stats};
 use truss_decomposition::graph::{io as gio, CsrGraph};
 use truss_decomposition::prelude::{truss_decompose, TrussIndex};
+use truss_decomposition::serve::proto::GENERATION_ANY;
+use truss_decomposition::serve::render::Rendered;
+use truss_decomposition::serve::{self, answer, render, Client, Request, Server};
 use truss_decomposition::storage::{self, FileKind, IoConfig, LoadMode};
 
 fn main() -> ExitCode {
@@ -95,6 +108,11 @@ usage:
   truss index query [--query spectrum|ktruss|communities|edge]
                     [--k K] [--u A --v B] <index>
   truss index update --delta FILE [--out INDEX] [--format v1|v2] <index>
+  truss serve [--host H] [--port P] [--threads N] <index>
+  truss query [--remote HOST:PORT]
+              [--query spectrum|ktruss|communities|edge|community-of|
+                       update|status|shutdown]
+              [--k K] [--u A --v B] [--delta FILE] [--base GEN] [<index>]
   truss convert [--to v1|v2] <input> <output>
   truss ktruss --k K <input>
   truss topt --t T [--memory BYTES] <input>
@@ -107,7 +125,12 @@ inputs: auto-detected by magic — TRUSSGR1 binaries, TRUSSGR2 zero-copy
 --report json appends the engine report as one JSON line after the TSV
 --format/--to pick an on-disk format: v1 record files or v2 snapshots
   (index build defaults to v2; index update rewrites what it read)
-delta files: one op per line (`+ u v` insert, `- u v` remove, `#` comments)",
+delta files: one op per line (`+ u v` insert, `- u v` remove, `#` comments)
+serve: every reply carries (generation, checksum) identity; SIGTERM/ctrl-c
+  drains in-flight requests and exits 0
+query: reads a local <index> file, or with --remote asks a running daemon
+  (update/status/shutdown are remote-only; --base pins an update's
+  expected generation, default: any)",
         algos = algo_list(&registry())
     )
 }
@@ -169,6 +192,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
     match cmd.as_str() {
         "decompose" => cmd_decompose(&args),
         "index" => cmd_index(rest),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "convert" => cmd_convert(&args),
         "ktruss" => cmd_ktruss(&args),
         "topt" => cmd_topt(&args),
@@ -377,63 +402,124 @@ fn load_index(path: &str) -> Result<(TrussIndex, IndexFormat), String> {
     Ok((index, format))
 }
 
-fn cmd_index_query(args: &Args) -> Result<(), String> {
-    let what = args.get("query").unwrap_or("spectrum");
-    let (index, _) = load_index(args.input()?)?;
+/// Builds the wire-level request for a `--query` kind from the shared
+/// flag surface (`--k`, `--u`/`--v`, `--delta`, `--base`). Used by
+/// `truss query` (local and `--remote`) and the legacy `index query`.
+fn build_request(args: &Args, what: &str) -> Result<Request, String> {
     let require_k = || -> Result<u32, String> {
         args.get_parsed("k")?
             .ok_or_else(|| format!("--k is required for --query {what}"))
     };
     match what {
-        "spectrum" => {
-            print!("{}", render_spectrum(&index.spectrum()));
+        "spectrum" => Ok(Request::Spectrum),
+        "ktruss" => Ok(Request::KTruss { k: require_k()? }),
+        "communities" => Ok(Request::Communities { k: require_k()? }),
+        "edge" => Ok(Request::Edge {
+            u: args.get_parsed("u")?.ok_or("--u is required")?,
+            v: args.get_parsed("v")?.ok_or("--v is required")?,
+        }),
+        "community-of" => Ok(Request::CommunityOf {
+            v: args.get_parsed("v")?.ok_or("--v is required")?,
+            k: require_k()?,
+        }),
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        "update" => {
+            let delta_path = args.get("delta").ok_or("--delta is required")?;
+            let file = File::open(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
+            let delta = gio::read_delta(file).map_err(|e| format!("{delta_path}: {e}"))?;
+            Ok(Request::Update {
+                base_generation: args.get_parsed("base")?.unwrap_or(GENERATION_ANY),
+                delta,
+            })
         }
-        "ktruss" => {
-            let k = require_k()?;
-            let edges = index.k_truss_edges(k);
-            let stdout = std::io::stdout();
-            let mut out = BufWriter::new(stdout.lock());
-            for e in &edges {
-                writeln!(out, "{}\t{}", e.u, e.v).map_err(|e| e.to_string())?;
+        other => Err(format!("unknown --query {other:?}")),
+    }
+}
+
+/// Prints a rendered response the way every query path does: data to
+/// stdout, diagnostics to stderr.
+fn print_rendered(r: &Rendered) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    out.write_all(r.stdout.as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| e.to_string())?;
+    eprint!("{}", r.diag);
+    Ok(())
+}
+
+fn cmd_index_query(args: &Args) -> Result<(), String> {
+    let what = args.get("query").unwrap_or("spectrum");
+    if !matches!(what, "spectrum" | "ktruss" | "communities" | "edge") {
+        return Err(format!(
+            "unknown --query {what:?} (expected spectrum, ktruss, communities or edge)"
+        ));
+    }
+    let req = build_request(args, what)?;
+    let (index, _) = load_index(args.input()?)?;
+    let resp = answer(&index, &req).map_err(|e| e.message)?;
+    print_rendered(&render(&resp))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let input = args.input()?;
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.get_parsed("port")?.unwrap_or(7470);
+    let threads: usize = args.get_parsed("threads")?.unwrap_or(4);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    serve::signal::install();
+    let handle = Server::open(Path::new(input), &format!("{host}:{port}"), threads)?;
+    let (generation, checksum) = handle.generation();
+    eprintln!(
+        "serving {input} on {} with {threads} reader thread(s), \
+         generation {generation}, checksum {checksum:016x}",
+        handle.addr()
+    );
+    // The daemon's threads do all the work; this loop only watches for
+    // SIGTERM/ctrl-c (or a remote shutdown having drained everything).
+    while !serve::signal::terminated() && !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let served = handle.served();
+    handle.shutdown();
+    eprintln!("shutdown: {served} request(s) served");
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let what = args.get("query").unwrap_or("spectrum");
+    let req = build_request(args, what)?;
+    match args.get("remote") {
+        Some(addr) => {
+            let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let reply = client.request(&req).map_err(|e| format!("{addr}: {e}"))?;
+            // Identity of the artifact that answered, on stderr so the
+            // data on stdout stays byte-identical to a local query of
+            // the same snapshot.
+            eprintln!(
+                "generation {} checksum {:016x}",
+                reply.generation, reply.checksum
+            );
+            match reply.body {
+                Ok(resp) => print_rendered(&render(&resp)),
+                Err(e) => Err(format!("server: {} [{:?}]", e.message, e.code)),
             }
-            out.flush().map_err(|e| e.to_string())?;
-            eprintln!("{}-truss: {} edges", k, edges.len());
         }
-        "communities" => {
-            let k = require_k()?;
-            let communities = index.k_truss_communities(k);
-            let stdout = std::io::stdout();
-            let mut out = BufWriter::new(stdout.lock());
-            for (i, c) in communities.iter().enumerate() {
-                let vertices: Vec<String> = c.vertices.iter().map(u32::to_string).collect();
-                writeln!(
-                    out,
-                    "{i}\t{}\t{}\t{:.4}\t{}",
-                    c.num_vertices(),
-                    c.num_edges(),
-                    c.density(),
-                    vertices.join(" ")
-                )
-                .map_err(|e| e.to_string())?;
+        None => {
+            if matches!(
+                req,
+                Request::Update { .. } | Request::Status | Request::Shutdown
+            ) {
+                return Err(format!("--query {what} needs --remote HOST:PORT"));
             }
-            out.flush().map_err(|e| e.to_string())?;
-            eprintln!("{}-truss: {} communities", k, communities.len());
-        }
-        "edge" => {
-            let u: u32 = args.get_parsed("u")?.ok_or("--u is required")?;
-            let v: u32 = args.get_parsed("v")?.ok_or("--v is required")?;
-            match index.truss_of(u, v) {
-                Some(t) => println!("{t}"),
-                None => return Err(format!("({u}, {v}) is not an edge of the indexed graph")),
-            }
-        }
-        other => {
-            return Err(format!(
-                "unknown --query {other:?} (expected spectrum, ktruss, communities or edge)"
-            ))
+            let (index, _) = load_index(args.input()?)?;
+            let resp = answer(&index, &req).map_err(|e| e.message)?;
+            print_rendered(&render(&resp))
         }
     }
-    Ok(())
 }
 
 fn cmd_index_update(args: &Args) -> Result<(), String> {
@@ -495,9 +581,9 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
             let file = File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
             let written = match to {
                 IndexFormat::V1 => gio::write_binary(&g, file).map_err(|e| e.to_string()),
-                IndexFormat::V2 => {
-                    storage::write_graph_snapshot(&g, file).map_err(|e| e.to_string())
-                }
+                IndexFormat::V2 => storage::write_graph_snapshot(&g, file)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string()),
             }
             .and_then(|()| std::fs::rename(&tmp, out).map_err(|e| format!("{out}: {e}")));
             if let Err(e) = written {

@@ -16,6 +16,7 @@
 //! | [`core`] | the paper's algorithms (TD-inmem, TD-inmem+, TD-bottomup, TD-topdown, k-core) plus the PKT-style parallel engine, its thread pool, and the persistent [`TrussIndex`](core::index::TrussIndex) with incremental edge updates |
 //! | [`mapreduce`] | single-machine MapReduce engine + Cohen's TD-MR baseline |
 //! | [`engine`] | the unified [`TrussEngine`](engine::TrussEngine) registry over all six algorithms |
+//! | [`serve`] | the `truss serve` daemon: wire protocol, concurrent TCP server over `Arc`-swapped snapshot generations, client |
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and dataflow, and
 //! `docs/ALGORITHMS.md` for an engine-by-engine guide.
@@ -36,6 +37,7 @@
 pub use truss_core as core;
 pub use truss_graph as graph;
 pub use truss_mapreduce as mapreduce;
+pub use truss_serve as serve;
 pub use truss_storage as storage;
 pub use truss_triangle as triangle;
 

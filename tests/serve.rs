@@ -1,0 +1,405 @@
+//! End-to-end tests of the serving layer: a concurrency hammer over an
+//! in-process daemon, crash-injection around snapshot rotation, and the
+//! golden local-vs-remote CLI output comparison.
+
+use std::collections::BTreeSet;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+use truss_decomposition::core::index::{IndexFormat, TrussIndex};
+use truss_decomposition::graph::generators::gnm;
+use truss_decomposition::graph::{CsrGraph, Edge, EdgeDelta};
+use truss_decomposition::serve::proto::GENERATION_ANY;
+use truss_decomposition::serve::server::index_checksum;
+use truss_decomposition::serve::{answer, Client, Request, Response, ServeConfig, Server};
+
+/// Connects with retries — the peer may still be binding its listener.
+fn connect_retry(addr: &str) -> Client {
+    for _ in 0..200 {
+        if let Ok(c) = Client::connect(addr) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("could not connect to {addr}");
+}
+
+/// The delta stream the writer applies: batch `i` inserts a 6-clique on
+/// vertices `[60i, 60i + 6)` (dense new structure, raises trussness) and
+/// removes a disjoint slice of the base graph's edges.
+fn delta_stream(base: &CsrGraph, batches: usize) -> Vec<EdgeDelta> {
+    let base_edges: Vec<Edge> = base.iter_edges().map(|(_, e)| e).collect();
+    (0..batches)
+        .map(|i| {
+            let lo = (60 * i) as u32;
+            let mut insert = Vec::new();
+            for a in lo..lo + 6 {
+                for b in a + 1..lo + 6 {
+                    insert.push(Edge::new(a, b));
+                }
+            }
+            let remove = base_edges[40 * i..40 * i + 5].to_vec();
+            // Inserting an edge another batch removes (or vice versa)
+            // would make "expected" order-sensitive; keep them disjoint.
+            let removed: BTreeSet<Edge> = remove.iter().copied().collect();
+            insert.retain(|e| !removed.contains(e));
+            EdgeDelta { insert, remove }
+        })
+        .collect()
+}
+
+/// The tentpole concurrency test: 16 client threads hammer mixed read
+/// queries while a writer applies a delta stream through the daemon.
+/// Every reply must be internally consistent — its generation's checksum
+/// and its payload must match the index that generation is defined to be
+/// — and the final generation must equal a from-scratch decomposition.
+#[test]
+fn sixteen_clients_hammer_while_writer_rotates() {
+    const CLIENTS: usize = 16;
+    const BATCHES: usize = 5;
+    const QUERIES_PER_CLIENT: usize = 24;
+
+    let base = gnm(240, 1100, 0xC0FFEE);
+    let deltas = delta_stream(&base, BATCHES);
+
+    // Generation g is *defined* as the base index with deltas[..g]
+    // applied in order; precompute each state and its checksum.
+    let mut expected: Vec<Arc<TrussIndex>> =
+        vec![Arc::new(TrussIndex::from_decompose(base.clone()))];
+    for d in &deltas {
+        let mut next = (**expected.last().unwrap()).clone();
+        next.apply(d);
+        expected.push(Arc::new(next));
+    }
+    let checksums: Arc<Vec<u64>> = Arc::new(
+        expected
+            .iter()
+            .map(|ix| index_checksum(ix).unwrap())
+            .collect(),
+    );
+    let expected = Arc::new(expected);
+
+    let handle = Server::start(
+        (*expected[0]).clone(),
+        checksums[0],
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: CLIENTS + 1,
+            snapshot_path: None,
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut clients = Vec::new();
+    for t in 0..CLIENTS {
+        let addr = addr.clone();
+        let expected = Arc::clone(&expected);
+        let checksums = Arc::clone(&checksums);
+        clients.push(std::thread::spawn(move || {
+            let mut client = connect_retry(&addr);
+            for i in 0..QUERIES_PER_CLIENT {
+                let req = match (t + i) % 5 {
+                    0 => Request::Spectrum,
+                    1 => Request::KTruss { k: 3 },
+                    2 => Request::Communities { k: 3 },
+                    // An edge the first batch inserts: not an edge at
+                    // generation 0, trussness 7 once the clique lands.
+                    3 => Request::Edge { u: 0, v: 1 },
+                    _ => Request::CommunityOf { v: 61, k: 4 },
+                };
+                let reply = client.request(&req).unwrap();
+                let gen = reply.generation as usize;
+                assert!(gen < expected.len(), "generation {gen} out of range");
+                // Identity coherence: the checksum must be the one this
+                // generation was precomputed to have...
+                assert_eq!(
+                    reply.checksum, checksums[gen],
+                    "client {t}, query {i}: checksum mismatch at generation {gen}"
+                );
+                // ...and the payload must be the one this generation's
+                // index gives — even while the writer swaps generations.
+                assert_eq!(
+                    reply.body,
+                    answer(&expected[gen], &req),
+                    "client {t}, query {i}: payload mismatch at generation {gen}"
+                );
+            }
+        }));
+    }
+
+    let writer = {
+        let addr = addr.clone();
+        let checksums = Arc::clone(&checksums);
+        let deltas = deltas.clone();
+        std::thread::spawn(move || {
+            let mut client = connect_retry(&addr);
+            for (i, d) in deltas.iter().enumerate() {
+                std::thread::sleep(Duration::from_millis(15));
+                let reply = client
+                    .request(&Request::Update {
+                        base_generation: GENERATION_ANY,
+                        delta: d.clone(),
+                    })
+                    .unwrap();
+                assert_eq!(reply.generation, i as u64 + 1);
+                assert_eq!(reply.checksum, checksums[i + 1]);
+                match reply.body.unwrap() {
+                    Response::Update(s) => assert!(!s.rotated, "no snapshot path configured"),
+                    other => panic!("{other:?}"),
+                }
+            }
+        })
+    };
+
+    for c in clients {
+        c.join().unwrap();
+    }
+    writer.join().unwrap();
+
+    // Final state == a from-scratch decomposition of the final graph.
+    let mut edges: BTreeSet<Edge> = base.iter_edges().map(|(_, e)| e).collect();
+    for d in &deltas {
+        edges.extend(d.insert.iter().copied());
+        for e in &d.remove {
+            edges.remove(e);
+        }
+    }
+    let scratch = TrussIndex::from_decompose(CsrGraph::from_edges(edges.iter().copied()));
+    let mut client = connect_retry(&addr);
+    let (gen, checksum) = handle.generation();
+    assert_eq!(gen, BATCHES as u64);
+    assert_eq!(checksum, checksums[BATCHES]);
+    let spectrum = client.request(&Request::Spectrum).unwrap();
+    assert_eq!(spectrum.generation, BATCHES as u64);
+    match spectrum.body.unwrap() {
+        Response::Spectrum(s) => assert_eq!(s, scratch.spectrum()),
+        other => panic!("{other:?}"),
+    }
+    for k in 2..=scratch.max_k() {
+        match client
+            .request(&Request::KTruss { k })
+            .unwrap()
+            .body
+            .unwrap()
+        {
+            Response::KTruss { edges, .. } => {
+                assert_eq!(edges, scratch.k_truss_edges(k), "k = {k}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Rotation fault injection (child-process harness)
+
+fn truss_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_truss"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("truss-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds and saves a small v2 index, returning its path.
+fn saved_index(dir: &Path) -> PathBuf {
+    let path = dir.join("serve.t2");
+    let index = TrussIndex::from_decompose(gnm(120, 500, 42));
+    index.save_as(&path, IndexFormat::V2).unwrap();
+    path
+}
+
+/// A free port for a child daemon (bind-and-release; raceable in theory,
+/// fine for a test that retries its connects).
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn spawn_serve(index: &Path, port: u16, crash: Option<&str>) -> Child {
+    let mut cmd = truss_bin();
+    cmd.args(["serve", "--port", &port.to_string(), "--threads", "2"])
+        .arg(index)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(point) = crash {
+        cmd.env("TRUSS_SERVE_CRASH", point);
+    }
+    cmd.spawn().unwrap()
+}
+
+fn one_clique_delta() -> EdgeDelta {
+    let mut insert = Vec::new();
+    for a in 0u32..5 {
+        for b in a + 1..5 {
+            insert.push(Edge::new(a, b));
+        }
+    }
+    EdgeDelta {
+        insert,
+        remove: Vec::new(),
+    }
+}
+
+/// Killing the daemon after the new snapshot is written but *before* the
+/// rename must leave the old snapshot untouched, valid, and servable.
+#[test]
+fn crash_before_rename_preserves_the_old_snapshot() {
+    let dir = temp_dir("crash-before");
+    let path = saved_index(&dir);
+    let before = truss_decomposition::storage::snapshot_checksum(&path).unwrap();
+
+    let port = free_port();
+    let mut child = spawn_serve(&path, port, Some("before-rename"));
+    let mut client = connect_retry(&format!("127.0.0.1:{port}"));
+    // The update reaches the abort() before any reply: the transport
+    // must fail, not hang.
+    let res = client.request(&Request::Update {
+        base_generation: GENERATION_ANY,
+        delta: one_clique_delta(),
+    });
+    assert!(res.is_err(), "server aborted; got {res:?}");
+    let status = child.wait().unwrap();
+    assert!(!status.success(), "the crash hook must abort the daemon");
+
+    // Old snapshot: byte-identical, still opens, still answers.
+    assert_eq!(
+        truss_decomposition::storage::snapshot_checksum(&path).unwrap(),
+        before
+    );
+    let (index, format) =
+        TrussIndex::load_with(&path, truss_decomposition::storage::LoadMode::Auto).unwrap();
+    assert_eq!(format, IndexFormat::V2);
+    assert!(answer(&index, &Request::Spectrum).is_ok());
+
+    // And a fresh daemon serves it at generation 0 with its checksum.
+    let port = free_port();
+    let mut child = spawn_serve(&path, port, None);
+    let mut client = connect_retry(&format!("127.0.0.1:{port}"));
+    let reply = client.request(&Request::Status).unwrap();
+    assert_eq!((reply.generation, reply.checksum), (0, before));
+    let _ = client.request(&Request::Shutdown);
+    assert!(child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing the daemon right *after* the rename must leave the *new*
+/// snapshot in place — the rename is the commit point.
+#[test]
+fn crash_after_rename_commits_the_new_snapshot() {
+    let dir = temp_dir("crash-after");
+    let path = saved_index(&dir);
+    let before = truss_decomposition::storage::snapshot_checksum(&path).unwrap();
+
+    // What the rotation should commit: the same delta applied locally.
+    let (mut upd, _) =
+        TrussIndex::load_with(&path, truss_decomposition::storage::LoadMode::Auto).unwrap();
+    upd.apply(&one_clique_delta());
+    let after = index_checksum(&upd).unwrap();
+    assert_ne!(before, after);
+
+    let port = free_port();
+    let mut child = spawn_serve(&path, port, Some("after-rename"));
+    let mut client = connect_retry(&format!("127.0.0.1:{port}"));
+    let res = client.request(&Request::Update {
+        base_generation: GENERATION_ANY,
+        delta: one_clique_delta(),
+    });
+    assert!(res.is_err(), "server aborted; got {res:?}");
+    assert!(!child.wait().unwrap().success());
+
+    assert_eq!(
+        truss_decomposition::storage::snapshot_checksum(&path).unwrap(),
+        after,
+        "the renamed snapshot is the committed state"
+    );
+    let (index, _) =
+        TrussIndex::load_with(&path, truss_decomposition::storage::LoadMode::Auto).unwrap();
+    assert_eq!(index.truss_of(0, 1), upd.truss_of(0, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Golden local-vs-remote CLI output
+
+/// `truss query` against the local file and against `--remote` must
+/// produce byte-identical stdout (they share one evaluation path and one
+/// formatter); the legacy `truss index query` must agree too.
+#[test]
+fn local_and_remote_query_stdout_is_byte_identical() {
+    let dir = temp_dir("golden");
+    let path = saved_index(&dir);
+    let path_s = path.to_str().unwrap();
+
+    let port = free_port();
+    let mut child = spawn_serve(&path, port, None);
+    // Wait for readiness before racing CLI queries against the bind.
+    drop(connect_retry(&format!("127.0.0.1:{port}")));
+    let remote = format!("127.0.0.1:{port}");
+
+    // One present edge to query, straight from the index.
+    let (index, _) =
+        TrussIndex::load_with(&path, truss_decomposition::storage::LoadMode::Auto).unwrap();
+    let e = index.k_truss_edges(2)[0];
+    let (u, v) = (e.u.to_string(), e.v.to_string());
+
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["--query", "spectrum"],
+        vec!["--query", "ktruss", "--k", "3"],
+        vec!["--query", "communities", "--k", "3"],
+        vec!["--query", "edge", "--u", &u, "--v", &v],
+        vec!["--query", "community-of", "--v", &u, "--k", "3"],
+    ];
+    for case in &cases {
+        let local = truss_bin()
+            .arg("query")
+            .args(case)
+            .arg(path_s)
+            .output()
+            .unwrap();
+        assert!(local.status.success(), "local {case:?}: {local:?}");
+        let remote_out = truss_bin()
+            .arg("query")
+            .args(["--remote", &remote])
+            .args(case)
+            .output()
+            .unwrap();
+        assert!(
+            remote_out.status.success(),
+            "remote {case:?}: {remote_out:?}"
+        );
+        assert_eq!(
+            local.stdout, remote_out.stdout,
+            "stdout differs for {case:?}"
+        );
+        // The legacy surface serves the same four query kinds.
+        if case[1] != "community-of" {
+            let legacy = truss_bin()
+                .args(["index", "query"])
+                .args(case)
+                .arg(path_s)
+                .output()
+                .unwrap();
+            assert!(legacy.status.success(), "legacy {case:?}: {legacy:?}");
+            assert_eq!(local.stdout, legacy.stdout, "legacy differs for {case:?}");
+        }
+    }
+
+    // Remote graceful shutdown: the daemon must exit 0.
+    let mut client = connect_retry(&remote);
+    let reply = client.request(&Request::Shutdown).unwrap();
+    assert!(matches!(reply.body, Ok(Response::ShuttingDown)));
+    assert!(child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
