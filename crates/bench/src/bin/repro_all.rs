@@ -2,7 +2,7 @@
 //! This is the generator for `EXPERIMENTS.md`. Scale with `TRUSS_SCALE=`.
 
 use truss_bench::datasets::BenchScale;
-use truss_bench::{hotpath, tables};
+use truss_bench::{hotpath, outofcore, tables};
 
 fn main() {
     let scale = BenchScale::Default;
@@ -22,4 +22,11 @@ fn main() {
         .print("Snapshot load: TRUSSGR1 parse-load vs TRUSSGR2 mmap/buffered open");
     hotpath::table_hotpath(scale)
         .print("Hot paths: TD-inmem+ hash vs oriented+compacting, and parallel");
+    let ooc = outofcore::outofcore_bench(scale);
+    outofcore::table_outofcore(&ooc)
+        .print("Out-of-core decomposition: budget ladder over a mapped GR2 snapshot");
+    if !outofcore::gates_clean(&ooc) {
+        eprintln!("outofcore: gate violations above — failing");
+        std::process::exit(1);
+    }
 }

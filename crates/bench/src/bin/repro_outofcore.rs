@@ -1,0 +1,35 @@
+//! Out-of-core acceptance bench: decompose a graph whose GR2 snapshot
+//! exceeds every configured memory budget, with the `outofcore` engine
+//! running over the mapped snapshot, and write the machine-readable
+//! `BENCH_8.json` snapshot (to `TRUSS_BENCH_OUT`, default
+//! `BENCH_8.json` in the current directory). Scale with `TRUSS_SCALE=`.
+//!
+//! Exits non-zero if any rung's trussness disagrees with the in-memory
+//! engine, any measured peak RSS exceeds `1.5x` the effective budget,
+//! or the snapshot fails to exceed a configured budget. There is no
+//! `TRUSS_GATE=warn` escape for these gates: they are the acceptance
+//! criteria of the out-of-core engine, not timing comparisons.
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::outofcore;
+
+fn main() {
+    let scale = BenchScale::Default;
+    let bench = outofcore::outofcore_bench(scale);
+    outofcore::table_outofcore(&bench)
+        .print("Out-of-core decomposition: budget ladder over a mapped GR2 snapshot");
+    println!(
+        "snapshot: {} bytes; in-memory baseline peak RSS: {}",
+        bench.snapshot_bytes,
+        bench
+            .inmem_peak_rss_bytes
+            .map_or_else(|| "n/a".to_string(), |p| format!("{p} bytes")),
+    );
+    let out = std::env::var("TRUSS_BENCH_OUT").unwrap_or_else(|_| "BENCH_8.json".to_string());
+    std::fs::write(&out, outofcore::outofcore_json(&bench, scale)).expect("write snapshot");
+    eprintln!("wrote {out}");
+    if !outofcore::gates_clean(&bench) {
+        eprintln!("outofcore: gate violations above — failing");
+        std::process::exit(1);
+    }
+}

@@ -4,6 +4,7 @@
 
 pub mod datasets;
 pub mod hotpath;
+pub mod outofcore;
 pub mod serve;
 pub mod table;
 pub mod tables;

@@ -1,0 +1,251 @@
+//! The out-of-core acceptance bench: decompose a generated graph whose
+//! GR2 snapshot is several times every configured memory budget, running
+//! the `outofcore` engine over the *mapped* snapshot and measuring true
+//! peak RSS (`VmHWM` delta) per budget rung.
+//!
+//! Two gates, both correctness properties with no `TRUSS_GATE=warn`
+//! escape:
+//!   1. every rung's trussness must match the in-memory decomposition
+//!      edge for edge;
+//!   2. every rung's measured peak RSS must stay within `1.5x` the
+//!      *effective* (clamp-adjusted) budget — the engine may clamp a
+//!      too-small configured budget up to its documented minimum, and
+//!      the gate honors the clamp the same way the CLI report does.
+//!
+//! The snapshot size is also checked against each configured budget so
+//! the bench cannot silently degenerate into an in-memory run.
+
+use crate::datasets::{scale_factor, BenchScale};
+use crate::table::TableWriter;
+use crate::{bytes_h, time};
+use std::fs::File;
+use std::io::BufWriter;
+use truss_core::outofcore::{outofcore_decompose, OutOfCoreConfig};
+use truss_core::rss::{reset_peak_rss, RssProbe};
+use truss_core::truss_decompose;
+use truss_graph::generators::datasets::Dataset;
+use truss_graph::CsrGraph;
+use truss_storage::{open_graph_snapshot, write_graph_snapshot, IoConfig, LoadMode, ScratchDir};
+
+/// Peak-RSS slack over the effective budget: `3/2 = 1.5x`, expressed as
+/// a ratio so the limit stays in exact integer arithmetic.
+pub const RSS_SLACK_NUM: u64 = 3;
+/// Denominator of the slack ratio.
+pub const RSS_SLACK_DEN: u64 = 2;
+
+/// One budget rung's measurements.
+pub struct OutOfCoreRow {
+    /// The budget handed to the engine, bytes.
+    pub configured_budget: u64,
+    /// The clamped budget the run actually honored, bytes.
+    pub effective_budget: u64,
+    /// Shards the engine planned at this budget.
+    pub shards: usize,
+    /// Wall-clock seconds for the decomposition.
+    pub wall_s: f64,
+    /// Measured peak RSS growth over the run (`VmHWM` delta); `None`
+    /// off-Linux, where the gate passes vacuously.
+    pub peak_rss_bytes: Option<u64>,
+    /// The gate line: `effective_budget * 3 / 2`.
+    pub rss_limit_bytes: u64,
+    /// The window accountant's own high-water mark, bytes.
+    pub window_high_water: u64,
+    /// Edges whose trussness disagrees with the in-memory engine.
+    pub mismatches: u64,
+    /// `peak_rss_bytes <= rss_limit_bytes` (vacuously true off-Linux).
+    pub rss_ok: bool,
+}
+
+/// The whole bench run: the shared snapshot, the in-memory baseline's
+/// peak RSS for the headline comparison, and the ladder rungs.
+pub struct OutOfCoreBench {
+    /// Bytes of the GR2 snapshot every rung decomposes.
+    pub snapshot_bytes: u64,
+    /// Peak RSS growth of the plain in-memory decomposition of the same
+    /// graph (`None` off-Linux).
+    pub inmem_peak_rss_bytes: Option<u64>,
+    /// One row per budget rung.
+    pub rows: Vec<OutOfCoreRow>,
+}
+
+/// The bench graph: the p2p analogue scaled up so its snapshot dwarfs
+/// the budget ladder (~1.7M edges, ~40 MiB of GR2, at
+/// `BenchScale::Default`). The scale also keeps the engine's clamped
+/// minimum budget comfortably above its irreducible heap floor (the
+/// `4m`-byte result array dominates), so the `1.5x` RSS gate measures
+/// windowing discipline rather than allocator rounding.
+fn ooc_graph(scale: BenchScale) -> CsrGraph {
+    let spec = Dataset::P2p.spec();
+    Dataset::P2p.build_scaled(spec.default_scale * 40.0 * scale_factor(scale), 0x5eed)
+}
+
+/// The configured-budget ladder: fractions of the snapshot size, so
+/// every rung's snapshot strictly exceeds its budget by construction.
+fn budget_ladder(snapshot_bytes: u64) -> Vec<u64> {
+    let mut rungs: Vec<u64> = [16u64, 8, 4]
+        .iter()
+        .map(|d| (snapshot_bytes / d).max(4096))
+        .collect();
+    rungs.dedup();
+    rungs
+}
+
+/// Runs the bench: writes the snapshot, measures the in-memory
+/// baseline, then decomposes the mapped snapshot once per budget rung.
+pub fn outofcore_bench(scale: BenchScale) -> OutOfCoreBench {
+    let g = ooc_graph(scale);
+
+    // In-memory baseline first: its trussness is the ground truth for
+    // every rung, and its peak RSS is the headline denominator.
+    reset_peak_rss();
+    let probe = RssProbe::start();
+    let expected = truss_decompose(&g).trussness().to_vec();
+    let inmem_peak_rss_bytes = probe.delta_bytes();
+
+    let scratch = ScratchDir::new().expect("scratch dir");
+    let path = scratch.file("bench.gr2");
+    let file = BufWriter::new(File::create(&path).expect("create snapshot"));
+    write_graph_snapshot(&g, file).expect("write snapshot");
+    drop(g); // only the expected trussness stays resident across rungs
+    let snapshot_bytes = std::fs::metadata(&path).expect("snapshot metadata").len();
+
+    // The open-time checksum scan would fault the whole file resident
+    // before the engine's clean-slate release, spiking the monotone
+    // VmHWM above anything the run itself does. Skip it; integrity here
+    // is covered by the edge-for-edge cross-check.
+    std::env::set_var("TRUSS_SKIP_CHECKSUM", "1");
+
+    let mut rows = Vec::new();
+    for configured in budget_ladder(snapshot_bytes) {
+        let mg = open_graph_snapshot(&path, LoadMode::Auto).expect("open snapshot");
+        reset_peak_rss();
+        let probe = RssProbe::start();
+        let cfg = OutOfCoreConfig::new(IoConfig::with_budget(configured as usize));
+        let ((dec, report), wall) = time(|| outofcore_decompose(&mg, &cfg).expect("decompose"));
+        // Sample before the cross-check below allocates anything.
+        let peak_rss_bytes = probe.delta_bytes();
+        drop(mg);
+
+        let got = dec.trussness();
+        let mismatches = if got.len() != expected.len() {
+            expected.len().max(got.len()) as u64
+        } else {
+            got.iter().zip(&expected).filter(|(a, b)| a != b).count() as u64
+        };
+        let effective_budget = report.effective_budget as u64;
+        let rss_limit_bytes = effective_budget * RSS_SLACK_NUM / RSS_SLACK_DEN;
+        let rss_ok = peak_rss_bytes.is_none_or(|p| p <= rss_limit_bytes);
+        rows.push(OutOfCoreRow {
+            configured_budget: configured,
+            effective_budget,
+            shards: report.shards,
+            wall_s: wall.as_secs_f64(),
+            peak_rss_bytes,
+            rss_limit_bytes,
+            window_high_water: report.window_high_water as u64,
+            mismatches,
+            rss_ok,
+        });
+    }
+    OutOfCoreBench {
+        snapshot_bytes,
+        inmem_peak_rss_bytes,
+        rows,
+    }
+}
+
+/// True iff every gate holds: zero mismatches, RSS under the limit, and
+/// the snapshot strictly larger than every configured budget.
+pub fn gates_clean(bench: &OutOfCoreBench) -> bool {
+    !bench.rows.is_empty()
+        && bench
+            .rows
+            .iter()
+            .all(|r| r.mismatches == 0 && r.rss_ok && bench.snapshot_bytes > r.configured_budget)
+}
+
+/// Renders the ladder as a table.
+pub fn table_outofcore(bench: &OutOfCoreBench) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "budget",
+        "effective",
+        "shards",
+        "wall (s)",
+        "peak RSS",
+        "limit (1.5x)",
+        "mismatches",
+        "rss ok",
+    ]);
+    for r in &bench.rows {
+        t.row(vec![
+            bytes_h(r.configured_budget),
+            bytes_h(r.effective_budget),
+            r.shards.to_string(),
+            format!("{:.3}", r.wall_s),
+            r.peak_rss_bytes.map_or_else(|| "n/a".into(), bytes_h),
+            bytes_h(r.rss_limit_bytes),
+            r.mismatches.to_string(),
+            if r.rss_ok {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    t
+}
+
+/// The machine-readable snapshot (`BENCH_8.json`).
+pub fn outofcore_json(bench: &OutOfCoreBench, scale: BenchScale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"repro_outofcore\",\n  \"scale_factor\": {},\n  \"dataset\": \"p2p\",\n  \
+         \"snapshot_bytes\": {},\n  \"inmem_peak_rss_bytes\": {},\n  \"rss_slack\": 1.5,\n  \
+         \"rungs\": [\n",
+        scale_factor(scale),
+        bench.snapshot_bytes,
+        bench
+            .inmem_peak_rss_bytes
+            .map_or_else(|| "null".to_string(), |p| p.to_string()),
+    ));
+    for (i, r) in bench.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"configured_budget\": {}, \"effective_budget\": {}, \"shards\": {}, \
+             \"wall_s\": {:.6}, \"peak_rss_bytes\": {}, \"rss_limit_bytes\": {}, \
+             \"window_high_water\": {}, \"mismatches\": {}, \"rss_ok\": {}}}{}\n",
+            r.configured_budget,
+            r.effective_budget,
+            r.shards,
+            r.wall_s,
+            r.peak_rss_bytes
+                .map_or_else(|| "null".to_string(), |p| p.to_string()),
+            r.rss_limit_bytes,
+            r.window_high_water,
+            r.mismatches,
+            r.rss_ok,
+            if i + 1 == bench.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_is_exact_and_out_of_core() {
+        let bench = outofcore_bench(BenchScale::Tiny);
+        assert!(!bench.rows.is_empty());
+        for r in &bench.rows {
+            // Correctness and the out-of-core structural property hold at
+            // every scale. The RSS gate is only meaningful in a dedicated
+            // process (`repro_outofcore`): under `cargo test` concurrent
+            // tests inflate the shared VmHWM arbitrarily.
+            assert_eq!(r.mismatches, 0);
+            assert!(bench.snapshot_bytes > r.configured_budget);
+            assert!(r.effective_budget >= r.configured_budget);
+        }
+    }
+}

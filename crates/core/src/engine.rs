@@ -48,12 +48,15 @@ pub enum AlgorithmKind {
     /// PKT-style shared-memory parallel peeling (Kabir & Madduri) — not in
     /// the paper; see [`crate::parallel`].
     Parallel,
+    /// Out-of-core decomposition over a windowed GR2 snapshot with
+    /// vertex-range sharding; see [`crate::outofcore`].
+    OutOfCore,
 }
 
 impl AlgorithmKind {
     /// Every kind: the paper's five in presentation order, then the
-    /// parallel engine.
-    pub fn all() -> [AlgorithmKind; 6] {
+    /// parallel and out-of-core engines.
+    pub fn all() -> [AlgorithmKind; 7] {
         [
             AlgorithmKind::Inmem,
             AlgorithmKind::InmemPlus,
@@ -61,6 +64,7 @@ impl AlgorithmKind {
             AlgorithmKind::TopDown,
             AlgorithmKind::MapReduce,
             AlgorithmKind::Parallel,
+            AlgorithmKind::OutOfCore,
         ]
     }
 
@@ -73,6 +77,7 @@ impl AlgorithmKind {
             AlgorithmKind::TopDown => "topdown",
             AlgorithmKind::MapReduce => "mr",
             AlgorithmKind::Parallel => "parallel",
+            AlgorithmKind::OutOfCore => "outofcore",
         }
     }
 
@@ -86,6 +91,7 @@ impl AlgorithmKind {
             AlgorithmKind::TopDown => "TD-topdown",
             AlgorithmKind::MapReduce => "TD-MR",
             AlgorithmKind::Parallel => "PKT",
+            AlgorithmKind::OutOfCore => "TD-ooc",
         }
     }
 
@@ -98,6 +104,7 @@ impl AlgorithmKind {
             "topdown" | "top-down" => Some(AlgorithmKind::TopDown),
             "mr" | "mapreduce" => Some(AlgorithmKind::MapReduce),
             "parallel" | "pkt" => Some(AlgorithmKind::Parallel),
+            "outofcore" | "out-of-core" | "ooc" => Some(AlgorithmKind::OutOfCore),
             _ => None,
         }
     }
@@ -107,7 +114,10 @@ impl AlgorithmKind {
     pub fn is_external(self) -> bool {
         matches!(
             self,
-            AlgorithmKind::BottomUp | AlgorithmKind::TopDown | AlgorithmKind::MapReduce
+            AlgorithmKind::BottomUp
+                | AlgorithmKind::TopDown
+                | AlgorithmKind::MapReduce
+                | AlgorithmKind::OutOfCore
         )
     }
 }
@@ -183,11 +193,25 @@ impl EngineConfig {
     /// The I/O model actually used for `g`: the configured budget clamped
     /// up to [`minimum_budget`] so the external engines can always run.
     pub fn effective_io(&self, g: &CsrGraph) -> IoConfig {
-        let budget = self.io.memory_budget.max(minimum_budget(g, 64));
-        IoConfig {
-            memory_budget: budget,
-            block_size: self.io.block_size.clamp(1, (budget / 2).max(1)),
-        }
+        self.effective_io_floored(g, 0).0
+    }
+
+    /// As [`EngineConfig::effective_io`], with an additional
+    /// engine-specific floor (the out-of-core engine needs more than the
+    /// generic minimum), returning whether the configured budget had to
+    /// be raised. External engines surface the effective value in
+    /// [`EngineReport::effective_memory_budget`] and call
+    /// [`warn_budget_clamped`] when the flag is set.
+    pub fn effective_io_floored(&self, g: &CsrGraph, floor: usize) -> (IoConfig, bool) {
+        let budget = self.io.memory_budget.max(minimum_budget(g, 64)).max(floor);
+        let clamped = budget > self.io.memory_budget;
+        (
+            IoConfig {
+                memory_budget: budget,
+                block_size: self.io.block_size.clamp(1, (budget / 2).max(1)),
+            },
+            clamped,
+        )
     }
 
     /// Opens the scratch directory this configuration asks for.
@@ -219,6 +243,16 @@ pub struct EngineReport {
     /// Counts *heap* only — a graph served from a mapped snapshot
     /// contributes its pages to [`EngineReport::mapped_bytes`] instead.
     pub peak_memory_estimate: usize,
+    /// *Measured* peak-RSS growth over the run (`VmHWM` delta from
+    /// `/proc/self/status`), next to the estimate above. `None` off
+    /// Linux — the JSON emits `null` there.
+    pub peak_rss_bytes: Option<u64>,
+    /// The memory budget the run actually honored: the configured
+    /// [`EngineConfig::io`] budget clamped up to the algorithm's minimum.
+    /// `None` for the in-memory engines, which have no budget to honor.
+    /// When this exceeds the configured value the engine also warns on
+    /// stderr ([`warn_budget_clamped`]).
+    pub effective_memory_budget: Option<u64>,
     /// Bytes of the input served out of a memory-mapped snapshot (zero
     /// for heap-resident inputs): page-cache-backed, shared read-only
     /// across threads, not part of the heap estimate above.
@@ -289,7 +323,8 @@ impl EngineReport {
             concat!(
                 "{{\"algorithm\":\"{}\",\"wall_time_secs\":{:.6},",
                 "\"triangle_ms\":{},\"peel_ms\":{},",
-                "\"peak_memory_estimate\":{},\"mapped_bytes\":{},",
+                "\"peak_memory_estimate\":{},\"peak_rss_bytes\":{},",
+                "\"effective_memory_budget\":{},\"mapped_bytes\":{},",
                 "\"threads_used\":{},",
                 "\"k_max\":{},",
                 "\"io\":{{\"bytes_read\":{},\"bytes_written\":{},",
@@ -307,6 +342,8 @@ impl EngineReport {
             opt_ms(self.triangle_time),
             opt_ms(self.peel_time),
             self.peak_memory_estimate,
+            opt(self.peak_rss_bytes),
+            opt(self.effective_memory_budget),
             self.mapped_bytes,
             self.threads_used,
             self.k_max,
@@ -459,6 +496,16 @@ pub trait TrussEngine {
     }
 }
 
+/// Warns on stderr that an external engine raised the configured budget
+/// to its working minimum. One line, engine-tagged, so sweep scripts
+/// driving `--memory` ladders can see which rungs were fictional.
+pub fn warn_budget_clamped(kind: AlgorithmKind, configured: usize, effective: usize) {
+    eprintln!(
+        "warning: {}: memory budget {configured} B below the working minimum, using {effective} B",
+        kind.name()
+    );
+}
+
 /// Fills the input-derived counters shared by every engine.
 ///
 /// Engine implementations (including out-of-crate ones like TD-MR) call
@@ -492,9 +539,11 @@ impl TrussEngine for InmemEngine {
         config: &EngineConfig,
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
+        let probe = crate::rss::RssProbe::start();
         let start = Instant::now();
         let (d, stats) = truss_decompose_naive_with_memory(&g);
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_rss_bytes = probe.delta_bytes();
         report.peak_memory_estimate = stats.peak_bytes;
         report.triangle_time = Some(stats.triangle_time);
         report.peel_time = Some(stats.peel_time);
@@ -517,9 +566,11 @@ impl TrussEngine for InmemPlusEngine {
         config: &EngineConfig,
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
+        let probe = crate::rss::RssProbe::start();
         let start = Instant::now();
         let (d, stats) = truss_decompose_with(&g, ImprovedConfig::default());
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_rss_bytes = probe.delta_bytes();
         report.peak_memory_estimate = stats.peak_bytes;
         report.triangle_time = Some(stats.triangle_time);
         report.peel_time = Some(stats.peel_time);
@@ -542,13 +593,19 @@ impl TrussEngine for BottomUpEngine {
         config: &EngineConfig,
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
-        let io = config.effective_io(&g);
+        let (io, clamped) = config.effective_io_floored(&g, 0);
+        if clamped {
+            warn_budget_clamped(self.kind(), config.io.memory_budget, io.memory_budget);
+        }
         let scratch = config.open_scratch()?;
         let cfg = BottomUpConfig::new(io);
+        let probe = crate::rss::RssProbe::start();
         let start = Instant::now();
         let (d, algo_report) = bottom_up_decompose_in(&g, &cfg, &scratch)?;
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_rss_bytes = probe.delta_bytes();
         report.peak_memory_estimate = io.memory_budget;
+        report.effective_memory_budget = Some(io.memory_budget as u64);
         report.io = algo_report.io;
         report.rounds = Some(algo_report.rounds as u64);
         report.lower_bound_iterations = Some(algo_report.lower_bound_iterations as u64);
@@ -573,9 +630,13 @@ impl TrussEngine for TopDownEngine {
         config: &EngineConfig,
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
-        let io = config.effective_io(&g);
+        let (io, clamped) = config.effective_io_floored(&g, 0);
+        if clamped {
+            warn_budget_clamped(self.kind(), config.io.memory_budget, io.memory_budget);
+        }
         let scratch = config.open_scratch()?;
         let cfg = TopDownConfig::new(io);
+        let probe = crate::rss::RssProbe::start();
         let start = Instant::now();
         let (res, algo_report) = top_down_decompose_in(&g, &cfg, &scratch)?;
         let wall = start.elapsed();
@@ -583,10 +644,52 @@ impl TrussEngine for TopDownEngine {
             EngineError::Incomplete("top-down did not classify every edge".into())
         })?;
         let mut report = EngineReport::base_for(self.kind(), wall);
+        report.peak_rss_bytes = probe.delta_bytes();
         report.peak_memory_estimate = io.memory_budget;
+        report.effective_memory_budget = Some(io.memory_budget as u64);
         report.io = algo_report.io;
         report.rounds = Some(algo_report.rounds as u64);
         report.k_first = Some(algo_report.k_first);
+        finish_report(&mut report, &g, &d, config);
+        Ok((d, report))
+    }
+}
+
+/// TD-ooc: out-of-core decomposition over a windowed GR2 snapshot
+/// ([`crate::outofcore`]). Unlike TD-bottomup/topdown it never copies
+/// the graph into scratch records — the snapshot's sections are the
+/// working arrays, advised in and out of residency under the budget.
+pub struct OutOfCoreEngine;
+
+impl TrussEngine for OutOfCoreEngine {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::OutOfCore
+    }
+
+    fn run(
+        &self,
+        input: EngineInput<'_>,
+        config: &EngineConfig,
+    ) -> EngineResult<(TrussDecomposition, EngineReport)> {
+        let g = input.load()?;
+        let (io, clamped) =
+            config.effective_io_floored(&g, crate::outofcore::outofcore_minimum_budget(&g));
+        if clamped {
+            warn_budget_clamped(self.kind(), config.io.memory_budget, io.memory_budget);
+        }
+        let scratch = config.open_scratch()?;
+        let cfg = crate::outofcore::OutOfCoreConfig::new(io);
+        let probe = crate::rss::RssProbe::start();
+        let start = Instant::now();
+        let (d, algo_report) = crate::outofcore::outofcore_decompose_in(&g, &cfg, &scratch)?;
+        let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_rss_bytes = probe.delta_bytes();
+        report.peak_memory_estimate = io.memory_budget;
+        report.effective_memory_budget = Some(algo_report.effective_budget as u64);
+        report.io = algo_report.io;
+        report.triangle_time = Some(algo_report.triangle_time);
+        report.peel_time = Some(algo_report.peel_time);
+        report.rounds = Some(algo_report.peel.levels);
         finish_report(&mut report, &g, &d, config);
         Ok((d, report))
     }
@@ -622,10 +725,10 @@ impl EngineRegistry {
         }
     }
 
-    /// The five engines implemented in this crate (the four serial
-    /// algorithms plus the parallel engine), in [`AlgorithmKind::all`]
-    /// order. The facade crate extends this with TD-MR; see the module
-    /// docs.
+    /// The six engines implemented in this crate (the four serial
+    /// algorithms, the parallel engine, and the out-of-core engine), in
+    /// [`AlgorithmKind::all`] order. The facade crate extends this with
+    /// TD-MR; see the module docs.
     pub fn core() -> Self {
         let mut r = EngineRegistry::new();
         r.register(Box::new(InmemEngine));
@@ -633,6 +736,7 @@ impl EngineRegistry {
         r.register(Box::new(BottomUpEngine));
         r.register(Box::new(TopDownEngine));
         r.register(Box::new(crate::parallel::ParallelEngine));
+        r.register(Box::new(OutOfCoreEngine));
         r
     }
 
@@ -698,7 +802,7 @@ mod tests {
 
     #[test]
     fn kinds_round_trip_names() {
-        assert_eq!(AlgorithmKind::all().len(), 6);
+        assert_eq!(AlgorithmKind::all().len(), 7);
         for kind in AlgorithmKind::all() {
             assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
         }
@@ -707,14 +811,15 @@ mod tests {
             Some(AlgorithmKind::InmemPlus)
         );
         assert_eq!(AlgorithmKind::parse("pkt"), Some(AlgorithmKind::Parallel));
+        assert_eq!(AlgorithmKind::parse("ooc"), Some(AlgorithmKind::OutOfCore));
         assert_eq!(AlgorithmKind::parse("nope"), None);
     }
 
     #[test]
-    fn core_registry_runs_all_five_identically() {
+    fn core_registry_runs_all_six_identically() {
         let g = figure2_graph();
         let registry = EngineRegistry::core();
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 6);
         let config = EngineConfig::sized_for(&g);
         for engine in registry.iter() {
             let (d, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();
@@ -724,9 +829,60 @@ mod tests {
             assert_eq!(report.support_sum, Some(57));
             if engine.kind().is_external() {
                 assert!(report.io.total_blocks() > 0, "{}", engine.name());
+                assert!(
+                    report.effective_memory_budget.is_some(),
+                    "{}",
+                    engine.name()
+                );
             } else {
                 assert_eq!(report.io.total_blocks(), 0, "{}", engine.name());
+                assert_eq!(report.effective_memory_budget, None, "{}", engine.name());
             }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_is_clamped_and_surfaced() {
+        let g = figure2_graph();
+        let config = EngineConfig::with_budget(1); // absurd on purpose
+        let (io, clamped) = config.effective_io_floored(&g, 0);
+        assert!(clamped);
+        assert_eq!(io.memory_budget, minimum_budget(&g, 64));
+        // A big enough budget is not clamped and passes through intact.
+        let roomy = EngineConfig::with_budget(1 << 30);
+        let (io, clamped) = roomy.effective_io_floored(&g, 0);
+        assert!(!clamped);
+        assert_eq!(io.memory_budget, 1 << 30);
+        // An engine-specific floor raises further.
+        let (io, clamped) = roomy.effective_io_floored(&g, 1 << 31);
+        assert!(clamped);
+        assert_eq!(io.memory_budget, 1 << 31);
+        // The surfaced effective budget in a real external run equals the
+        // clamp target, never the configured fiction.
+        let (_, report) = BottomUpEngine
+            .run(EngineInput::Graph(&g), &EngineConfig::with_budget(1))
+            .unwrap();
+        assert_eq!(
+            report.effective_memory_budget,
+            Some(minimum_budget(&g, 64) as u64)
+        );
+    }
+
+    #[test]
+    fn measured_rss_reported_where_supported() {
+        let g = figure2_graph();
+        let config = EngineConfig::sized_for(&g);
+        let supported = crate::rss::vm_hwm_bytes().is_some();
+        for engine in EngineRegistry::core().iter() {
+            let (_, report) = engine.run(EngineInput::Graph(&g), &config).unwrap();
+            assert_eq!(
+                report.peak_rss_bytes.is_some(),
+                supported,
+                "{}",
+                engine.name()
+            );
+            let json = report.to_json();
+            assert!(json.contains("\"peak_rss_bytes\":"), "{json}");
         }
     }
 

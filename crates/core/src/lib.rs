@@ -30,8 +30,10 @@ pub mod decompose;
 pub mod engine;
 pub mod index;
 pub mod lower_bound;
+pub mod outofcore;
 pub mod parallel;
 pub mod pool;
+pub mod rss;
 pub mod spectrum;
 mod sweep;
 pub mod top_down;
@@ -50,7 +52,12 @@ pub use engine::{
     AlgorithmKind, EngineConfig, EngineInput, EngineRegistry, EngineReport, TrussEngine,
 };
 pub use index::{TrussIndex, UpdateStats};
+pub use outofcore::{
+    outofcore_decompose, outofcore_decompose_in, outofcore_minimum_budget, OutOfCoreConfig,
+    OutOfCoreReport, ShardPlan,
+};
 pub use parallel::{parallel_truss_decompose, ParallelEngine};
 pub use pool::ThreadPool;
+pub use rss::{measure_peak_rss, reset_peak_rss, vm_hwm_bytes, vm_rss_bytes, RssProbe};
 pub use spectrum::{truss_spectrum, vertex_trussness, TrussSpectrum};
 pub use top_down::{top_down_decompose, top_down_decompose_in, TopDownConfig, TopDownReport};

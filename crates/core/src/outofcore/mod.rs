@@ -1,0 +1,398 @@
+//! Out-of-core truss decomposition native to the GR2 section format.
+//!
+//! The paper's external algorithms (TD-bottomup/topdown) stream scratch
+//! *copies* of the graph through fixed-width record files. This engine
+//! decomposes directly over the mapped `TRUSSGR2` snapshot instead: no
+//! per-record parsing, no duplicated edge list — the snapshot's sections
+//! *are* the working arrays, and residency is governed by the
+//! [`Window`] advice layer so `memory_budget` is a real bound even when
+//! the snapshot is many times larger.
+//!
+//! The decomposition is sharded by vertex range ([`ShardPlan`]): shard
+//! boundaries are chosen on the edge section (edge ids are lexicographic
+//! in `(u, v)`, so a vertex range owns a contiguous edge-id range), the
+//! support phase builds the oriented adjacency one shard at a time
+//! ([`support`]), and the peel runs shard-resident rounds with spilled
+//! cross-shard traffic ([`peel`]). Per-edge state lives in a disk
+//! [`state::StateFile`]; cross-shard records flow through the bucketed
+//! [`spill::SpillBuckets`].
+//!
+//! Heap during the run is `O(n + m/8 + budget)`: the degree-rank array
+//! (support phase only), the alive bitset, and budget-bounded chunks,
+//! buffers and windows. The final `4m`-byte trussness vector is
+//! materialized only after every window is released.
+
+pub mod peel;
+pub mod spill;
+pub mod state;
+pub mod support;
+
+use crate::decompose::TrussDecomposition;
+use peel::PeelStats;
+use state::StateFile;
+use std::time::{Duration, Instant};
+use support::SupportStats;
+use truss_graph::{CsrGraph, EdgeId, VertexId};
+use truss_storage::window::{Window, PAGE_BYTES};
+use truss_storage::{IoConfig, IoStats, IoTracker, Result, ScratchDir};
+
+/// Hard cap on shard count — beyond this the per-shard bookkeeping
+/// dominates and the spill buckets fragment.
+const MAX_SHARDS: usize = 1024;
+
+/// Configuration for a run.
+#[derive(Debug, Clone)]
+pub struct OutOfCoreConfig {
+    /// Memory budget `M` and block size `B`. The budget is clamped up to
+    /// [`outofcore_minimum_budget`]; callers wanting to observe the
+    /// clamp compare against [`OutOfCoreReport::effective_budget`].
+    pub io: IoConfig,
+    /// Forced shard count (tests, proptests); `None` sizes shards so one
+    /// shard's working set fits a quarter of the budget.
+    pub shards: Option<usize>,
+}
+
+impl OutOfCoreConfig {
+    /// Configuration with the given I/O model and automatic sharding.
+    pub fn new(io: IoConfig) -> Self {
+        OutOfCoreConfig { io, shards: None }
+    }
+
+    /// Configuration with a forced shard count.
+    pub fn with_shards(io: IoConfig, shards: usize) -> Self {
+        OutOfCoreConfig {
+            io,
+            shards: Some(shards.max(1)),
+        }
+    }
+}
+
+/// The smallest budget the sharded engine can honor for `g`: the rank
+/// array and offsets section (resident through support init), the alive
+/// bitset, one maximum-degree row pair, the materialized result array
+/// (`TrussEngine` hands back an in-memory decomposition — 4 bytes per
+/// edge is the floor *any* engine pays for its output), and a fixed
+/// floor for chunks and spill buffers.
+pub fn outofcore_minimum_budget(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let d = g.max_degree();
+    (4 * m + 4 * n + 8 * (n + 1) + 12 * d + m / 8 + (1 << 16)).next_power_of_two()
+}
+
+/// How many shards an automatic run uses: enough that one shard's
+/// forward lists (~12 bytes per edge) fit in a quarter of the budget.
+fn auto_shards(m: usize, budget: usize) -> usize {
+    (48 * m).div_ceil((budget / 4).max(1)).clamp(1, MAX_SHARDS)
+}
+
+/// Vertex-range sharding with derived contiguous edge-id ranges.
+///
+/// Boundaries are picked by equal *edge* targets (vertex counts can be
+/// wildly skewed on power-law graphs); a heavy vertex makes neighboring
+/// shards empty rather than splitting its edge range, so `edge_shard(e)`
+/// is always `vertex_shard(edge(e).u)` and a shard's peel never mutates
+/// a foreign chunk.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// `vertex_starts[s] .. vertex_starts[s + 1]` is shard `s`'s vertex
+    /// range; length `S + 1`, first 0, last `n`.
+    vertex_starts: Vec<VertexId>,
+    /// Matching edge-id ranges (first edge whose `u` is in the shard).
+    edge_starts: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Plans `shards` vertex ranges over `g` with roughly equal edge
+    /// counts. Duplicate boundaries (empty shards) are legal — forced
+    /// shard counts larger than the graph degenerate gracefully.
+    pub fn new(g: &CsrGraph, shards: usize) -> ShardPlan {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let s = shards.max(1);
+        let edges = g.edges();
+        let mut vertex_starts = Vec::with_capacity(s + 1);
+        vertex_starts.push(0u32);
+        for i in 1..s {
+            let b = if m == 0 {
+                (i * n / s) as u32
+            } else {
+                edges[(i * m / s).min(m - 1)].u
+            };
+            let prev = *vertex_starts.last().expect("non-empty");
+            vertex_starts.push(b.max(prev));
+        }
+        vertex_starts.push(n as u32);
+        let edge_starts = vertex_starts
+            .iter()
+            .map(|&b| edges.partition_point(|e| e.u < b) as u32)
+            .collect();
+        ShardPlan {
+            vertex_starts,
+            edge_starts,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.vertex_starts.len() - 1
+    }
+
+    /// Shard `s`'s vertex range `[lo, hi)`.
+    pub fn vertex_range(&self, s: usize) -> (VertexId, VertexId) {
+        (self.vertex_starts[s], self.vertex_starts[s + 1])
+    }
+
+    /// Shard `s`'s edge-id range `[lo, hi)`.
+    pub fn edge_range(&self, s: usize) -> (usize, usize) {
+        (
+            self.edge_starts[s] as usize,
+            self.edge_starts[s + 1] as usize,
+        )
+    }
+
+    /// The shard owning vertex `v` (the last shard whose start is
+    /// `≤ v` — duplicates denote empty shards, which own nothing).
+    pub fn vertex_shard(&self, v: VertexId) -> usize {
+        self.vertex_starts.partition_point(|&b| b <= v) - 1
+    }
+
+    /// The shard owning edge `e` (consistent with
+    /// [`ShardPlan::vertex_shard`] of the edge's lower endpoint).
+    pub fn edge_shard(&self, e: EdgeId) -> usize {
+        self.edge_starts.partition_point(|&b| b <= e) - 1
+    }
+}
+
+/// Counters and timings out of a run.
+#[derive(Debug, Clone, Default)]
+pub struct OutOfCoreReport {
+    /// Disk traffic (state chunks, spill buckets, windowed section
+    /// reads).
+    pub io: IoStats,
+    /// The clamped budget the run actually honored.
+    pub effective_budget: usize,
+    /// Shards planned.
+    pub shards: usize,
+    /// Support-phase wall time.
+    pub triangle_time: Duration,
+    /// Peel-phase wall time.
+    pub peel_time: Duration,
+    /// Support-phase counters.
+    pub support: SupportStats,
+    /// Peel-phase counters.
+    pub peel: PeelStats,
+    /// Largest windowed residency the advice accountant saw.
+    pub window_high_water: usize,
+    /// Windows evicted to stay under budget.
+    pub window_evictions: u64,
+}
+
+/// Decomposes `g` under `cfg`, spilling into `scratch`.
+///
+/// Works on any `CsrGraph`; a graph served from a mapped GR2 snapshot
+/// additionally gets real `madvise` windowing (heap-resident graphs run
+/// the same code with accounting-only windows).
+pub fn outofcore_decompose_in(
+    g: &CsrGraph,
+    cfg: &OutOfCoreConfig,
+    scratch: &ScratchDir,
+) -> Result<(TrussDecomposition, OutOfCoreReport)> {
+    let m = g.num_edges();
+    let budget = cfg.io.memory_budget.max(outofcore_minimum_budget(g));
+    let io = IoConfig {
+        memory_budget: budget,
+        block_size: cfg.io.block_size.clamp(1, (budget / 2).max(1)),
+    };
+    let tracker = IoTracker::new();
+
+    // Half the budget belongs to mapped-section windows, the rest to the
+    // engine's own heap (chunks, buffers, rank array).
+    let mut window = Window::new((budget / 2).max(PAGE_BYTES), g.is_mapped());
+    // Kill kernel readahead over every section first: scattered reads
+    // (the plan's binary searches, the peel's foreign-row probes) would
+    // otherwise fault ~128 KiB clusters per touch and blanket whole
+    // sections with residency the accountant never sees.
+    let offsets = g.offsets_section().as_slice();
+    let (all_nbrs, all_eids) = row_slices(g, 0, g.num_vertices() as u32);
+    let all_edges = g.edges();
+    window.mark_random(offsets);
+    window.mark_random(all_nbrs);
+    window.mark_random(all_eids);
+    window.mark_random(all_edges);
+    // Clean slate: an earlier full scan (checksum verification, another
+    // engine) may have left the entire snapshot resident. Drop it all;
+    // the governed phases re-fault exactly what they declare.
+    window.release_section(offsets);
+    window.release_section(all_nbrs);
+    window.release_section(all_eids);
+    window.release_section(all_edges);
+
+    let plan = ShardPlan::new(g, cfg.shards.unwrap_or_else(|| auto_shards(m, budget)));
+    let s_count = plan.num_shards();
+    // Planning binary-searched the edges section; drop whatever it
+    // faulted before the governed phases begin.
+    window.release_section(all_edges);
+
+    // The offsets section is consulted on every row access — pin it for
+    // the whole run (it is part of the minimum budget). A plain `need`
+    // would let FIFO eviction drop it, after which every row access
+    // refaults it as untracked residency.
+    window.pin(offsets);
+    tracker.record_read(std::mem::size_of_val(offsets) as u64);
+
+    let buf_cap = ((budget / 8) / (s_count * 16).max(1)).max(64);
+    let mut sup = StateFile::create(scratch, "sup", m, tracker.clone())?;
+    let mut min_sup = vec![u32::MAX; s_count];
+
+    let t0 = Instant::now();
+    let ranks = truss_triangle::list::ranks(g);
+    let support = support::sharded_supports(
+        g,
+        &plan,
+        &ranks,
+        &mut window,
+        scratch,
+        &tracker,
+        buf_cap,
+        &mut sup,
+        &mut min_sup,
+    )?;
+    drop(ranks);
+    let triangle_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let (trussness, peel) = peel::external_peel(
+        g,
+        &plan,
+        &mut window,
+        scratch,
+        &tracker,
+        buf_cap,
+        &mut sup,
+        &mut min_sup,
+    )?;
+    let peel_time = t1.elapsed();
+    sup.delete()?;
+
+    let report = OutOfCoreReport {
+        io: tracker.stats(&io),
+        effective_budget: budget,
+        shards: s_count,
+        triangle_time,
+        peel_time,
+        support,
+        peel,
+        window_high_water: window.high_water_bytes(),
+        window_evictions: window.stats().evictions,
+    };
+    Ok((TrussDecomposition::from_trussness(trussness), report))
+}
+
+/// Convenience entry point with a fresh scratch dir.
+pub fn outofcore_decompose(
+    g: &CsrGraph,
+    cfg: &OutOfCoreConfig,
+) -> Result<(TrussDecomposition, OutOfCoreReport)> {
+    let scratch = ScratchDir::new()?;
+    outofcore_decompose_in(g, cfg, &scratch)
+}
+
+/// The concatenated neighbor and edge-id rows of vertices `lo..hi` as
+/// two flat slices — the unit the window layer advises over (CSR rows
+/// are contiguous, so a vertex range is one byte range per section).
+pub(crate) fn row_slices(g: &CsrGraph, lo: VertexId, hi: VertexId) -> (&[VertexId], &[EdgeId]) {
+    let off = g.offsets_section().as_slice();
+    let (a, b) = (off[lo as usize] as usize, off[hi as usize] as usize);
+    (
+        &g.neighbors_section().as_slice()[a..b],
+        &g.edge_ids_section().as_slice()[a..b],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decompose;
+    use truss_graph::generators::{figure2_graph, gnm, rmat, RmatConfig};
+
+    fn assert_matches_inmem(g: &CsrGraph, cfg: &OutOfCoreConfig) {
+        let expect = truss_decompose(g);
+        let (got, report) = outofcore_decompose(g, cfg).unwrap();
+        assert_eq!(got.trussness(), expect.trussness());
+        assert_eq!(got.k_max(), expect.k_max());
+        assert!(report.io.bytes_written > 0, "state file traffic expected");
+    }
+
+    #[test]
+    fn plan_partitions_vertices_and_edges_consistently() {
+        let g = gnm(200, 1500, 0x91a7);
+        for s in [1usize, 2, 4, 7, 100] {
+            let plan = ShardPlan::new(&g, s);
+            assert_eq!(plan.num_shards(), s);
+            let (v0, _) = plan.vertex_range(0);
+            assert_eq!(v0, 0);
+            let (_, vl) = plan.vertex_range(s - 1);
+            assert_eq!(vl as usize, g.num_vertices());
+            let mut edge_total = 0usize;
+            for sh in 0..s {
+                let (e_lo, e_hi) = plan.edge_range(sh);
+                edge_total += e_hi - e_lo;
+                for e in e_lo..e_hi {
+                    assert_eq!(plan.edge_shard(e as u32), sh);
+                    assert_eq!(plan.vertex_shard(g.edge(e as u32).u), sh);
+                }
+            }
+            assert_eq!(edge_total, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn figure2_across_shard_counts() {
+        let g = figure2_graph();
+        for s in [1usize, 2, 4, 7] {
+            let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1 << 20), s);
+            assert_matches_inmem(&g, &cfg);
+        }
+    }
+
+    #[test]
+    fn adversarially_tiny_budget_still_exact() {
+        // The clamp raises this to the real minimum; correctness must not
+        // depend on the configured number.
+        let g = gnm(300, 2500, 0xbadb);
+        let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1), 7);
+        assert_matches_inmem(&g, &cfg);
+    }
+
+    #[test]
+    fn rmat_skew_exercises_empty_shards() {
+        let g = rmat(RmatConfig::skewed(8, 3000), 0x5eed);
+        let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1 << 18), 7);
+        assert_matches_inmem(&g, &cfg);
+    }
+
+    #[test]
+    fn empty_and_triangle_free_graphs() {
+        let empty = CsrGraph::from_edges(Vec::<truss_graph::Edge>::new());
+        let cfg = OutOfCoreConfig::new(IoConfig::with_budget(1 << 16));
+        let (d, _) = outofcore_decompose(&empty, &cfg).unwrap();
+        assert_eq!(d.k_max(), 2);
+
+        // A path graph: every edge has support 0, truss 2.
+        let path = CsrGraph::from_edges(
+            [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]
+                .into_iter()
+                .map(|(u, v)| truss_graph::Edge::new(u, v)),
+        );
+        let (d, _) = outofcore_decompose(&path, &cfg).unwrap();
+        assert!(d.trussness().iter().all(|&t| t == 2));
+    }
+
+    #[test]
+    fn minimum_budget_is_monotone_in_graph_size() {
+        let small = gnm(50, 200, 1);
+        let large = gnm(20_000, 200_000, 1);
+        assert!(outofcore_minimum_budget(&large) > outofcore_minimum_budget(&small));
+    }
+}

@@ -1,0 +1,266 @@
+//! Level-synchronous shard-resident peeling over the disk support array.
+//!
+//! The peel keeps only `O(m/8 + chunk + buffers)` bytes in heap: an
+//! alive bitset, one shard's support chunk, and bounded decrement
+//! buckets. At each level `k` it sweeps the shards; a shard is visited
+//! when it has pending cross-shard decrements or its cached minimum live
+//! support says it holds peelable edges. A visit loads the shard's
+//! support chunk, applies drained decrements, seeds a local stack with
+//! every live edge of support `≤ k − 2`, and peels to a fixed point:
+//! peeling `e = (a, b)` merge-intersects the two neighbor rows — `a` is
+//! always in-shard (windowed mapping access), while `b`'s row is a
+//! random foreign read served by `pread` on the snapshot file so it
+//! never faults mapping pages in — decrementing surviving triangle
+//! partners in place (same shard) or
+//! through the spill buckets (elsewhere). Dead edges' chunk slots are
+//! overwritten with their truss number `k`, so when the last edge dies
+//! the state file *is* the decomposition.
+//!
+//! Sweeps repeat until no shard qualifies, then `k` jumps to
+//! `min(min_sup) + 2` — the same level-skipping the in-memory peel does.
+
+use super::spill::{IncRec, SpillBuckets};
+use super::state::StateFile;
+use super::ShardPlan;
+use truss_graph::CsrGraph;
+use truss_storage::window::Window;
+use truss_storage::{IoTracker, Result, ScratchDir};
+
+/// Counters out of the peel phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeelStats {
+    /// Distinct peel levels visited (k-rounds).
+    pub levels: u64,
+    /// Shard visits across all sweeps.
+    pub shard_visits: u64,
+    /// Cross-shard decrements that went through disk.
+    pub decs_spilled: u64,
+    /// Bulk window resets forced by stray foreign-row reads.
+    pub window_flushes: u64,
+}
+
+/// Packed per-edge liveness.
+struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    fn all_set(len: usize) -> Bitset {
+        let mut words = vec![!0u64; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitset { words }
+    }
+
+    #[inline]
+    fn get(&self, i: u32) -> bool {
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn clear(&mut self, i: u32) {
+        self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
+    }
+}
+
+/// Peels every edge, returning the trussness array (edge id → truss
+/// number, every entry ≥ 2). `sup` must hold exact supports on entry;
+/// on exit it holds the same values this function returns.
+#[allow(clippy::too_many_arguments)]
+pub fn external_peel(
+    g: &CsrGraph,
+    plan: &ShardPlan,
+    window: &mut Window,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+    buf_cap: usize,
+    sup: &mut StateFile,
+    min_sup: &mut [u32],
+) -> Result<(Vec<u32>, PeelStats)> {
+    let m = g.num_edges();
+    let s_count = plan.num_shards();
+    let mut stats = PeelStats::default();
+    let mut alive = Bitset::all_set(m);
+    let mut alive_left = m as u64;
+    let mut decs: SpillBuckets<IncRec> =
+        SpillBuckets::with_tracker(scratch, "dec", s_count, buf_cap, tracker.clone());
+
+    // Whole-section handles for the bulk stray-page flush.
+    let (all_nbrs, all_eids) = super::row_slices(g, 0, g.num_vertices() as u32);
+    let edges = g.edges();
+
+    let mut chunk: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    // Reused buffers for foreign-row reads: `pread` on the snapshot file
+    // instead of a mapping access, so the peel's random probes never
+    // fault pages in.
+    let mut fnb: Vec<u32> = Vec::new();
+    let mut fib: Vec<u32> = Vec::new();
+    let mut k = 2u32;
+    while alive_left > 0 {
+        let floor = min_sup.iter().copied().min().unwrap_or(u32::MAX);
+        debug_assert_ne!(floor, u32::MAX, "live edges but every shard empty");
+        k = k.max(floor.saturating_add(2));
+        stats.levels += 1;
+
+        // Sweep to a fixed point at this level.
+        loop {
+            let mut progressed = false;
+            for (s, shard_min) in min_sup.iter_mut().enumerate() {
+                let has_decs = decs.pending(s);
+                if !has_decs && *shard_min > k - 2 {
+                    continue;
+                }
+                let (e_lo, e_hi) = plan.edge_range(s);
+                if e_lo == e_hi {
+                    // Nothing to peel; decrements to an empty shard are
+                    // impossible by construction.
+                    continue;
+                }
+                progressed = true;
+                stats.shard_visits += 1;
+
+                chunk.clear();
+                chunk.resize(e_hi - e_lo, 0);
+                sup.read_chunk(e_lo, &mut chunk)?;
+                decs.drain(s, |r| {
+                    if alive.get(r.e) {
+                        let slot = &mut chunk[r.e as usize - e_lo];
+                        *slot = slot.saturating_sub(r.c);
+                    }
+                })?;
+
+                // Window the shard's graph footprint: its vertex rows and
+                // its slice of the edges section.
+                let (v_lo, v_hi) = plan.vertex_range(s);
+                let (nbr_rows, eid_rows) = super::row_slices(g, v_lo, v_hi);
+                let shard_edges = &edges[e_lo..e_hi];
+                window.need(nbr_rows);
+                window.need(eid_rows);
+                window.need(shard_edges);
+                tracker.record_read(
+                    (std::mem::size_of_val(nbr_rows) * 2 + std::mem::size_of_val(shard_edges))
+                        as u64,
+                );
+
+                stack.clear();
+                for e in e_lo..e_hi {
+                    if alive.get(e as u32) && chunk[e - e_lo] <= k - 2 {
+                        stack.push(e as u32);
+                    }
+                }
+
+                while let Some(e) = stack.pop() {
+                    if !alive.get(e) {
+                        continue;
+                    }
+                    alive.clear(e);
+                    alive_left -= 1;
+                    // Slot reuse: the dead edge's support becomes its
+                    // truss number.
+                    chunk[e as usize - e_lo] = k;
+
+                    let edge = edges[e as usize];
+                    let (na, ia) = (g.neighbors(edge.u), g.neighbor_edge_ids(edge.u));
+                    // edge.u < edge.v and the shard owns edge.u's row;
+                    // edge.v's rows are random foreign reads. Served
+                    // through the mapping they would fault in a whole
+                    // readahead cluster per probe and blow the budget, so
+                    // they go through the no-fault `pread` path; the heap
+                    // fallback reads the slices (free there) with a
+                    // conservative stray charge to keep the accounting
+                    // model exercised on every platform.
+                    let (nb, ib): (&[u32], &[u32]) =
+                        if g.copy_row_nofault(edge.v, &mut fnb, &mut fib) {
+                            tracker.record_read((std::mem::size_of_val(&fnb[..]) * 2) as u64);
+                            (&fnb, &fib)
+                        } else {
+                            let nb = g.neighbors(edge.v);
+                            let ib = g.neighbor_edge_ids(edge.v);
+                            window.note_span(nb);
+                            window.note_span(ib);
+                            (nb, ib)
+                        };
+
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < na.len() && j < nb.len() {
+                        match na[i].cmp(&nb[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                let (e_aw, e_bw) = (ia[i], ib[j]);
+                                i += 1;
+                                j += 1;
+                                if !alive.get(e_aw) || !alive.get(e_bw) {
+                                    continue;
+                                }
+                                for f in [e_aw, e_bw] {
+                                    let fs = plan.edge_shard(f);
+                                    if fs == s {
+                                        let slot = &mut chunk[f as usize - e_lo];
+                                        let old = *slot;
+                                        *slot = old.saturating_sub(1);
+                                        // Push exactly on the crossing so
+                                        // no edge enters the stack twice
+                                        // from decrements.
+                                        if old > k - 2 && *slot <= k - 2 {
+                                            stack.push(f);
+                                        }
+                                    } else {
+                                        decs.push(fs, IncRec { e: f, c: 1 })?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+
+                    if window.over_budget() {
+                        // Stray foreign rows have scattered fault-around
+                        // clusters outside every declared window: drop the
+                        // graph sections wholesale and re-declare the
+                        // shard. The edges section must flush too — its
+                        // overshoot is never covered by span releases.
+                        stats.window_flushes += 1;
+                        window.release_section(all_nbrs);
+                        window.release_section(all_eids);
+                        window.release_section(edges);
+                        window.need(nbr_rows);
+                        window.need(eid_rows);
+                        window.need(shard_edges);
+                    }
+                }
+
+                sup.write_chunk(e_lo, &chunk)?;
+                *shard_min = chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| alive.get((e_lo + i) as u32))
+                    .map(|(_, &v)| v)
+                    .min()
+                    .unwrap_or(u32::MAX);
+
+                // Reset the sections, not just the declared spans, so
+                // fault-around overshoot cannot accumulate across visits.
+                window.release(nbr_rows);
+                window.release(eid_rows);
+                window.release(shard_edges);
+                window.release_section(all_nbrs);
+                window.release_section(all_eids);
+                window.release_section(edges);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    stats.decs_spilled = decs.spilled_records();
+
+    // Everything is dead; every chunk slot now holds a truss number.
+    // Release the graph windows before materializing the 4m-byte result.
+    window.release_all();
+    let trussness = sup.read_all()?;
+    Ok((trussness, stats))
+}

@@ -1,0 +1,316 @@
+//! Bucketed spill files for the out-of-core engine — a slimmed
+//! [`truss_storage::ext_sort`].
+//!
+//! The sharded passes ([`super::support`], [`super::peel`]) produce
+//! records *for other shards*: boundary-triangle probes, support
+//! increments, peel decrements. A full external sort is overkill —
+//! replay only needs every record to reach the shard that owns it, not a
+//! global order — so [`SpillBuckets`] keeps one bounded in-memory buffer
+//! per destination shard and appends sorted, locally-merged runs to a
+//! per-shard [`RecordFile`] when a buffer fills. Draining a bucket is a
+//! single `scan` of its file plus the live buffer: `O(scan(R))` I/O for
+//! `R` spilled records, with zero merge passes.
+
+use std::path::PathBuf;
+use truss_storage::record::{FixedRecord, RecordFile, RecordWriter};
+use truss_storage::{IoTracker, Result, ScratchDir};
+
+/// A fixed-width record that knows how to merge with an equal-keyed
+/// neighbor — the in-buffer aggregation hook ([`IncRec`] sums counts;
+/// probes never merge).
+pub trait Spillable: FixedRecord {
+    /// Folds `other` into `self` when the two share a key; returns
+    /// whether the fold happened (`false` keeps both records).
+    fn try_merge(&mut self, _other: &Self) -> bool {
+        false
+    }
+}
+
+/// A boundary-triangle probe: shard `vertex_shard(v)` must check whether
+/// `w` (identified by its degree-order rank) is a forward neighbor of
+/// `v`, and if so count the triangle closed by `e_uv` and `e_uw`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRec {
+    /// The middle vertex of the candidate triangle (owned by the target
+    /// shard).
+    pub v: u32,
+    /// Rank of the apex candidate `w` in the degree order — forward lists
+    /// are rank-sorted, so membership is one binary search.
+    pub rank_w: u32,
+    /// Edge id of `(u, v)`.
+    pub e_uv: u32,
+    /// Edge id of `(u, w)`.
+    pub e_uw: u32,
+}
+
+impl FixedRecord for ProbeRec {
+    const SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.v.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.rank_w.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.e_uv.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.e_uw.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let g = |r: std::ops::Range<usize>| u32::from_le_bytes(buf[r].try_into().unwrap());
+        ProbeRec {
+            v: g(0..4),
+            rank_w: g(4..8),
+            e_uv: g(8..12),
+            e_uw: g(12..16),
+        }
+    }
+
+    fn sort_key(&self) -> u128 {
+        ((self.v as u128) << 32) | self.rank_w as u128
+    }
+}
+
+impl Spillable for ProbeRec {}
+
+/// A support increment (init) or peel decrement (peel) destined for edge
+/// `e`'s shard. Equal-keyed records merge by summing, so a hot edge
+/// costs one record per buffer flush instead of one per triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncRec {
+    /// Target edge id.
+    pub e: u32,
+    /// How many triangles to add (or, in the peel, remove).
+    pub c: u32,
+}
+
+impl FixedRecord for IncRec {
+    const SIZE: usize = 8;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.e.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.c.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        IncRec {
+            e: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            c: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        }
+    }
+
+    fn sort_key(&self) -> u128 {
+        self.e as u128
+    }
+}
+
+impl Spillable for IncRec {
+    fn try_merge(&mut self, other: &Self) -> bool {
+        if self.e == other.e {
+            self.c += other.c;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-shard spill buffers over one scratch directory.
+///
+/// `push` is O(1) amortized; a bucket whose buffer reaches `buf_cap`
+/// records is sorted, merged, and appended to that bucket's run file.
+/// `drain` replays file-then-buffer through a callback and resets the
+/// bucket. Total heap is bounded by `shards × buf_cap × SIZE` — the
+/// caller picks `buf_cap` from its budget share.
+pub struct SpillBuckets<T: Spillable> {
+    paths: Vec<PathBuf>,
+    bufs: Vec<Vec<T>>,
+    writers: Vec<Option<RecordWriter<T>>>,
+    buf_cap: usize,
+    tracker: IoTracker,
+    /// Records ever spilled to disk (not counting buffered ones).
+    spilled: u64,
+}
+
+impl<T: Spillable> SpillBuckets<T> {
+    /// `shards` empty buckets named `prefix-<s>` under `scratch`,
+    /// buffering at most `buf_cap` records each before spilling.
+    pub fn new(scratch: &ScratchDir, prefix: &str, shards: usize, buf_cap: usize) -> Self {
+        SpillBuckets {
+            paths: (0..shards)
+                .map(|s| scratch.file(&format!("{prefix}-{s}")))
+                .collect(),
+            bufs: (0..shards).map(|_| Vec::new()).collect(),
+            writers: (0..shards).map(|_| None).collect(),
+            buf_cap: buf_cap.max(16),
+            tracker: IoTracker::new(),
+            spilled: 0,
+        }
+    }
+
+    /// As [`SpillBuckets::new`], recording spill I/O on `tracker`.
+    pub fn with_tracker(
+        scratch: &ScratchDir,
+        prefix: &str,
+        shards: usize,
+        buf_cap: usize,
+        tracker: IoTracker,
+    ) -> Self {
+        let mut b = SpillBuckets::new(scratch, prefix, shards, buf_cap);
+        b.tracker = tracker;
+        b
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Records ever written to disk (post-merge).
+    pub fn spilled_records(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Appends `rec` to bucket `s`, spilling the buffer if full.
+    pub fn push(&mut self, s: usize, rec: T) -> Result<()> {
+        self.bufs[s].push(rec);
+        if self.bufs[s].len() >= self.buf_cap {
+            self.flush(s)?;
+        }
+        Ok(())
+    }
+
+    /// True when bucket `s` holds any records (buffered or spilled).
+    pub fn pending(&self, s: usize) -> bool {
+        !self.bufs[s].is_empty()
+            || self.writers[s]
+                .as_ref()
+                .map(|w| !w.is_empty())
+                .unwrap_or(false)
+    }
+
+    /// Replays and empties bucket `s`: spilled records first (one scan of
+    /// the run file), then the live buffer (merged). Order across the two
+    /// is not meaningful — replay must be order-independent, which every
+    /// out-of-core record type is (increments commute, probes are
+    /// independent).
+    pub fn drain(&mut self, s: usize, mut f: impl FnMut(T)) -> Result<()> {
+        if let Some(w) = self.writers[s].take() {
+            let file: RecordFile<T> = w.finish()?;
+            file.scan(&mut f)?;
+            file.delete()?;
+        }
+        let mut buf = std::mem::take(&mut self.bufs[s]);
+        merge_sorted(&mut buf);
+        for rec in buf {
+            f(rec);
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, s: usize) -> Result<()> {
+        merge_sorted(&mut self.bufs[s]);
+        if self.writers[s].is_none() {
+            self.writers[s] = Some(RecordFile::create(
+                self.paths[s].clone(),
+                self.tracker.clone(),
+            )?);
+        }
+        let w = self.writers[s].as_mut().expect("just created");
+        for rec in self.bufs[s].drain(..) {
+            w.push(rec)?;
+            self.spilled += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Sorts by key and folds equal-keyed neighbors via
+/// [`Spillable::try_merge`].
+fn merge_sorted<T: Spillable>(buf: &mut Vec<T>) {
+    buf.sort_by_key(|r| r.sort_key());
+    let mut out = 0usize;
+    for i in 0..buf.len() {
+        if out > 0 {
+            let (head, tail) = buf.split_at_mut(i);
+            if head[out - 1].try_merge(&tail[0]) {
+                continue;
+            }
+        }
+        buf[out] = buf[i];
+        out += 1;
+    }
+    buf.truncate(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_both_record_types() {
+        let p = ProbeRec {
+            v: 7,
+            rank_w: 1000,
+            e_uv: 3,
+            e_uw: 9,
+        };
+        let mut buf = [0u8; ProbeRec::SIZE];
+        p.encode(&mut buf);
+        assert_eq!(ProbeRec::decode(&buf), p);
+
+        let i = IncRec { e: 42, c: 3 };
+        let mut buf = [0u8; IncRec::SIZE];
+        i.encode(&mut buf);
+        assert_eq!(IncRec::decode(&buf), i);
+    }
+
+    #[test]
+    fn increments_aggregate_in_buffer() {
+        let mut buf = vec![
+            IncRec { e: 5, c: 1 },
+            IncRec { e: 3, c: 1 },
+            IncRec { e: 5, c: 2 },
+            IncRec { e: 3, c: 1 },
+            IncRec { e: 9, c: 1 },
+        ];
+        merge_sorted(&mut buf);
+        assert_eq!(
+            buf,
+            vec![
+                IncRec { e: 3, c: 2 },
+                IncRec { e: 5, c: 3 },
+                IncRec { e: 9, c: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn buckets_spill_and_replay_everything() {
+        let scratch = ScratchDir::new().unwrap();
+        let mut b: SpillBuckets<IncRec> = SpillBuckets::new(&scratch, "inc", 3, 16);
+        // 1000 increments of edge e into bucket e % 3: forces spills.
+        for e in 0..1000u32 {
+            b.push((e % 3) as usize, IncRec { e, c: 1 }).unwrap();
+        }
+        assert!(b.spilled_records() > 0);
+        let mut sums = vec![0u64; 1000];
+        for s in 0..3 {
+            assert!(b.pending(s));
+            b.drain(s, |r| sums[r.e as usize] += r.c as u64).unwrap();
+            assert!(!b.pending(s));
+        }
+        assert!(sums.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn drained_bucket_is_reusable() {
+        let scratch = ScratchDir::new().unwrap();
+        let mut b: SpillBuckets<IncRec> = SpillBuckets::new(&scratch, "cyc", 1, 16);
+        for round in 0..3u32 {
+            for e in 0..40u32 {
+                b.push(0, IncRec { e, c: round + 1 }).unwrap();
+            }
+            let mut total = 0u64;
+            b.drain(0, |r| total += r.c as u64).unwrap();
+            assert_eq!(total, 40 * (round as u64 + 1));
+        }
+    }
+}

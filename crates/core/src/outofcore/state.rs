@@ -1,0 +1,172 @@
+//! The disk-resident per-edge support/trussness array.
+//!
+//! The out-of-core engine cannot hold `4m` bytes of per-edge state in a
+//! budget sized well below the graph, so the support array lives in one
+//! scratch file of little-endian `u32`s, indexed by edge id, and only the
+//! active shard's chunk is ever resident. Chunk reads and writes stream
+//! through a fixed 64 KiB staging buffer (no full-chunk byte copy) and
+//! are recorded on the engine's [`IoTracker`].
+//!
+//! The peel reuses slots: once an edge dies its slot stops being a
+//! support and becomes its truss number (the alive bitset, not the file,
+//! distinguishes the two), so the finished file *is* the decomposition.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use truss_storage::{IoTracker, Result, ScratchDir};
+
+const STAGE_BYTES: usize = 64 * 1024;
+
+/// A flat `u32` array on scratch disk with chunked random access.
+pub struct StateFile {
+    file: File,
+    len: usize,
+    tracker: IoTracker,
+    path: PathBuf,
+}
+
+impl StateFile {
+    /// Creates a zero-filled array of `len` entries under `scratch`.
+    /// (`set_len` zero-extends sparsely — no write traffic for the
+    /// initial zeros.)
+    pub fn create(
+        scratch: &ScratchDir,
+        name: &str,
+        len: usize,
+        tracker: IoTracker,
+    ) -> Result<Self> {
+        let path = scratch.file(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len(len as u64 * 4)?;
+        Ok(StateFile {
+            file,
+            len,
+            tracker,
+            path,
+        })
+    }
+
+    /// Number of `u32` entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads `out.len()` entries starting at entry `start`.
+    pub fn read_chunk(&mut self, start: usize, out: &mut [u32]) -> Result<()> {
+        assert!(start + out.len() <= self.len, "chunk read out of bounds");
+        if out.is_empty() {
+            return Ok(());
+        }
+        self.tracker.record_read(out.len() as u64 * 4);
+        self.file.seek(SeekFrom::Start(start as u64 * 4))?;
+        let mut stage = [0u8; STAGE_BYTES];
+        let mut at = 0usize;
+        while at < out.len() {
+            let take = (out.len() - at).min(STAGE_BYTES / 4);
+            let bytes = &mut stage[..take * 4];
+            self.file.read_exact(bytes)?;
+            for (i, w) in bytes.chunks_exact(4).enumerate() {
+                out[at + i] = u32::from_le_bytes(w.try_into().unwrap());
+            }
+            at += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at entry `start`.
+    pub fn write_chunk(&mut self, start: usize, data: &[u32]) -> Result<()> {
+        assert!(start + data.len() <= self.len, "chunk write out of bounds");
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.tracker.record_write(data.len() as u64 * 4);
+        self.file.seek(SeekFrom::Start(start as u64 * 4))?;
+        let mut stage = [0u8; STAGE_BYTES];
+        let mut at = 0usize;
+        while at < data.len() {
+            let take = (data.len() - at).min(STAGE_BYTES / 4);
+            for (i, &v) in data[at..at + take].iter().enumerate() {
+                stage[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            self.file.write_all(&stage[..take * 4])?;
+            at += take;
+        }
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Streams the whole array into a fresh `Vec` — the final
+    /// materialization of the decomposition, after every window has been
+    /// released.
+    pub fn read_all(&mut self) -> Result<Vec<u32>> {
+        let mut out = vec![0u32; self.len];
+        let len = self.len;
+        // One bulk chunked read; the staging loop bounds transient memory.
+        if len > 0 {
+            self.read_chunk(0, &mut out[..len])?;
+        }
+        Ok(out)
+    }
+
+    /// Deletes the backing file.
+    pub fn delete(self) -> Result<()> {
+        drop(self.file);
+        std::fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truss_storage::IoConfig;
+
+    #[test]
+    fn chunks_round_trip_across_staging_boundaries() {
+        let scratch = ScratchDir::new().unwrap();
+        let tracker = IoTracker::new();
+        // Larger than the 64 KiB staging buffer to exercise the loop.
+        let n = 50_000usize;
+        let mut f = StateFile::create(&scratch, "sup", n, tracker.clone()).unwrap();
+        assert_eq!(f.len(), n);
+
+        let chunk: Vec<u32> = (0..20_000u32).map(|i| i * 7 + 1).collect();
+        f.write_chunk(5, &chunk).unwrap();
+        f.write_chunk(30_000, &chunk[..1000]).unwrap();
+
+        let mut back = vec![0u32; 20_000];
+        f.read_chunk(5, &mut back).unwrap();
+        assert_eq!(back, chunk);
+
+        let all = f.read_all().unwrap();
+        assert_eq!(all[0], 0, "untouched entries read back as zero");
+        assert_eq!(all[5], chunk[0]);
+        assert_eq!(&all[30_000..31_000], &chunk[..1000]);
+
+        let stats = tracker.stats(&IoConfig::default());
+        assert!(stats.bytes_written >= 21_000 * 4);
+        assert!(stats.bytes_read >= (20_000 + n) as u64 * 4);
+    }
+
+    #[test]
+    fn empty_and_zero_length_ops() {
+        let scratch = ScratchDir::new().unwrap();
+        let mut f = StateFile::create(&scratch, "z", 0, IoTracker::new()).unwrap();
+        assert!(f.is_empty());
+        f.write_chunk(0, &[]).unwrap();
+        f.read_chunk(0, &mut []).unwrap();
+        assert_eq!(f.read_all().unwrap(), Vec::<u32>::new());
+        f.delete().unwrap();
+    }
+}

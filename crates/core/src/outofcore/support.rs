@@ -1,0 +1,268 @@
+//! Shard-at-a-time support initialization over a windowed GR2 graph.
+//!
+//! In-memory engines count support with one global
+//! `ForwardAdjacency` (`truss_triangle::list`)
+//! (`12m` bytes + ranks). Out of core, the oriented adjacency is built
+//! *one vertex-range shard at a time* ([`ShardFwd`]): a shard's forward
+//! lists fit the budget, triangles whose first two vertices share a
+//! shard are counted in place, and triangles whose middle vertex lives
+//! elsewhere become [`ProbeRec`]s spilled to the owning shard's bucket.
+//! A second pass over each shard replays its probes (one binary search
+//! per probe — forward lists are rank-sorted), and a third pass
+//! aggregates the spilled support increments into the disk-resident
+//! [`StateFile`], shard chunk by shard chunk.
+//!
+//! Pass structure (S shards):
+//!   1. per *source* shard: build `ShardFwd`, intersect in-shard pairs,
+//!      spill boundary probes — `O(m^{1.5})` work, `O(scan(probes))` I/O;
+//!   2. per *target* shard: rebuild `ShardFwd`, resolve probes;
+//!   3. per *edge* shard: fold increment buckets into the support chunk.
+//!
+//! Every pass touches graph sections through the [`Window`] layer, so
+//! resident bytes stay within the engine budget even though the whole
+//! snapshot is mapped.
+
+use super::spill::{IncRec, ProbeRec, SpillBuckets};
+use super::state::StateFile;
+use super::ShardPlan;
+use truss_graph::{CsrGraph, EdgeId, VertexId};
+use truss_storage::window::Window;
+use truss_storage::{IoTracker, Result, ScratchDir};
+use truss_triangle::list::{intersect_hybrid, FwdList};
+
+/// The forward (oriented) adjacency restricted to source vertices in
+/// `[base, base + local_n)`, referencing *global* ranks and edge ids.
+/// Same columns as `ForwardAdjacency`, a shard's worth at a time.
+pub struct ShardFwd {
+    base: VertexId,
+    /// `offsets[v - base] .. offsets[v - base + 1]`, local to the shard.
+    offsets: Vec<u64>,
+    ranks: Vec<u32>,
+    verts: Vec<VertexId>,
+    edge_ids: Vec<EdgeId>,
+}
+
+impl ShardFwd {
+    /// Builds the forward lists of vertices `lo..hi`. One counting pass
+    /// plus a per-vertex fill (each list sorted by rank in a reused
+    /// scratch buffer — lists are short, the sort is the same trick
+    /// `ForwardAdjacency::build_par` uses per chunk).
+    pub fn build(g: &CsrGraph, vertex_ranks: &[u32], lo: VertexId, hi: VertexId) -> ShardFwd {
+        let local_n = (hi - lo) as usize;
+        let mut offsets = vec![0u64; local_n + 1];
+        for v in lo..hi {
+            let rv = vertex_ranks[v as usize];
+            let fwd = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| vertex_ranks[w as usize] > rv)
+                .count();
+            offsets[(v - lo) as usize + 1] = fwd as u64;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = offsets[local_n] as usize;
+        let mut ranks = vec![0u32; total];
+        let mut verts = vec![0 as VertexId; total];
+        let mut edge_ids = vec![0 as EdgeId; total];
+        let mut scratch: Vec<(u32, VertexId, EdgeId)> = Vec::new();
+        for v in lo..hi {
+            let rv = vertex_ranks[v as usize];
+            scratch.clear();
+            for (&w, &e) in g.neighbors(v).iter().zip(g.neighbor_edge_ids(v)) {
+                let rw = vertex_ranks[w as usize];
+                if rw > rv {
+                    scratch.push((rw, w, e));
+                }
+            }
+            scratch.sort_unstable_by_key(|&(r, _, _)| r);
+            let at = offsets[(v - lo) as usize] as usize;
+            for (i, &(r, w, e)) in scratch.iter().enumerate() {
+                ranks[at + i] = r;
+                verts[at + i] = w;
+                edge_ids[at + i] = e;
+            }
+        }
+        ShardFwd {
+            base: lo,
+            offsets,
+            ranks,
+            verts,
+            edge_ids,
+        }
+    }
+
+    /// The forward list of `v` (must be inside the shard).
+    pub fn list(&self, v: VertexId) -> FwdList<'_> {
+        let i = (v - self.base) as usize;
+        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        FwdList {
+            ranks: &self.ranks[range.clone()],
+            verts: &self.verts[range.clone()],
+            edge_ids: &self.edge_ids[range],
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.ranks.len() * 12
+    }
+}
+
+/// Counters out of the support phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupportStats {
+    /// Triangles counted (in-shard + probe-resolved).
+    pub triangles: u64,
+    /// Boundary probes emitted in pass 1.
+    pub probes: u64,
+    /// Probe records that went through disk (vs staying buffered).
+    pub probes_spilled: u64,
+    /// Support increments that went through disk.
+    pub incs_spilled: u64,
+}
+
+/// Runs the three sharded passes, leaving exact supports in `sup` (one
+/// `u32` per edge id) and each shard's minimum live support in
+/// `min_sup`. `buf_cap` bounds every spill bucket's in-memory buffer (in
+/// records).
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_supports(
+    g: &CsrGraph,
+    plan: &ShardPlan,
+    vertex_ranks: &[u32],
+    window: &mut Window,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+    buf_cap: usize,
+    sup: &mut StateFile,
+    min_sup: &mut [u32],
+) -> Result<SupportStats> {
+    let s_count = plan.num_shards();
+    let (all_nbrs, all_eids) = super::row_slices(g, 0, g.num_vertices() as u32);
+    let mut stats = SupportStats::default();
+    let mut probes: SpillBuckets<ProbeRec> =
+        SpillBuckets::with_tracker(scratch, "probe", s_count, buf_cap, tracker.clone());
+    let mut incs: SpillBuckets<IncRec> =
+        SpillBuckets::with_tracker(scratch, "inc", s_count, buf_cap, tracker.clone());
+
+    // Pass 1: in-shard triangles + boundary probes, one source shard at
+    // a time.
+    tracker.record_scan();
+    for s in 0..s_count {
+        let (lo, hi) = plan.vertex_range(s);
+        if lo == hi {
+            continue;
+        }
+        let (nbr_rows, eid_rows) = super::row_slices(g, lo, hi);
+        window.need(nbr_rows);
+        window.need(eid_rows);
+        tracker.record_read((std::mem::size_of_val(nbr_rows) * 2) as u64);
+        let fwd = ShardFwd::build(g, vertex_ranks, lo, hi);
+        let mut closed: Vec<(EdgeId, EdgeId)> = Vec::new();
+        for u in lo..hi {
+            let lu = fwd.list(u);
+            for i in 0..lu.len() {
+                let v = lu.verts[i];
+                let e_uv = lu.edge_ids[i];
+                if v >= lo && v < hi {
+                    // Both endpoints resident: close the wedge in place.
+                    let lv = fwd.list(v);
+                    closed.clear();
+                    intersect_hybrid(lu, lv, |_w, e_uw, e_vw| {
+                        closed.push((e_uw, e_vw));
+                    });
+                    stats.triangles += closed.len() as u64;
+                    for &(e_uw, e_vw) in &closed {
+                        push_inc(&mut incs, plan, e_uv)?;
+                        push_inc(&mut incs, plan, e_uw)?;
+                        push_inc(&mut incs, plan, e_vw)?;
+                    }
+                } else {
+                    // Foreign middle vertex: ship the candidate apexes
+                    // (everything after v in u's rank-sorted list) to v's
+                    // shard.
+                    let target = plan.vertex_shard(v);
+                    for j in i + 1..lu.len() {
+                        stats.probes += 1;
+                        probes.push(
+                            target,
+                            ProbeRec {
+                                v,
+                                rank_w: lu.ranks[j],
+                                e_uv,
+                                e_uw: lu.edge_ids[j],
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+        // Section-wide drop, not a span release: demand faults map whole
+        // fault-around clusters (the kernel installs PTEs for already-
+        // cached neighbor pages), so pages accumulate just outside the
+        // declared spans. The bulk `MADV_DONTNEED` costs one syscall per
+        // section and resets the shard's true footprint to zero.
+        window.release(nbr_rows);
+        window.release(eid_rows);
+        window.release_section(all_nbrs);
+        window.release_section(all_eids);
+    }
+    stats.probes_spilled = probes.spilled_records();
+
+    // Pass 2: resolve each shard's probes against its rebuilt forward
+    // lists. A probe is a triangle iff rank_w appears in fwd(v).
+    tracker.record_scan();
+    for s in 0..s_count {
+        if !probes.pending(s) {
+            continue;
+        }
+        let (lo, hi) = plan.vertex_range(s);
+        let (nbr_rows, eid_rows) = super::row_slices(g, lo, hi);
+        window.need(nbr_rows);
+        window.need(eid_rows);
+        tracker.record_read((std::mem::size_of_val(nbr_rows) * 2) as u64);
+        let fwd = ShardFwd::build(g, vertex_ranks, lo, hi);
+        let mut resolved: Vec<(u32, u32, u32)> = Vec::new();
+        probes.drain(s, |p| {
+            let lv = fwd.list(p.v);
+            if let Ok(j) = lv.ranks.binary_search(&p.rank_w) {
+                resolved.push((p.e_uv, p.e_uw, lv.edge_ids[j]));
+            }
+        })?;
+        stats.triangles += resolved.len() as u64;
+        for (e_uv, e_uw, e_vw) in resolved.drain(..) {
+            push_inc(&mut incs, plan, e_uv)?;
+            push_inc(&mut incs, plan, e_uw)?;
+            push_inc(&mut incs, plan, e_vw)?;
+        }
+        window.release(nbr_rows);
+        window.release(eid_rows);
+        window.release_section(all_nbrs);
+        window.release_section(all_eids);
+    }
+    stats.incs_spilled = incs.spilled_records();
+
+    // Pass 3: fold increments into the disk-resident support array, one
+    // edge-shard chunk at a time.
+    tracker.record_scan();
+    let mut chunk: Vec<u32> = Vec::new();
+    for (s, shard_min) in min_sup.iter_mut().enumerate() {
+        let (e_lo, e_hi) = plan.edge_range(s);
+        chunk.clear();
+        chunk.resize(e_hi - e_lo, 0);
+        incs.drain(s, |r| {
+            chunk[r.e as usize - e_lo] += r.c;
+        })?;
+        sup.write_chunk(e_lo, &chunk)?;
+        *shard_min = chunk.iter().copied().min().unwrap_or(u32::MAX);
+    }
+    Ok(stats)
+}
+
+/// Routes one support increment to its edge shard. In-buffer merging in
+/// the bucket keeps hot edges cheap.
+fn push_inc(incs: &mut SpillBuckets<IncRec>, plan: &ShardPlan, e: EdgeId) -> Result<()> {
+    incs.push(plan.edge_shard(e), IncRec { e, c: 1 })
+}

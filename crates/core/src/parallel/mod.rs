@@ -113,9 +113,11 @@ impl TrussEngine for ParallelEngine {
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
         let pool = ThreadPool::new(config.threads);
+        let probe = crate::rss::RssProbe::start();
         let start = Instant::now();
         let (d, run, stats) = parallel_truss_decompose_with(&g, &pool);
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_rss_bytes = probe.delta_bytes();
         report.threads_used = pool.threads();
         report.peak_memory_estimate = run.peak_bytes;
         report.triangle_time = Some(run.triangle_time);

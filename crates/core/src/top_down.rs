@@ -44,7 +44,7 @@ use truss_graph::{CsrGraph, Edge, VertexId};
 use truss_storage::partition::{plan_partition, PartitionStrategy};
 use truss_storage::record::EdgeRec;
 use truss_storage::{EdgeListFile, IoConfig, IoStats, IoTracker, Result, ScratchDir, StorageError};
-use truss_triangle::external::{edge_list_from_graph, PassConfig};
+use truss_triangle::external::{edge_list_from_graph_windowed, PassConfig};
 use truss_triangle::list::for_each_triangle;
 
 /// Configuration of TD-topdown.
@@ -157,7 +157,12 @@ pub fn top_down_decompose_in(
     scratch: &ScratchDir,
 ) -> Result<(TopDownResult, TopDownReport)> {
     let tracker = IoTracker::new();
-    let input = edge_list_from_graph(g, scratch.file("input"), tracker.clone())?;
+    let input = edge_list_from_graph_windowed(
+        g,
+        scratch.file("input"),
+        tracker.clone(),
+        (cfg.io.memory_budget / 4).max(1 << 16),
+    )?;
     let n = g.num_vertices();
 
     // Step 1: supports + Φ2 (Algorithm 3 without φ), then Step 2: ψ.

@@ -37,6 +37,16 @@ pub trait Backing: Send + Sync {
     /// address space and page cache, not resident heap, and are shared
     /// read-only across threads and processes.
     fn is_mapped(&self) -> bool;
+
+    /// Copies `buf.len()` bytes at byte offset `off` into `buf` without
+    /// touching the region's mapping — no page fault, no PTEs installed,
+    /// no RSS growth. Mapped backings serve this with a positioned read
+    /// on the backing file (a page-cache hit in the common case).
+    /// Returns `false` when no out-of-band path exists (heap backings —
+    /// reading their bytes directly costs nothing extra anyway).
+    fn read_at_nofault(&self, _off: usize, _buf: &mut [u8]) -> bool {
+        false
+    }
 }
 
 impl Backing for Vec<u8> {
@@ -239,6 +249,32 @@ impl<T: Pod> SectionBuf<T> {
             .map(T::read_le)
             .collect();
         Ok(SectionBuf::Owned(out))
+    }
+
+    /// Copies `out.len()` elements starting at element `start` into
+    /// `out` without touching mapped pages (a positioned read through the
+    /// backing file). Returns `false` when the backing has no out-of-band
+    /// read path (owned buffers, heap backings) — callers then read
+    /// [`SectionBuf::as_slice`] directly, which costs nothing there.
+    pub fn read_nofault(&self, start: usize, out: &mut [T]) -> bool {
+        match self {
+            SectionBuf::Owned(_) => false,
+            SectionBuf::Viewed {
+                backing, offset, ..
+            } => {
+                let elem = std::mem::size_of::<T>();
+                let byte_off = offset + start * elem;
+                // Pod: every bit pattern is a valid T, so exposing the
+                // output as raw bytes for the read is sound.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        out.as_mut_ptr() as *mut u8,
+                        std::mem::size_of_val(out),
+                    )
+                };
+                backing.read_at_nofault(byte_off, bytes)
+            }
+        }
     }
 
     /// The elements as a plain slice.

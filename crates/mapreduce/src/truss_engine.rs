@@ -29,12 +29,22 @@ impl TrussEngine for MrEngine {
         config: &EngineConfig,
     ) -> EngineResult<(TrussDecomposition, EngineReport)> {
         let g = input.load()?;
-        let io = config.effective_io(&g);
+        let (io, clamped) = config.effective_io_floored(&g, 0);
+        if clamped {
+            truss_core::engine::warn_budget_clamped(
+                self.kind(),
+                config.io.memory_budget,
+                io.memory_budget,
+            );
+        }
         let scratch = config.open_scratch()?;
+        let probe = truss_core::rss::RssProbe::start();
         let start = Instant::now();
         let (d, algo_report) = mr_truss_decompose_in(&g, io, scratch)?;
         let mut report = EngineReport::base_for(self.kind(), start.elapsed());
+        report.peak_rss_bytes = probe.delta_bytes();
         report.peak_memory_estimate = io.memory_budget;
+        report.effective_memory_budget = Some(io.memory_budget as u64);
         report.io = algo_report.io;
         report.rounds = Some(algo_report.peel_iterations);
         report.mr_jobs = Some(algo_report.stats.jobs);

@@ -33,6 +33,7 @@ pub mod partition;
 pub mod record;
 pub mod scratch;
 pub mod snapshot;
+pub mod window;
 
 pub use index_file::{read_index_file, write_index_file, INDEX_MAGIC, INDEX_VERSION};
 pub use io_model::{IoConfig, IoStats, IoTracker};
@@ -45,6 +46,7 @@ pub use snapshot::{
     write_graph_snapshot, write_index_snapshot, FileKind, IndexSnapshot, IndexSnapshotParts,
     GRAPH_MAGIC_V2, SNAPSHOT_VERSION,
 };
+pub use window::{Window, WindowStats, PAGE_BYTES};
 
 /// Errors from the storage layer.
 #[derive(Debug)]

@@ -82,15 +82,20 @@ impl AlignedBytes {
     }
 }
 
-/// Raw Linux `mmap`/`munmap`. The constants are stable kernel ABI; the
-/// declarations avoid a `libc` dependency (the build is offline).
+/// Raw Linux `mmap`/`munmap`/`madvise`. The constants are stable kernel
+/// ABI; the declarations avoid a `libc` dependency (the build is offline).
+/// `pub(crate)` so the [`crate::window`] advice layer can issue
+/// `madvise` over sub-ranges of a live mapping.
 #[cfg(target_os = "linux")]
-mod sys {
+pub(crate) mod sys {
     use std::os::raw::{c_int, c_void};
 
     pub const PROT_READ: c_int = 1;
     pub const MAP_PRIVATE: c_int = 2;
     pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+    pub const MADV_RANDOM: c_int = 1;
+    pub const MADV_WILLNEED: c_int = 3;
+    pub const MADV_DONTNEED: c_int = 4;
 
     extern "C" {
         pub fn mmap(
@@ -102,6 +107,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
     }
 }
 
@@ -110,6 +116,9 @@ mod sys {
 pub struct Mmap {
     ptr: std::ptr::NonNull<u8>,
     len: usize,
+    /// The mapped file, kept open so random accesses can bypass the
+    /// mapping entirely (`pread` — no page fault, no RSS growth).
+    file: File,
 }
 
 // The mapping is PROT_READ and never mutated after construction; sharing
@@ -124,7 +133,7 @@ impl Mmap {
     /// Maps `file` read-only. Fails with the kernel's error for empty
     /// files (zero-length mappings are invalid) — callers handle that
     /// case before mapping.
-    pub fn map(file: &File) -> std::io::Result<Mmap> {
+    pub fn map(file: File) -> std::io::Result<Mmap> {
         use std::os::unix::io::AsRawFd;
         let len = file.metadata()?.len() as usize;
         if len == 0 {
@@ -149,12 +158,20 @@ impl Mmap {
         Ok(Mmap {
             ptr: std::ptr::NonNull::new(ptr as *mut u8).expect("mmap returned null"),
             len,
+            file,
         })
     }
 
     /// The mapped bytes.
     pub fn as_bytes(&self) -> &[u8] {
         unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Reads `buf.len()` bytes at `off` through the file descriptor,
+    /// leaving the mapping untouched.
+    pub fn read_at(&self, off: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, off)
     }
 }
 
@@ -187,7 +204,7 @@ impl Region {
         #[cfg(target_os = "linux")]
         if mode == LoadMode::Auto && !mmap_disabled_by_env() {
             let file = File::open(path)?;
-            match Mmap::map(&file) {
+            match Mmap::map(file) {
                 Ok(map) => return Ok(Region::Mapped(map)),
                 Err(_) => {
                     // Empty file, exotic filesystem, … — fall through to
@@ -242,6 +259,14 @@ impl Backing for Region {
 
     fn is_mapped(&self) -> bool {
         self.region_is_mapped()
+    }
+
+    fn read_at_nofault(&self, off: usize, buf: &mut [u8]) -> bool {
+        match self {
+            #[cfg(target_os = "linux")]
+            Region::Mapped(m) => m.read_at(off as u64, buf).is_ok(),
+            Region::Heap(_) => false,
+        }
     }
 }
 

@@ -308,13 +308,47 @@ fn materialize_part(
 }
 
 /// Convenience: materializes a [`CsrGraph`] as a sorted [`EdgeListFile`]
-/// with zeroed payloads.
+/// with zeroed payloads, streaming the graph's edge section through a
+/// 1 MiB advice window.
 pub fn edge_list_from_graph(
     g: &CsrGraph,
     path: std::path::PathBuf,
     tracker: IoTracker,
 ) -> Result<EdgeListFile> {
-    RecordFile::from_iter(path, tracker, g.iter_edges().map(|(_, e)| EdgeRec::bare(e)))
+    edge_list_from_graph_windowed(g, path, tracker, 1 << 20)
+}
+
+/// As [`edge_list_from_graph`], with an explicit window budget: the GR2
+/// edge section is read chunk-at-a-time through the storage layer's
+/// [`Window`](truss_storage::window::Window), so spilling a mapped
+/// snapshot to scratch leaves at most `window_budget` bytes of it
+/// resident instead of faulting the whole section in. The external
+/// engines pass a slice of their memory budget here.
+pub fn edge_list_from_graph_windowed(
+    g: &CsrGraph,
+    path: std::path::PathBuf,
+    tracker: IoTracker,
+    window_budget: usize,
+) -> Result<EdgeListFile> {
+    let mut window = truss_storage::window::Window::new(window_budget, g.is_mapped());
+    let mut writer = RecordFile::create(path, tracker)?;
+    let mut failed: Option<StorageError> = None;
+    let chunk_bytes = (window_budget / 2).max(4096);
+    window.for_chunks(g.edges_section().as_slice(), chunk_bytes, |_, edges| {
+        if failed.is_some() {
+            return;
+        }
+        for &e in edges {
+            if let Err(err) = writer.push(EdgeRec::bare(e)) {
+                failed = Some(err);
+                return;
+            }
+        }
+    });
+    match failed {
+        Some(err) => Err(err),
+        None => Ok(writer.finish()?),
+    }
 }
 
 /// Computes exact supports for every edge of a disk-resident graph and

@@ -3,15 +3,16 @@
 //!
 //! `truss-mapreduce` depends on `truss-core`, so the core crate cannot
 //! construct the MR engine itself; this facade module is where the
-//! complete six-engine set lives (the paper's five algorithms plus the
-//! PKT-style parallel engine from `truss_core::parallel`). All consumers
+//! complete seven-engine set lives (the paper's five algorithms plus the
+//! PKT-style parallel engine from `truss_core::parallel` and the
+//! out-of-core engine from `truss_core::outofcore`). All consumers
 //! (CLI, benches, tests) should obtain their registry here.
 
 pub use truss_core::engine::*;
 pub use truss_mapreduce::MrEngine;
 
-/// The full registry: the five core engines (four serial + parallel) plus
-/// TD-MR, covering every [`AlgorithmKind`].
+/// The full registry: the six core engines (four serial + parallel +
+/// out-of-core) plus TD-MR, covering every [`AlgorithmKind`].
 pub fn registry() -> EngineRegistry {
     let mut r = EngineRegistry::core();
     r.register(Box::new(MrEngine));

@@ -145,7 +145,10 @@ fn decompose_report_json_appends_engine_report() {
         assert!(json.contains("\"peel_ms\":"), "{algo}: {json}");
         let phased = matches!(
             kind,
-            AlgorithmKind::Inmem | AlgorithmKind::InmemPlus | AlgorithmKind::Parallel
+            AlgorithmKind::Inmem
+                | AlgorithmKind::InmemPlus
+                | AlgorithmKind::Parallel
+                | AlgorithmKind::OutOfCore
         );
         if phased {
             let t = json_f64(json, "triangle_ms");
@@ -154,6 +157,28 @@ fn decompose_report_json_appends_engine_report() {
         } else {
             assert!(json.contains("\"triangle_ms\":null"), "{algo}: {json}");
             assert!(json.contains("\"peel_ms\":null"), "{algo}: {json}");
+        }
+        // Measured peak RSS: present for every engine; a real VmHWM delta
+        // on Linux, null where /proc is unavailable.
+        assert!(json.contains("\"peak_rss_bytes\":"), "{algo}: {json}");
+        if cfg!(target_os = "linux") {
+            let _ = json_u64(json, "peak_rss_bytes");
+        }
+        // Effective (possibly clamped) budget: the external engines run
+        // under an explicit budget and surface what they actually used;
+        // the in-memory engines have no budget to report.
+        assert!(
+            json.contains("\"effective_memory_budget\":"),
+            "{algo}: {json}"
+        );
+        if kind.is_external() {
+            let eff = json_u64(json, "effective_memory_budget");
+            assert!(eff > 0, "{algo}: {json}");
+        } else {
+            assert!(
+                json.contains("\"effective_memory_budget\":null"),
+                "{algo}: {json}"
+            );
         }
         // Peel-phase counters are the parallel engine's own telemetry
         // (levels, bulk-synchronous sub-iterations, live-adjacency

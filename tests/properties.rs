@@ -4,10 +4,19 @@
 use proptest::prelude::*;
 use truss_decomposition::core::core_decomposition::core_decompose;
 use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naive};
+use truss_decomposition::core::outofcore::state::StateFile;
+use truss_decomposition::core::outofcore::support::sharded_supports;
+use truss_decomposition::core::outofcore::{outofcore_decompose_in, OutOfCoreConfig, ShardPlan};
 use truss_decomposition::core::truss::{is_k_truss, peel_to_k_truss, truss_subgraph_edges};
+use truss_decomposition::graph::generators::{rmat, RmatConfig};
 use truss_decomposition::graph::{CsrGraph, Edge};
+use truss_decomposition::storage::{IoConfig, IoTracker, ScratchDir, Window};
 use truss_decomposition::triangle::count::{edge_supports, triangle_count};
 use truss_decomposition::triangle::{intersect_hybrid, intersect_merge, FwdList};
+
+/// Shard counts every out-of-core property is checked against: serial,
+/// even splits, an odd count that never divides the vertex range evenly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
 /// Strategy: a random simple graph with up to `n` vertices and `m` raw edges.
 fn arb_graph(n: u32, m: usize) -> impl Strategy<Value = CsrGraph> {
@@ -208,5 +217,81 @@ proptest! {
         );
         let d = truss_decompose(&planted);
         prop_assert!(d.k_max() >= size);
+    }
+}
+
+/// Runs the windowed, sharded support-init pass and returns the per-edge
+/// supports it left in the spilled state file. A deliberately tiny window
+/// budget and spill-buffer cap force evictions and disk traffic even on
+/// proptest-sized graphs.
+fn outofcore_supports(g: &CsrGraph, shards: usize, window_budget: usize) -> Vec<u32> {
+    let scratch = ScratchDir::new().unwrap();
+    let tracker = IoTracker::new();
+    let plan = ShardPlan::new(g, shards);
+    let mut window = Window::new(window_budget, g.is_mapped());
+    let ranks = truss_decomposition::triangle::list::ranks(g);
+    let mut sup = StateFile::create(&scratch, "sup", g.num_edges(), tracker.clone()).unwrap();
+    let mut min_sup = vec![u32::MAX; plan.num_shards()];
+    sharded_supports(
+        g,
+        &plan,
+        &ranks,
+        &mut window,
+        &scratch,
+        &tracker,
+        16,
+        &mut sup,
+        &mut min_sup,
+    )
+    .unwrap();
+    sup.read_all().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The windowed, sharded support init computes exactly the in-memory
+    /// triangle counts on random ER graphs, for every shard count —
+    /// in-shard closures, cross-shard probes and spilled increments
+    /// included.
+    #[test]
+    fn outofcore_supports_match_inmemory(g in arb_graph(48, 400)) {
+        let expected = edge_supports(&g);
+        for shards in SHARD_COUNTS {
+            let got = outofcore_supports(&g, shards, 4096);
+            prop_assert_eq!(&got, &expected, "shards = {}", shards);
+        }
+    }
+
+    /// Full out-of-core decomposition equals the in-memory reference on
+    /// random ER graphs, for every shard count under an adversarially tiny
+    /// budget (clamped up to the engine's minimum internally).
+    #[test]
+    fn outofcore_decomposition_matches_inmemory(g in arb_graph(40, 300)) {
+        let expected = truss_decompose(&g);
+        let scratch = ScratchDir::new().unwrap();
+        for shards in SHARD_COUNTS {
+            let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1), shards);
+            let (d, _) = outofcore_decompose_in(&g, &cfg, &scratch).unwrap();
+            prop_assert_eq!(d.trussness(), expected.trussness(), "shards = {}", shards);
+        }
+    }
+
+    /// Same on R-MAT graphs: the skewed degree distribution concentrates
+    /// edges into few shards (some end up empty) and stresses the
+    /// oversized-window path for hub rows.
+    #[test]
+    fn outofcore_matches_inmemory_on_rmat(seed in 0u64..1u64 << 32) {
+        let g = rmat(RmatConfig::skewed(7, 900), seed);
+        let expected = truss_decompose(&g);
+        let expected_sup = edge_supports(&g);
+        let scratch = ScratchDir::new().unwrap();
+        for shards in SHARD_COUNTS {
+            let got = outofcore_supports(&g, shards, 4096);
+            prop_assert_eq!(&got, &expected_sup, "supports, shards = {}", shards);
+            let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1), shards);
+            let (d, _) = outofcore_decompose_in(&g, &cfg, &scratch).unwrap();
+            prop_assert_eq!(d.trussness(), expected.trussness(), "shards = {}", shards);
+        }
     }
 }
