@@ -259,9 +259,17 @@ pub struct EngineReport {
     pub mapped_bytes: usize,
     /// Effective worker threads the run actually used: 1 for the serial
     /// engines regardless of [`EngineConfig::threads`], the pool width for
-    /// the parallel engine — so `--report json` output distinguishes the
-    /// runs of a scaling sweep.
+    /// the parallel and out-of-core engines — so `--report json` output
+    /// distinguishes the runs of a scaling sweep.
     pub threads_used: usize,
+    /// Bytes of spill runs handed to scratch disk (outofcore only; `None`
+    /// elsewhere).
+    pub spill_bytes_written: Option<u64>,
+    /// Bytes of spill runs read back during drains (outofcore only).
+    pub spill_bytes_read: Option<u64>,
+    /// Spill write time the background drain hid behind computation
+    /// (outofcore only).
+    pub spill_drain_overlap: Option<Duration>,
     /// Disk traffic recorded by the storage layer's `IoTracker` (zero for
     /// the in-memory algorithms — they never touch disk).
     pub io: IoStats,
@@ -326,6 +334,8 @@ impl EngineReport {
                 "\"peak_memory_estimate\":{},\"peak_rss_bytes\":{},",
                 "\"effective_memory_budget\":{},\"mapped_bytes\":{},",
                 "\"threads_used\":{},",
+                "\"spill_bytes_written\":{},\"spill_bytes_read\":{},",
+                "\"spill_drain_overlap_ms\":{},",
                 "\"k_max\":{},",
                 "\"io\":{{\"bytes_read\":{},\"bytes_written\":{},",
                 "\"blocks_read\":{},\"blocks_written\":{},",
@@ -346,6 +356,9 @@ impl EngineReport {
             opt(self.effective_memory_budget),
             self.mapped_bytes,
             self.threads_used,
+            opt(self.spill_bytes_written),
+            opt(self.spill_bytes_read),
+            opt_ms(self.spill_drain_overlap),
             self.k_max,
             self.io.bytes_read,
             self.io.bytes_written,
@@ -678,7 +691,7 @@ impl TrussEngine for OutOfCoreEngine {
             warn_budget_clamped(self.kind(), config.io.memory_budget, io.memory_budget);
         }
         let scratch = config.open_scratch()?;
-        let cfg = crate::outofcore::OutOfCoreConfig::new(io);
+        let cfg = crate::outofcore::OutOfCoreConfig::new(io).with_threads(config.threads.max(1));
         let probe = crate::rss::RssProbe::start();
         let start = Instant::now();
         let (d, algo_report) = crate::outofcore::outofcore_decompose_in(&g, &cfg, &scratch)?;
@@ -690,6 +703,10 @@ impl TrussEngine for OutOfCoreEngine {
         report.triangle_time = Some(algo_report.triangle_time);
         report.peel_time = Some(algo_report.peel_time);
         report.rounds = Some(algo_report.peel.levels);
+        report.threads_used = algo_report.threads;
+        report.spill_bytes_written = Some(algo_report.spill_bytes_written);
+        report.spill_bytes_read = Some(algo_report.spill_bytes_read);
+        report.spill_drain_overlap = Some(algo_report.spill_drain_overlap);
         finish_report(&mut report, &g, &d, config);
         Ok((d, report))
     }
@@ -917,6 +934,28 @@ mod tests {
         assert!(json.contains("\"triangle_ms\":null"));
         assert!(json.contains("\"peel_ms\":null"));
         assert!(!json.contains("\"total_blocks\":0"));
+        // Spill metrics belong to the outofcore engine only.
+        assert!(json.contains("\"spill_bytes_written\":null"));
+        assert!(json.contains("\"spill_bytes_read\":null"));
+        assert!(json.contains("\"spill_drain_overlap_ms\":null"));
+    }
+
+    #[test]
+    fn outofcore_report_carries_spill_and_thread_metrics() {
+        let g = figure2_graph();
+        let mut config = EngineConfig::sized_for(&g);
+        config.threads = 3;
+        let (_, report) = OutOfCoreEngine
+            .run(EngineInput::Graph(&g), &config)
+            .unwrap();
+        assert_eq!(report.threads_used, 3);
+        assert!(report.spill_bytes_written.is_some());
+        assert!(report.spill_bytes_read.is_some());
+        assert!(report.spill_drain_overlap.is_some());
+        let json = report.to_json();
+        assert!(json.contains("\"spill_bytes_written\":"), "{json}");
+        assert!(!json.contains("\"spill_bytes_written\":null"), "{json}");
+        assert!(!json.contains("\"spill_drain_overlap_ms\":null"), "{json}");
     }
 
     #[test]

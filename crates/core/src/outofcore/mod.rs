@@ -21,6 +21,18 @@
 //! (support phase only), the alive bitset, and budget-bounded chunks,
 //! buffers and windows. The final `4m`-byte trussness vector is
 //! materialized only after every window is released.
+//!
+//! The engine is shard-parallel ([`OutOfCoreConfig::threads`]): support
+//! passes schedule shards over a worker pool, the peel runs two-phase
+//! epochs ([`peel::external_peel_par`]), spill appends go through a
+//! background [`spill::SpillDrain`], and the window budget is split into
+//! per-worker sub-accountants so summed residency still honors the
+//! global budget. Workers here block on `pread` and page faults, so the
+//! pool is built *unclamped* ([`crate::pool::ThreadPool::unclamped`]):
+//! widths beyond the core count still overlap I/O stalls — unlike the
+//! compute-bound in-memory engine, where the clamp is pure win — and
+//! determinism tests get real multi-worker interleavings on small
+//! machines.
 
 pub mod peel;
 pub mod spill;
@@ -28,7 +40,9 @@ pub mod state;
 pub mod support;
 
 use crate::decompose::TrussDecomposition;
+use crate::pool::ThreadPool;
 use peel::PeelStats;
+use spill::SpillDrain;
 use state::StateFile;
 use std::time::{Duration, Instant};
 use support::SupportStats;
@@ -50,12 +64,21 @@ pub struct OutOfCoreConfig {
     /// Forced shard count (tests, proptests); `None` sizes shards so one
     /// shard's working set fits a quarter of the budget.
     pub shards: Option<usize>,
+    /// Worker threads for the shard passes and the epoch peel; `1` is
+    /// the serial cascade, `0` means machine width. Spawned unclamped —
+    /// these workers overlap I/O stalls, not CPU (see module docs).
+    pub threads: usize,
 }
 
 impl OutOfCoreConfig {
-    /// Configuration with the given I/O model and automatic sharding.
+    /// Configuration with the given I/O model, automatic sharding, and a
+    /// single worker.
     pub fn new(io: IoConfig) -> Self {
-        OutOfCoreConfig { io, shards: None }
+        OutOfCoreConfig {
+            io,
+            shards: None,
+            threads: 1,
+        }
     }
 
     /// Configuration with a forced shard count.
@@ -63,7 +86,14 @@ impl OutOfCoreConfig {
         OutOfCoreConfig {
             io,
             shards: Some(shards.max(1)),
+            threads: 1,
         }
+    }
+
+    /// Sets the worker thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -80,10 +110,23 @@ pub fn outofcore_minimum_budget(g: &CsrGraph) -> usize {
     (4 * m + 4 * n + 8 * (n + 1) + 12 * d + m / 8 + (1 << 16)).next_power_of_two()
 }
 
-/// How many shards an automatic run uses: enough that one shard's
-/// forward lists (~12 bytes per edge) fit in a quarter of the budget.
-fn auto_shards(m: usize, budget: usize) -> usize {
-    (48 * m).div_ceil((budget / 4).max(1)).clamp(1, MAX_SHARDS)
+/// How many shards an automatic run uses: enough that a shard's forward
+/// list (~12 bytes per edge, so `48m` pessimistic bytes per shard pass)
+/// fits in a quarter of the budget, grown by `⌈workers/2⌉` when several
+/// build concurrently. The aggregate bound: each shard's working set is
+/// `≤ (budget/4)/⌈w/2⌉`, so `w` concurrent builds together hold
+/// `≤ budget·w/(4⌈w/2⌉) ≤ budget/2` — half the budget for shard
+/// builds, the other half for the result array, state chunks and spill
+/// buffers, matching the working-minimum floor. Each worker's set also
+/// fits within half its own `budget/w` sub-accountant (`w ≤ 2⌈w/2⌉`).
+/// Scaling shards *linearly* with width would shrink working sets to
+/// the single-worker headroom, but every extra shard costs a full
+/// `ShardFwd` rebuild per pass — measured on the bench graph, the
+/// linear count erases the parallel win outright.
+fn auto_shards(m: usize, budget: usize, workers: usize) -> usize {
+    (48 * m * workers.max(1).div_ceil(2))
+        .div_ceil((budget / 4).max(1))
+        .clamp(1, MAX_SHARDS)
 }
 
 /// Vertex-range sharding with derived contiguous edge-id ranges.
@@ -186,6 +229,15 @@ pub struct OutOfCoreReport {
     pub window_high_water: usize,
     /// Windows evicted to stay under budget.
     pub window_evictions: u64,
+    /// Worker threads the run scheduled shards over.
+    pub threads: usize,
+    /// Bytes of spill runs handed to disk (support + peel).
+    pub spill_bytes_written: u64,
+    /// Bytes of spill runs read back during drains.
+    pub spill_bytes_read: u64,
+    /// Spill write time hidden behind computation by the background
+    /// drain (busy minus foreground backpressure).
+    pub spill_drain_overlap: Duration,
 }
 
 /// Decomposes `g` under `cfg`, spilling into `scratch`.
@@ -228,7 +280,22 @@ pub fn outofcore_decompose_in(
     window.release_section(all_eids);
     window.release_section(all_edges);
 
-    let plan = ShardPlan::new(g, cfg.shards.unwrap_or_else(|| auto_shards(m, budget)));
+    // Unclamped on purpose: these workers spend their time blocked on
+    // `pread` and page faults, so widths beyond the core count still
+    // overlap stalls (the compute-bound in-memory engine clamps instead).
+    let width = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    } else {
+        cfg.threads
+    };
+    let pool = ThreadPool::unclamped(width);
+    let workers = pool.workers();
+
+    let plan = ShardPlan::new(
+        g,
+        cfg.shards
+            .unwrap_or_else(|| auto_shards(m, budget, workers)),
+    );
     let s_count = plan.num_shards();
     // Planning binary-searched the edges section; drop whatever it
     // faulted before the governed phases begin.
@@ -241,9 +308,12 @@ pub fn outofcore_decompose_in(
     window.pin(offsets);
     tracker.record_read(std::mem::size_of_val(offsets) as u64);
 
-    let buf_cap = ((budget / 8) / (s_count * 16).max(1)).max(64);
-    let mut sup = StateFile::create(scratch, "sup", m, tracker.clone())?;
+    // Spill buffers split the same heap share across every worker's
+    // bucket set, so total buffered spill memory is worker-independent.
+    let buf_cap = ((budget / 8) / (s_count * 16 * workers).max(1)).max(64);
+    let sup = StateFile::create(scratch, "sup", m, tracker.clone())?;
     let mut min_sup = vec![u32::MAX; s_count];
+    let drain = SpillDrain::spawn(tracker.clone());
 
     let t0 = Instant::now();
     let ranks = truss_triangle::list::ranks(g);
@@ -255,25 +325,44 @@ pub fn outofcore_decompose_in(
         scratch,
         &tracker,
         buf_cap,
-        &mut sup,
+        &sup,
         &mut min_sup,
+        &pool,
+        &drain,
     )?;
     drop(ranks);
     let triangle_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let (trussness, peel) = peel::external_peel(
-        g,
-        &plan,
-        &mut window,
-        scratch,
-        &tracker,
-        buf_cap,
-        &mut sup,
-        &mut min_sup,
-    )?;
+    let (trussness, peel) = if workers == 1 {
+        peel::external_peel(
+            g,
+            &plan,
+            &mut window,
+            scratch,
+            &tracker,
+            buf_cap,
+            &sup,
+            &mut min_sup,
+            &drain,
+        )?
+    } else {
+        peel::external_peel_par(
+            g,
+            &plan,
+            &mut window,
+            scratch,
+            &tracker,
+            buf_cap,
+            &sup,
+            &mut min_sup,
+            &pool,
+            &drain,
+        )?
+    };
     let peel_time = t1.elapsed();
     sup.delete()?;
+    drain.quiesce();
 
     let report = OutOfCoreReport {
         io: tracker.stats(&io),
@@ -285,6 +374,10 @@ pub fn outofcore_decompose_in(
         peel,
         window_high_water: window.high_water_bytes(),
         window_evictions: window.stats().evictions,
+        threads: workers,
+        spill_bytes_written: support.spill_bytes_written + peel.spill_bytes_written,
+        spill_bytes_read: support.spill_bytes_read + peel.spill_bytes_read,
+        spill_drain_overlap: drain.overlap(),
     };
     Ok((TrussDecomposition::from_trussness(trussness), report))
 }
@@ -354,6 +447,35 @@ mod tests {
             let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1 << 20), s);
             assert_matches_inmem(&g, &cfg);
         }
+    }
+
+    #[test]
+    fn parallel_workers_match_inmem_across_shard_counts() {
+        let g = gnm(400, 3000, 0x7a11);
+        for (threads, shards) in [(2usize, 5usize), (4, 3), (4, 11), (8, 7)] {
+            let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1 << 19), shards)
+                .with_threads(threads);
+            let expect = truss_decompose(&g);
+            let (got, report) = outofcore_decompose(&g, &cfg).unwrap();
+            assert_eq!(
+                got.trussness(),
+                expect.trussness(),
+                "threads={threads} shards={shards}"
+            );
+            assert_eq!(report.threads, threads);
+            assert!(report.peel.epochs > 0, "parallel peel must run epochs");
+        }
+    }
+
+    #[test]
+    fn parallel_report_carries_spill_and_overlap_metrics() {
+        // Small budget + forced shards => real spill traffic.
+        let g = gnm(500, 5000, 0xfeed);
+        let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1), 9).with_threads(4);
+        let (_, report) = outofcore_decompose(&g, &cfg).unwrap();
+        assert!(report.spill_bytes_written > 0, "expected spilled runs");
+        assert!(report.spill_bytes_read >= report.spill_bytes_written);
+        assert!(report.spill_drain_overlap <= Duration::from_secs(3600));
     }
 
     #[test]

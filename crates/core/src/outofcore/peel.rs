@@ -18,10 +18,39 @@
 //!
 //! Sweeps repeat until no shard qualifies, then `k` jumps to
 //! `min(min_sup) + 2` — the same level-skipping the in-memory peel does.
+//!
+//! # Parallel peel: level-synchronous epochs
+//!
+//! [`external_peel_par`] replaces the within-shard cascade with
+//! *epochs*, each a two-phase fork-join over disjoint shards:
+//!
+//! * **Phase A** (state only, no graph access): every qualifying shard —
+//!   pending decrements or peelable minimum — loads its support chunk,
+//!   applies all workers' buffered decrements (alive-guarded), kills its
+//!   frontier `{alive, sup ≤ k − 2}` (clearing `alive`, setting
+//!   `died_epoch`, stamping the slot with `k`), writes the chunk back
+//!   and recomputes its live minimum.
+//! * **Phase B** (graph only, state read-only): every edge killed in
+//!   phase A enumerates its triangles by merge-intersecting its
+//!   endpoints' rows. The bitsets are frozen during the phase, so every
+//!   worker classifies a triangle identically: a partner that died in
+//!   an *earlier* epoch means the triangle was already retired (skip);
+//!   otherwise the dying edges of the triangle are `D = {e} ∪ {partners
+//!   with died_epoch}`, and only `min(D)` emits decrements for the
+//!   still-alive partners — exactly-once retirement without any
+//!   within-epoch ordering. Decrements buffer in per-worker buckets and
+//!   apply at the next epoch's phase A.
+//!
+//! Trussness is a unique function of the graph, so any exact peel order
+//! gives byte-identical output — the epoch schedule changes wall-clock
+//! behavior, never results, regardless of worker count.
 
-use super::spill::{IncRec, SpillBuckets};
+use super::spill::{IncRec, SpillBuckets, SpillDrain};
 use super::state::StateFile;
 use super::ShardPlan;
+use crate::pool::ThreadPool;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use truss_graph::CsrGraph;
 use truss_storage::window::Window;
 use truss_storage::{IoTracker, Result, ScratchDir};
@@ -37,6 +66,12 @@ pub struct PeelStats {
     pub decs_spilled: u64,
     /// Bulk window resets forced by stray foreign-row reads.
     pub window_flushes: u64,
+    /// Epoch barriers crossed (0 in the serial cascade).
+    pub epochs: u64,
+    /// Bytes of spill runs the peel handed to disk.
+    pub spill_bytes_written: u64,
+    /// Bytes of spill runs the peel read back.
+    pub spill_bytes_read: u64,
 }
 
 /// Packed per-edge liveness.
@@ -66,9 +101,53 @@ impl Bitset {
     }
 }
 
+/// Packed per-edge bits shared across workers. Shard-boundary edges can
+/// share a word with a neighboring shard, so mutation is atomic; relaxed
+/// ordering suffices because every cross-worker read happens after a
+/// fork-join barrier.
+struct AtomicBitset {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitset {
+    fn all_set(len: usize) -> AtomicBitset {
+        let mut words: Vec<u64> = vec![!0u64; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        AtomicBitset {
+            words: words.into_iter().map(AtomicU64::new).collect(),
+        }
+    }
+
+    fn all_clear(len: usize) -> AtomicBitset {
+        AtomicBitset {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: u32) -> bool {
+        self.words[(i / 64) as usize].load(Ordering::Relaxed) >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&self, i: u32) {
+        self.words[(i / 64) as usize].fetch_or(1u64 << (i % 64), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn clear(&self, i: u32) {
+        self.words[(i / 64) as usize].fetch_and(!(1u64 << (i % 64)), Ordering::Relaxed);
+    }
+}
+
 /// Peels every edge, returning the trussness array (edge id → truss
 /// number, every entry ≥ 2). `sup` must hold exact supports on entry;
-/// on exit it holds the same values this function returns.
+/// on exit it holds the same values this function returns. Spill
+/// appends overlap the cascade via `drain`.
 #[allow(clippy::too_many_arguments)]
 pub fn external_peel(
     g: &CsrGraph,
@@ -77,16 +156,23 @@ pub fn external_peel(
     scratch: &ScratchDir,
     tracker: &IoTracker,
     buf_cap: usize,
-    sup: &mut StateFile,
+    sup: &StateFile,
     min_sup: &mut [u32],
+    drain: &Arc<SpillDrain>,
 ) -> Result<(Vec<u32>, PeelStats)> {
     let m = g.num_edges();
     let s_count = plan.num_shards();
     let mut stats = PeelStats::default();
     let mut alive = Bitset::all_set(m);
     let mut alive_left = m as u64;
-    let mut decs: SpillBuckets<IncRec> =
-        SpillBuckets::with_tracker(scratch, "dec", s_count, buf_cap, tracker.clone());
+    let mut decs: SpillBuckets<IncRec> = SpillBuckets::with_drain(
+        scratch,
+        "dec",
+        s_count,
+        buf_cap,
+        tracker.clone(),
+        Arc::clone(drain),
+    );
 
     // Whole-section handles for the bulk stray-page flush.
     let (all_nbrs, all_eids) = super::row_slices(g, 0, g.num_vertices() as u32);
@@ -257,6 +343,291 @@ pub fn external_peel(
         }
     }
     stats.decs_spilled = decs.spilled_records();
+    stats.spill_bytes_written = decs.spilled_bytes_written();
+    stats.spill_bytes_read = decs.spilled_bytes_read();
+
+    // Everything is dead; every chunk slot now holds a truss number.
+    // Release the graph windows before materializing the 4m-byte result.
+    window.release_all();
+    let trussness = sup.read_all()?;
+    Ok((trussness, stats))
+}
+
+/// The epoch-based parallel peel (see the module docs for the two-phase
+/// dataflow and the exactly-once argument). Equivalent to
+/// [`external_peel`] — trussness is unique, so the two return
+/// byte-identical arrays — but shard visits within an epoch run on
+/// `pool`'s workers concurrently.
+#[allow(clippy::too_many_arguments)]
+pub fn external_peel_par(
+    g: &CsrGraph,
+    plan: &ShardPlan,
+    window: &mut Window,
+    scratch: &ScratchDir,
+    tracker: &IoTracker,
+    buf_cap: usize,
+    sup: &StateFile,
+    min_sup: &mut [u32],
+    pool: &ThreadPool,
+    drain: &Arc<SpillDrain>,
+) -> Result<(Vec<u32>, PeelStats)> {
+    let m = g.num_edges();
+    let s_count = plan.num_shards();
+    let workers = pool.workers();
+    let mut stats = PeelStats::default();
+    let alive = AtomicBitset::all_set(m);
+    let died_epoch = AtomicBitset::all_clear(m);
+    let mut alive_left = m as u64;
+    let dec_sets: Vec<Mutex<SpillBuckets<IncRec>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(SpillBuckets::with_drain(
+                scratch,
+                &format!("dec-w{w}"),
+                s_count,
+                buf_cap,
+                tracker.clone(),
+                Arc::clone(drain),
+            ))
+        })
+        .collect();
+
+    let (all_nbrs, all_eids) = super::row_slices(g, 0, g.num_vertices() as u32);
+    let edges = g.edges();
+    let subs: Vec<Mutex<Window>> = window
+        .partition(workers)
+        .into_iter()
+        .map(Mutex::new)
+        .collect();
+
+    let mut k = 2u32;
+    while alive_left > 0 {
+        let floor = min_sup.iter().copied().min().unwrap_or(u32::MAX);
+        debug_assert_ne!(floor, u32::MAX, "live edges but every shard empty");
+        k = k.max(floor.saturating_add(2));
+        stats.levels += 1;
+
+        // Epochs at this level until no shard qualifies.
+        loop {
+            let mut pending = vec![false; s_count];
+            for set in &dec_sets {
+                let set = set.lock().expect("dec set");
+                for (s, p) in pending.iter_mut().enumerate() {
+                    *p = *p || set.pending(s);
+                }
+            }
+            let q: Vec<usize> = (0..s_count)
+                .filter(|&s| {
+                    let (e_lo, e_hi) = plan.edge_range(s);
+                    e_lo < e_hi && (pending[s] || min_sup[s] <= k - 2)
+                })
+                .collect();
+            if q.is_empty() {
+                break;
+            }
+            stats.epochs += 1;
+            stats.shard_visits += q.len() as u64;
+
+            // Phase A: apply buffered decrements and kill the frontier.
+            // Pure state-file work — no graph sections are touched, so
+            // no windows are needed. Each qualifying shard is visited by
+            // exactly one worker; chunks are disjoint.
+            let cursor = AtomicUsize::new(0);
+            let phase_a = pool.run(|_w| -> Result<Vec<(usize, Vec<u32>, u32)>> {
+                let mut out = Vec::new();
+                let mut chunk: Vec<u32> = Vec::new();
+                loop {
+                    let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                    if qi >= q.len() {
+                        break;
+                    }
+                    let s = q[qi];
+                    let (e_lo, e_hi) = plan.edge_range(s);
+                    chunk.clear();
+                    chunk.resize(e_hi - e_lo, 0);
+                    sup.read_chunk(e_lo, &mut chunk)?;
+                    for set in &dec_sets {
+                        set.lock().expect("dec set").drain(s, |r| {
+                            if alive.get(r.e) {
+                                let slot = &mut chunk[r.e as usize - e_lo];
+                                *slot = slot.saturating_sub(r.c);
+                            }
+                        })?;
+                    }
+                    let mut killed: Vec<u32> = Vec::new();
+                    let mut mn = u32::MAX;
+                    for e in e_lo..e_hi {
+                        let ei = e as u32;
+                        if !alive.get(ei) {
+                            continue;
+                        }
+                        if chunk[e - e_lo] <= k - 2 {
+                            // Slot reuse: the dead edge's support becomes
+                            // its truss number.
+                            alive.clear(ei);
+                            died_epoch.set(ei);
+                            chunk[e - e_lo] = k;
+                            killed.push(ei);
+                        } else {
+                            mn = mn.min(chunk[e - e_lo]);
+                        }
+                    }
+                    sup.write_chunk(e_lo, &chunk)?;
+                    out.push((s, killed, mn));
+                }
+                Ok(out)
+            });
+            let mut killed_by_shard: Vec<Vec<u32>> = vec![Vec::new(); s_count];
+            let mut total_killed = 0u64;
+            for r in phase_a {
+                for (s, killed, mn) in r? {
+                    total_killed += killed.len() as u64;
+                    min_sup[s] = mn;
+                    killed_by_shard[s] = killed;
+                }
+            }
+            alive_left -= total_killed;
+            if total_killed == 0 {
+                // Decrements were consumed without kills; the next
+                // qualifying check exits the level naturally.
+                continue;
+            }
+
+            // Phase B: every edge killed this epoch enumerates its
+            // triangles against the *frozen* bitsets and the minimum
+            // dying edge of each triangle emits decrements for the
+            // still-alive partners (see module docs).
+            let bshards: Vec<usize> = (0..s_count)
+                .filter(|&s| !killed_by_shard[s].is_empty())
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            let phase_b = pool.run(|w| -> Result<u64> {
+                let mut decs = dec_sets[w].lock().expect("dec set");
+                let mut win = subs[w].lock().expect("sub-window");
+                let mut flushes = 0u64;
+                let mut fnb: Vec<u32> = Vec::new();
+                let mut fib: Vec<u32> = Vec::new();
+                loop {
+                    let bi = cursor.fetch_add(1, Ordering::Relaxed);
+                    if bi >= bshards.len() {
+                        break;
+                    }
+                    let s = bshards[bi];
+                    let (v_lo, v_hi) = plan.vertex_range(s);
+                    let (e_lo, e_hi) = plan.edge_range(s);
+                    let (nbr_rows, eid_rows) = super::row_slices(g, v_lo, v_hi);
+                    let shard_edges = &edges[e_lo..e_hi];
+                    win.need(nbr_rows);
+                    win.need(eid_rows);
+                    win.need(shard_edges);
+                    tracker.record_read(
+                        (std::mem::size_of_val(nbr_rows) * 2 + std::mem::size_of_val(shard_edges))
+                            as u64,
+                    );
+                    for &e in &killed_by_shard[s] {
+                        let edge = edges[e as usize];
+                        let (na, ia) = (g.neighbors(edge.u), g.neighbor_edge_ids(edge.u));
+                        // edge.u's row is in-shard (windowed); edge.v's is
+                        // a random foreign read served by `pread` so it
+                        // never faults mapping pages in.
+                        let (nb, ib): (&[u32], &[u32]) =
+                            if g.copy_row_nofault(edge.v, &mut fnb, &mut fib) {
+                                tracker.record_read((std::mem::size_of_val(&fnb[..]) * 2) as u64);
+                                (&fnb, &fib)
+                            } else {
+                                let nb = g.neighbors(edge.v);
+                                let ib = g.neighbor_edge_ids(edge.v);
+                                win.note_span(nb);
+                                win.note_span(ib);
+                                (nb, ib)
+                            };
+
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < na.len() && j < nb.len() {
+                            match na[i].cmp(&nb[j]) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    let (e_aw, e_bw) = (ia[i], ib[j]);
+                                    i += 1;
+                                    j += 1;
+                                    let aw_alive = alive.get(e_aw);
+                                    let aw_dying = died_epoch.get(e_aw);
+                                    let bw_alive = alive.get(e_bw);
+                                    let bw_dying = died_epoch.get(e_bw);
+                                    // A partner dead before this epoch
+                                    // already retired the triangle.
+                                    if (!aw_alive && !aw_dying) || (!bw_alive && !bw_dying) {
+                                        continue;
+                                    }
+                                    // The least dying edge of the triangle
+                                    // owns its retirement: every dying
+                                    // edge sees the same frozen D, so the
+                                    // decrements are emitted exactly once.
+                                    let mut owner = e;
+                                    if aw_dying {
+                                        owner = owner.min(e_aw);
+                                    }
+                                    if bw_dying {
+                                        owner = owner.min(e_bw);
+                                    }
+                                    if owner != e {
+                                        continue;
+                                    }
+                                    for (f, f_alive) in [(e_aw, aw_alive), (e_bw, bw_alive)] {
+                                        if f_alive {
+                                            decs.push(plan.edge_shard(f), IncRec { e: f, c: 1 })?;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+
+                        if win.over_budget() {
+                            // Stray foreign rows have scattered fault-
+                            // around clusters outside every declared
+                            // window: drop the graph sections wholesale
+                            // and re-declare the shard.
+                            flushes += 1;
+                            win.release_section(all_nbrs);
+                            win.release_section(all_eids);
+                            win.release_section(edges);
+                            win.need(nbr_rows);
+                            win.need(eid_rows);
+                            win.need(shard_edges);
+                        }
+                    }
+                    win.release(nbr_rows);
+                    win.release(eid_rows);
+                    win.release(shard_edges);
+                    win.release_section(all_nbrs);
+                    win.release_section(all_eids);
+                    win.release_section(edges);
+                }
+                Ok(flushes)
+            });
+            for r in phase_b {
+                stats.window_flushes += r?;
+            }
+
+            // Reset the epoch markers (O(killed), not O(m)).
+            for &s in &bshards {
+                for &e in &killed_by_shard[s] {
+                    died_epoch.clear(e);
+                }
+            }
+        }
+    }
+    for set in &dec_sets {
+        let set = set.lock().expect("dec set");
+        stats.decs_spilled += set.spilled_records();
+        stats.spill_bytes_written += set.spilled_bytes_written();
+        stats.spill_bytes_read += set.spilled_bytes_read();
+    }
+    window.absorb(
+        subs.into_iter()
+            .map(|m| m.into_inner().expect("sub-window"))
+            .collect(),
+    );
 
     // Everything is dead; every chunk slot now holds a truss number.
     // Release the graph windows before materializing the 4m-byte result.

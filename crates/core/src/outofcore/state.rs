@@ -7,12 +7,18 @@
 //! through a fixed 64 KiB staging buffer (no full-chunk byte copy) and
 //! are recorded on the engine's [`IoTracker`].
 //!
+//! Chunk access is positioned I/O (`pread`/`pwrite` through
+//! `std::os::unix::fs::FileExt`) on a shared `&self` handle: the
+//! parallel shard passes hit disjoint chunks of the same file from many
+//! workers at once, and positioned reads carry no shared cursor to race
+//! on. (Off Unix a mutex serializes a seek-then-access fallback — the
+//! accounting and results are identical, only the concurrency is lost.)
+//!
 //! The peel reuses slots: once an edge dies its slot stops being a
 //! support and becomes its truss number (the alive bitset, not the file,
 //! distinguishes the two), so the finished file *is* the decomposition.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use truss_storage::{IoTracker, Result, ScratchDir};
 
@@ -24,6 +30,10 @@ pub struct StateFile {
     len: usize,
     tracker: IoTracker,
     path: PathBuf,
+    /// Serializes the seek-then-access fallback where positioned I/O is
+    /// unavailable.
+    #[cfg(not(unix))]
+    cursor: std::sync::Mutex<()>,
 }
 
 impl StateFile {
@@ -49,7 +59,39 @@ impl StateFile {
             len,
             tracker,
             path,
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
         })
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, off)
+    }
+
+    #[cfg(unix)]
+    fn write_at(&self, buf: &[u8], off: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, off)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _guard = self.cursor.lock().expect("state cursor");
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&self, buf: &[u8], off: u64) -> std::io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _guard = self.cursor.lock().expect("state cursor");
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))?;
+        f.write_all(buf)
     }
 
     /// Number of `u32` entries.
@@ -62,20 +104,20 @@ impl StateFile {
         self.len == 0
     }
 
-    /// Reads `out.len()` entries starting at entry `start`.
-    pub fn read_chunk(&mut self, start: usize, out: &mut [u32]) -> Result<()> {
+    /// Reads `out.len()` entries starting at entry `start`. Positioned
+    /// I/O on `&self`: concurrent readers of disjoint chunks are safe.
+    pub fn read_chunk(&self, start: usize, out: &mut [u32]) -> Result<()> {
         assert!(start + out.len() <= self.len, "chunk read out of bounds");
         if out.is_empty() {
             return Ok(());
         }
         self.tracker.record_read(out.len() as u64 * 4);
-        self.file.seek(SeekFrom::Start(start as u64 * 4))?;
         let mut stage = [0u8; STAGE_BYTES];
         let mut at = 0usize;
         while at < out.len() {
             let take = (out.len() - at).min(STAGE_BYTES / 4);
             let bytes = &mut stage[..take * 4];
-            self.file.read_exact(bytes)?;
+            self.read_at(bytes, (start + at) as u64 * 4)?;
             for (i, w) in bytes.chunks_exact(4).enumerate() {
                 out[at + i] = u32::from_le_bytes(w.try_into().unwrap());
             }
@@ -84,14 +126,14 @@ impl StateFile {
         Ok(())
     }
 
-    /// Writes `data` starting at entry `start`.
-    pub fn write_chunk(&mut self, start: usize, data: &[u32]) -> Result<()> {
+    /// Writes `data` starting at entry `start`. Positioned I/O on
+    /// `&self`: concurrent writers of disjoint chunks are safe.
+    pub fn write_chunk(&self, start: usize, data: &[u32]) -> Result<()> {
         assert!(start + data.len() <= self.len, "chunk write out of bounds");
         if data.is_empty() {
             return Ok(());
         }
         self.tracker.record_write(data.len() as u64 * 4);
-        self.file.seek(SeekFrom::Start(start as u64 * 4))?;
         let mut stage = [0u8; STAGE_BYTES];
         let mut at = 0usize;
         while at < data.len() {
@@ -99,17 +141,16 @@ impl StateFile {
             for (i, &v) in data[at..at + take].iter().enumerate() {
                 stage[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
             }
-            self.file.write_all(&stage[..take * 4])?;
+            self.write_at(&stage[..take * 4], (start + at) as u64 * 4)?;
             at += take;
         }
-        self.file.flush()?;
         Ok(())
     }
 
     /// Streams the whole array into a fresh `Vec` — the final
     /// materialization of the decomposition, after every window has been
     /// released.
-    pub fn read_all(&mut self) -> Result<Vec<u32>> {
+    pub fn read_all(&self) -> Result<Vec<u32>> {
         let mut out = vec![0u32; self.len];
         let len = self.len;
         // One bulk chunked read; the staging loop bounds transient memory.
@@ -138,7 +179,7 @@ mod tests {
         let tracker = IoTracker::new();
         // Larger than the 64 KiB staging buffer to exercise the loop.
         let n = 50_000usize;
-        let mut f = StateFile::create(&scratch, "sup", n, tracker.clone()).unwrap();
+        let f = StateFile::create(&scratch, "sup", n, tracker.clone()).unwrap();
         assert_eq!(f.len(), n);
 
         let chunk: Vec<u32> = (0..20_000u32).map(|i| i * 7 + 1).collect();
@@ -162,7 +203,7 @@ mod tests {
     #[test]
     fn empty_and_zero_length_ops() {
         let scratch = ScratchDir::new().unwrap();
-        let mut f = StateFile::create(&scratch, "z", 0, IoTracker::new()).unwrap();
+        let f = StateFile::create(&scratch, "z", 0, IoTracker::new()).unwrap();
         assert!(f.is_empty());
         f.write_chunk(0, &[]).unwrap();
         f.read_chunk(0, &mut []).unwrap();

@@ -21,10 +21,24 @@
 //! Every pass touches graph sections through the [`Window`] layer, so
 //! resident bytes stay within the engine budget even though the whole
 //! snapshot is mapped.
+//!
+//! All three passes are shard-parallel: shards are independent units of
+//! work (a shard's forward lists, probes and support chunk touch no
+//! other shard's state), so workers pull shard indices from a shared
+//! cursor. Each worker gets its own sub-accountant from
+//! [`Window::partition`] — the *sum* of worker residency stays under the
+//! engine budget — and its own bucket set (`probe-w<t>` / `inc-w<t>`)
+//! so pushes are contention-free; the consuming pass drains shard `s`
+//! from every worker's set. Bucket appends go through the shared
+//! background [`SpillDrain`], overlapping spill writes with triangle
+//! counting.
 
-use super::spill::{IncRec, ProbeRec, SpillBuckets};
+use super::spill::{IncRec, ProbeRec, SpillBuckets, SpillDrain};
 use super::state::StateFile;
 use super::ShardPlan;
+use crate::pool::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use truss_graph::{CsrGraph, EdgeId, VertexId};
 use truss_storage::window::Window;
 use truss_storage::{IoTracker, Result, ScratchDir};
@@ -121,12 +135,17 @@ pub struct SupportStats {
     pub probes_spilled: u64,
     /// Support increments that went through disk.
     pub incs_spilled: u64,
+    /// Bytes of spill runs the support passes handed to disk.
+    pub spill_bytes_written: u64,
+    /// Bytes of spill runs the support passes read back.
+    pub spill_bytes_read: u64,
 }
 
 /// Runs the three sharded passes, leaving exact supports in `sup` (one
 /// `u32` per edge id) and each shard's minimum live support in
 /// `min_sup`. `buf_cap` bounds every spill bucket's in-memory buffer (in
-/// records).
+/// records). Shards are scheduled over `pool`'s workers; spill appends
+/// overlap computation via `drain`.
 #[allow(clippy::too_many_arguments)]
 pub fn sharded_supports(
     g: &CsrGraph,
@@ -136,128 +155,239 @@ pub fn sharded_supports(
     scratch: &ScratchDir,
     tracker: &IoTracker,
     buf_cap: usize,
-    sup: &mut StateFile,
+    sup: &StateFile,
     min_sup: &mut [u32],
+    pool: &ThreadPool,
+    drain: &Arc<SpillDrain>,
 ) -> Result<SupportStats> {
     let s_count = plan.num_shards();
+    let workers = pool.workers();
     let (all_nbrs, all_eids) = super::row_slices(g, 0, g.num_vertices() as u32);
     let mut stats = SupportStats::default();
-    let mut probes: SpillBuckets<ProbeRec> =
-        SpillBuckets::with_tracker(scratch, "probe", s_count, buf_cap, tracker.clone());
-    let mut incs: SpillBuckets<IncRec> =
-        SpillBuckets::with_tracker(scratch, "inc", s_count, buf_cap, tracker.clone());
+    // One bucket set per worker: pushes never contend, and the consuming
+    // pass drains shard `s` from every set (replay order across sets is
+    // irrelevant — probes are independent, increments commute).
+    let probe_sets: Vec<Mutex<SpillBuckets<ProbeRec>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(SpillBuckets::with_drain(
+                scratch,
+                &format!("probe-w{w}"),
+                s_count,
+                buf_cap,
+                tracker.clone(),
+                Arc::clone(drain),
+            ))
+        })
+        .collect();
+    let inc_sets: Vec<Mutex<SpillBuckets<IncRec>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(SpillBuckets::with_drain(
+                scratch,
+                &format!("inc-w{w}"),
+                s_count,
+                buf_cap,
+                tracker.clone(),
+                Arc::clone(drain),
+            ))
+        })
+        .collect();
+    let subs: Vec<Mutex<Window>> = window
+        .partition(workers)
+        .into_iter()
+        .map(Mutex::new)
+        .collect();
 
-    // Pass 1: in-shard triangles + boundary probes, one source shard at
-    // a time.
+    // Pass 1: in-shard triangles + boundary probes, workers pulling
+    // source shards from a shared cursor.
     tracker.record_scan();
-    for s in 0..s_count {
-        let (lo, hi) = plan.vertex_range(s);
-        if lo == hi {
-            continue;
-        }
-        let (nbr_rows, eid_rows) = super::row_slices(g, lo, hi);
-        window.need(nbr_rows);
-        window.need(eid_rows);
-        tracker.record_read((std::mem::size_of_val(nbr_rows) * 2) as u64);
-        let fwd = ShardFwd::build(g, vertex_ranks, lo, hi);
+    let cursor = AtomicUsize::new(0);
+    let pass1 = pool.run(|w| -> Result<(u64, u64)> {
+        let mut probes = probe_sets[w].lock().expect("probe set");
+        let mut incs = inc_sets[w].lock().expect("inc set");
+        let mut win = subs[w].lock().expect("sub-window");
+        let (mut triangles, mut probe_count) = (0u64, 0u64);
         let mut closed: Vec<(EdgeId, EdgeId)> = Vec::new();
-        for u in lo..hi {
-            let lu = fwd.list(u);
-            for i in 0..lu.len() {
-                let v = lu.verts[i];
-                let e_uv = lu.edge_ids[i];
-                if v >= lo && v < hi {
-                    // Both endpoints resident: close the wedge in place.
-                    let lv = fwd.list(v);
-                    closed.clear();
-                    intersect_hybrid(lu, lv, |_w, e_uw, e_vw| {
-                        closed.push((e_uw, e_vw));
-                    });
-                    stats.triangles += closed.len() as u64;
-                    for &(e_uw, e_vw) in &closed {
-                        push_inc(&mut incs, plan, e_uv)?;
-                        push_inc(&mut incs, plan, e_uw)?;
-                        push_inc(&mut incs, plan, e_vw)?;
-                    }
-                } else {
-                    // Foreign middle vertex: ship the candidate apexes
-                    // (everything after v in u's rank-sorted list) to v's
-                    // shard.
-                    let target = plan.vertex_shard(v);
-                    for j in i + 1..lu.len() {
-                        stats.probes += 1;
-                        probes.push(
-                            target,
-                            ProbeRec {
-                                v,
-                                rank_w: lu.ranks[j],
-                                e_uv,
-                                e_uw: lu.edge_ids[j],
-                            },
-                        )?;
+        loop {
+            let s = cursor.fetch_add(1, Ordering::Relaxed);
+            if s >= s_count {
+                break;
+            }
+            let (lo, hi) = plan.vertex_range(s);
+            if lo == hi {
+                continue;
+            }
+            let (nbr_rows, eid_rows) = super::row_slices(g, lo, hi);
+            win.need(nbr_rows);
+            win.need(eid_rows);
+            tracker.record_read((std::mem::size_of_val(nbr_rows) * 2) as u64);
+            let fwd = ShardFwd::build(g, vertex_ranks, lo, hi);
+            for u in lo..hi {
+                let lu = fwd.list(u);
+                for i in 0..lu.len() {
+                    let v = lu.verts[i];
+                    let e_uv = lu.edge_ids[i];
+                    if v >= lo && v < hi {
+                        // Both endpoints resident: close the wedge in place.
+                        let lv = fwd.list(v);
+                        closed.clear();
+                        intersect_hybrid(lu, lv, |_w, e_uw, e_vw| {
+                            closed.push((e_uw, e_vw));
+                        });
+                        triangles += closed.len() as u64;
+                        for &(e_uw, e_vw) in &closed {
+                            push_inc(&mut incs, plan, e_uv)?;
+                            push_inc(&mut incs, plan, e_uw)?;
+                            push_inc(&mut incs, plan, e_vw)?;
+                        }
+                    } else {
+                        // Foreign middle vertex: ship the candidate apexes
+                        // (everything after v in u's rank-sorted list) to
+                        // v's shard.
+                        let target = plan.vertex_shard(v);
+                        for j in i + 1..lu.len() {
+                            probe_count += 1;
+                            probes.push(
+                                target,
+                                ProbeRec {
+                                    v,
+                                    rank_w: lu.ranks[j],
+                                    e_uv,
+                                    e_uw: lu.edge_ids[j],
+                                },
+                            )?;
+                        }
                     }
                 }
             }
+            // Section-wide drop, not a span release: demand faults map
+            // whole fault-around clusters (the kernel installs PTEs for
+            // already-cached neighbor pages), so pages accumulate just
+            // outside the declared spans. The bulk `MADV_DONTNEED` costs
+            // one syscall per section and resets the shard's true
+            // footprint to zero. Concurrent workers may drop each other's
+            // windowed rows here — that only costs the peer a minor
+            // refault from page cache, and keeps real RSS at or below
+            // what the accountants track.
+            win.release(nbr_rows);
+            win.release(eid_rows);
+            win.release_section(all_nbrs);
+            win.release_section(all_eids);
         }
-        // Section-wide drop, not a span release: demand faults map whole
-        // fault-around clusters (the kernel installs PTEs for already-
-        // cached neighbor pages), so pages accumulate just outside the
-        // declared spans. The bulk `MADV_DONTNEED` costs one syscall per
-        // section and resets the shard's true footprint to zero.
-        window.release(nbr_rows);
-        window.release(eid_rows);
-        window.release_section(all_nbrs);
-        window.release_section(all_eids);
+        Ok((triangles, probe_count))
+    });
+    for r in pass1 {
+        let (t, p) = r?;
+        stats.triangles += t;
+        stats.probes += p;
     }
-    stats.probes_spilled = probes.spilled_records();
+    stats.probes_spilled = probe_sets
+        .iter()
+        .map(|p| p.lock().expect("probe set").spilled_records())
+        .sum();
 
     // Pass 2: resolve each shard's probes against its rebuilt forward
     // lists. A probe is a triangle iff rank_w appears in fwd(v).
     tracker.record_scan();
-    for s in 0..s_count {
-        if !probes.pending(s) {
-            continue;
-        }
-        let (lo, hi) = plan.vertex_range(s);
-        let (nbr_rows, eid_rows) = super::row_slices(g, lo, hi);
-        window.need(nbr_rows);
-        window.need(eid_rows);
-        tracker.record_read((std::mem::size_of_val(nbr_rows) * 2) as u64);
-        let fwd = ShardFwd::build(g, vertex_ranks, lo, hi);
+    let cursor = AtomicUsize::new(0);
+    let pass2 = pool.run(|w| -> Result<u64> {
+        let mut incs = inc_sets[w].lock().expect("inc set");
+        let mut win = subs[w].lock().expect("sub-window");
+        let mut triangles = 0u64;
         let mut resolved: Vec<(u32, u32, u32)> = Vec::new();
-        probes.drain(s, |p| {
-            let lv = fwd.list(p.v);
-            if let Ok(j) = lv.ranks.binary_search(&p.rank_w) {
-                resolved.push((p.e_uv, p.e_uw, lv.edge_ids[j]));
+        loop {
+            let s = cursor.fetch_add(1, Ordering::Relaxed);
+            if s >= s_count {
+                break;
             }
-        })?;
-        stats.triangles += resolved.len() as u64;
-        for (e_uv, e_uw, e_vw) in resolved.drain(..) {
-            push_inc(&mut incs, plan, e_uv)?;
-            push_inc(&mut incs, plan, e_uw)?;
-            push_inc(&mut incs, plan, e_vw)?;
+            if !probe_sets
+                .iter()
+                .any(|p| p.lock().expect("probe set").pending(s))
+            {
+                continue;
+            }
+            let (lo, hi) = plan.vertex_range(s);
+            let (nbr_rows, eid_rows) = super::row_slices(g, lo, hi);
+            win.need(nbr_rows);
+            win.need(eid_rows);
+            tracker.record_read((std::mem::size_of_val(nbr_rows) * 2) as u64);
+            let fwd = ShardFwd::build(g, vertex_ranks, lo, hi);
+            resolved.clear();
+            for set in &probe_sets {
+                set.lock().expect("probe set").drain(s, |p| {
+                    let lv = fwd.list(p.v);
+                    if let Ok(j) = lv.ranks.binary_search(&p.rank_w) {
+                        resolved.push((p.e_uv, p.e_uw, lv.edge_ids[j]));
+                    }
+                })?;
+            }
+            triangles += resolved.len() as u64;
+            for (e_uv, e_uw, e_vw) in resolved.drain(..) {
+                push_inc(&mut incs, plan, e_uv)?;
+                push_inc(&mut incs, plan, e_uw)?;
+                push_inc(&mut incs, plan, e_vw)?;
+            }
+            win.release(nbr_rows);
+            win.release(eid_rows);
+            win.release_section(all_nbrs);
+            win.release_section(all_eids);
         }
-        window.release(nbr_rows);
-        window.release(eid_rows);
-        window.release_section(all_nbrs);
-        window.release_section(all_eids);
+        Ok(triangles)
+    });
+    for r in pass2 {
+        stats.triangles += r?;
     }
-    stats.incs_spilled = incs.spilled_records();
+    stats.incs_spilled = inc_sets
+        .iter()
+        .map(|i| i.lock().expect("inc set").spilled_records())
+        .sum();
 
-    // Pass 3: fold increments into the disk-resident support array, one
-    // edge-shard chunk at a time.
+    // Pass 3: fold increments into the disk-resident support array.
+    // Chunks are disjoint per shard, so concurrent positioned writes to
+    // the state file are safe; no graph sections are touched.
     tracker.record_scan();
-    let mut chunk: Vec<u32> = Vec::new();
-    for (s, shard_min) in min_sup.iter_mut().enumerate() {
-        let (e_lo, e_hi) = plan.edge_range(s);
-        chunk.clear();
-        chunk.resize(e_hi - e_lo, 0);
-        incs.drain(s, |r| {
-            chunk[r.e as usize - e_lo] += r.c;
-        })?;
-        sup.write_chunk(e_lo, &chunk)?;
-        *shard_min = chunk.iter().copied().min().unwrap_or(u32::MAX);
+    let cursor = AtomicUsize::new(0);
+    let pass3 = pool.run(|_w| -> Result<Vec<(usize, u32)>> {
+        let mut out = Vec::new();
+        let mut chunk: Vec<u32> = Vec::new();
+        loop {
+            let s = cursor.fetch_add(1, Ordering::Relaxed);
+            if s >= s_count {
+                break;
+            }
+            let (e_lo, e_hi) = plan.edge_range(s);
+            chunk.clear();
+            chunk.resize(e_hi - e_lo, 0);
+            for set in &inc_sets {
+                set.lock().expect("inc set").drain(s, |r| {
+                    chunk[r.e as usize - e_lo] += r.c;
+                })?;
+            }
+            sup.write_chunk(e_lo, &chunk)?;
+            out.push((s, chunk.iter().copied().min().unwrap_or(u32::MAX)));
+        }
+        Ok(out)
+    });
+    for r in pass3 {
+        for (s, mn) in r? {
+            min_sup[s] = mn;
+        }
     }
+
+    for set in &probe_sets {
+        let set = set.lock().expect("probe set");
+        stats.spill_bytes_written += set.spilled_bytes_written();
+        stats.spill_bytes_read += set.spilled_bytes_read();
+    }
+    for set in &inc_sets {
+        let set = set.lock().expect("inc set");
+        stats.spill_bytes_written += set.spilled_bytes_written();
+        stats.spill_bytes_read += set.spilled_bytes_read();
+    }
+    window.absorb(
+        subs.into_iter()
+            .map(|m| m.into_inner().expect("sub-window"))
+            .collect(),
+    );
     Ok(stats)
 }
 

@@ -1,8 +1,8 @@
 //! The Aggarwal–Vitter I/O model: memory budget `M`, block size `B`,
 //! `scan(N) = Θ(N/B)`, with concrete accounting.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Configuration of the external-memory model.
 ///
@@ -51,20 +51,23 @@ impl Default for IoConfig {
     }
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default)]
 struct Counters {
-    bytes_read: u64,
-    bytes_written: u64,
-    read_ops: u64,
-    write_ops: u64,
-    scans: u64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    scans: AtomicU64,
 }
 
 /// Cheaply cloneable handle that all storage objects write their traffic
-/// into. Single-threaded by design (the paper's algorithms are sequential).
+/// into. Counters are atomic so the parallel out-of-core workers (and the
+/// background spill-drain thread) can record traffic on clones of one
+/// tracker; relaxed ordering suffices — the counters are statistics, read
+/// only after the run joins its workers.
 #[derive(Debug, Default, Clone)]
 pub struct IoTracker {
-    counters: Rc<Cell<Counters>>,
+    counters: Arc<Counters>,
 }
 
 impl IoTracker {
@@ -73,52 +76,50 @@ impl IoTracker {
         Self::default()
     }
 
-    fn update(&self, f: impl FnOnce(&mut Counters)) {
-        let mut c = self.counters.get();
-        f(&mut c);
-        self.counters.set(c);
-    }
-
     /// Records `bytes` read from disk.
     pub fn record_read(&self, bytes: u64) {
-        self.update(|c| {
-            c.bytes_read += bytes;
-            c.read_ops += 1;
-        });
+        self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.counters.read_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records `bytes` written to disk.
     pub fn record_write(&self, bytes: u64) {
-        self.update(|c| {
-            c.bytes_written += bytes;
-            c.write_ops += 1;
-        });
+        self.counters
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.counters.write_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the start of a sequential scan over a file (for the
     /// `scan(N)` bookkeeping in reports).
     pub fn record_scan(&self) {
-        self.update(|c| c.scans += 1);
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters under a block size.
     pub fn stats(&self, config: &IoConfig) -> IoStats {
-        let c = self.counters.get();
+        let c = &self.counters;
+        let bytes_read = c.bytes_read.load(Ordering::Relaxed);
+        let bytes_written = c.bytes_written.load(Ordering::Relaxed);
         let b = config.block_size.max(1) as u64;
         IoStats {
-            bytes_read: c.bytes_read,
-            bytes_written: c.bytes_written,
-            blocks_read: c.bytes_read.div_ceil(b),
-            blocks_written: c.bytes_written.div_ceil(b),
-            read_ops: c.read_ops,
-            write_ops: c.write_ops,
-            scans: c.scans,
+            bytes_read,
+            bytes_written,
+            blocks_read: bytes_read.div_ceil(b),
+            blocks_written: bytes_written.div_ceil(b),
+            read_ops: c.read_ops.load(Ordering::Relaxed),
+            write_ops: c.write_ops.load(Ordering::Relaxed),
+            scans: c.scans.load(Ordering::Relaxed),
         }
     }
 
     /// Resets all counters.
     pub fn reset(&self) {
-        self.counters.set(Counters::default());
+        self.counters.bytes_read.store(0, Ordering::Relaxed);
+        self.counters.bytes_written.store(0, Ordering::Relaxed);
+        self.counters.read_ops.store(0, Ordering::Relaxed);
+        self.counters.write_ops.store(0, Ordering::Relaxed);
+        self.counters.scans.store(0, Ordering::Relaxed);
     }
 }
 

@@ -96,6 +96,7 @@ pub(crate) mod sys {
     pub const MADV_RANDOM: c_int = 1;
     pub const MADV_WILLNEED: c_int = 3;
     pub const MADV_DONTNEED: c_int = 4;
+    pub const POSIX_FADV_DONTNEED: c_int = 4;
 
     extern "C" {
         pub fn mmap(
@@ -108,7 +109,40 @@ pub(crate) mod sys {
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
         pub fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
+        // glibc maps `posix_fadvise` straight onto the `fadvise64` syscall;
+        // like `madvise` above it is declared here to keep the build free
+        // of a `libc` dependency.
+        pub fn posix_fadvise(fd: c_int, offset: i64, len: i64, advice: c_int) -> c_int;
     }
+}
+
+/// Drops `path`'s pages from the kernel page cache
+/// (`posix_fadvise(POSIX_FADV_DONTNEED)` over the whole file), so the
+/// next read really goes to the device. This is how the cold-cache bench
+/// arm un-warms a snapshot between runs: a bench graph small enough to
+/// fit the page cache would otherwise never touch disk and the
+/// "out-of-core" numbers would measure a warm cache only.
+///
+/// Dirty pages are flushed first (`fsync`) — `DONTNEED` silently skips
+/// dirty pages, and a freshly written snapshot is all dirty pages.
+/// Best-effort semantics like the rest of the advice layer: on non-Linux
+/// platforms this is a no-op `Ok(())`, and the eviction itself is advice
+/// the kernel may ignore (correctness never depends on it).
+pub fn evict_page_cache(path: &Path) -> Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path)?;
+        file.sync_all()?;
+        let len = file.metadata()?.len() as i64;
+        let rc = unsafe { sys::posix_fadvise(file.as_raw_fd(), 0, len, sys::POSIX_FADV_DONTNEED) };
+        if rc != 0 {
+            return Err(StorageError::Io(std::io::Error::from_raw_os_error(rc)));
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = path;
+    Ok(())
 }
 
 /// An immutable, read-only `mmap` of a whole file. Unmapped on drop.
@@ -334,6 +368,22 @@ mod tests {
         let r = Region::open(&path, LoadMode::Auto).unwrap();
         assert!(r.as_bytes().is_empty());
         assert!(!r.region_is_mapped(), "zero-length mappings are invalid");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn evict_page_cache_preserves_contents() {
+        let path = temp_path("evict");
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        evict_page_cache(&path).unwrap();
+        let r = Region::open(&path, LoadMode::Auto).unwrap();
+        assert_eq!(r.as_bytes(), &payload[..]);
+        // Evicting under a live mapping is harmless: pages refault from
+        // the file on next touch.
+        evict_page_cache(&path).unwrap();
+        assert_eq!(r.as_bytes(), &payload[..]);
+        drop(r);
         std::fs::remove_file(&path).unwrap();
     }
 

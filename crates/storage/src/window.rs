@@ -249,6 +249,48 @@ impl Window {
         self.advise_out(span);
     }
 
+    /// Splits the unpinned remainder of this window's budget into `parts`
+    /// equal sub-accountants, one per concurrent worker. Each sub-window
+    /// starts empty and enforces its share independently, so the *sum* of
+    /// what the workers keep resident stays under this window's budget:
+    /// `parts × ((budget − pinned) / parts) + pinned ≤ budget`. The
+    /// parent's pinned spans stay charged here (they are shared by every
+    /// worker, not duplicated). Fold the sub-windows back with
+    /// [`Window::absorb`] at the fork-join barrier.
+    ///
+    /// Sub-budgets are floored at one page — [`Window::new`] does the same
+    /// — so a pathologically small parent budget degrades to page-sized
+    /// sub-windows rather than zero; the floor can nominally overshoot the
+    /// parent budget only when `budget / parts` is below a page, where the
+    /// budget was never enforceable to begin with.
+    pub fn partition(&self, parts: usize) -> Vec<Window> {
+        let parts = parts.max(1);
+        let pinned: usize = self.pinned.iter().map(|s| s.len).sum();
+        let each = self.budget.saturating_sub(pinned) / parts;
+        (0..parts).map(|_| Window::new(each, self.mapped)).collect()
+    }
+
+    /// Folds sub-windows from [`Window::partition`] back into this one at
+    /// a fork-join barrier: lifetime stats are summed, and the high-water
+    /// mark is raised conservatively to `resident + Σ sub high-waters` —
+    /// the workers ran concurrently, so the worst case is every sub-window
+    /// at its own peak at once. Any span a worker left declared is
+    /// released here (workers are expected to have drained their windows
+    /// before the barrier; the release makes the accounting — and the
+    /// kernel advice — correct even if one did not).
+    pub fn absorb(&mut self, parts: Vec<Window>) {
+        let mut concurrent_peak = 0usize;
+        for mut p in parts {
+            p.release_all();
+            concurrent_peak += p.high_water;
+            self.stats.advised_bytes += p.stats.advised_bytes;
+            self.stats.released_bytes += p.stats.released_bytes;
+            self.stats.evictions += p.stats.evictions;
+            self.stats.oversized_windows += p.stats.oversized_windows;
+        }
+        self.high_water = self.high_water.max(self.resident + concurrent_peak);
+    }
+
     /// Bytes currently accounted resident (declared windows plus noted
     /// strays).
     pub fn resident_bytes(&self) -> usize {
@@ -462,6 +504,49 @@ mod tests {
         assert_eq!(w.resident_bytes(), pinned);
         w.release_all();
         assert_eq!(w.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn partition_splits_unpinned_budget_and_absorb_folds_stats() {
+        let pinned = vec![0u8; 4 * PAGE_BYTES];
+        let data = vec![0u8; 64 * PAGE_BYTES];
+        let mut w = Window::new(16 * PAGE_BYTES, false);
+        w.pin(&pinned[PAGE_BYTES..2 * PAGE_BYTES]);
+        let parent_pinned = w.resident_bytes();
+
+        let mut subs = w.partition(4);
+        assert_eq!(subs.len(), 4);
+        // Sum of sub-budgets plus the parent's pinned charge never
+        // exceeds the parent budget.
+        let total: usize = subs.iter().map(|s| s.budget()).sum();
+        assert!(total + parent_pinned <= w.budget());
+
+        // Each sub-window enforces its own share; churn through all of
+        // them as four concurrent workers would.
+        for (i, sub) in subs.iter_mut().enumerate() {
+            for j in 0..8 {
+                let at = (i * 16 + j) * PAGE_BYTES;
+                sub.need(&data[at..at + PAGE_BYTES]);
+                assert!(sub.resident_bytes() <= sub.budget());
+            }
+        }
+        let peak_sum: usize = subs.iter().map(|s| s.high_water_bytes()).sum();
+        let evictions: u64 = subs.iter().map(|s| s.stats().evictions).sum();
+        assert!(evictions > 0, "3-page sub-budgets must evict on 8 needs");
+
+        w.absorb(subs);
+        // Conservative concurrent high-water: parent resident plus the
+        // sum of sub peaks; leftover sub spans were released.
+        assert_eq!(w.high_water_bytes(), parent_pinned + peak_sum);
+        assert_eq!(w.resident_bytes(), parent_pinned);
+        assert_eq!(w.stats().evictions, evictions);
+    }
+
+    #[test]
+    fn partition_of_tiny_budget_floors_at_a_page() {
+        let w = Window::new(PAGE_BYTES, false);
+        let subs = w.partition(8);
+        assert!(subs.iter().all(|s| s.budget() == PAGE_BYTES));
     }
 
     #[test]

@@ -118,9 +118,10 @@ fn decompose_report_json_appends_engine_report() {
         );
         assert_eq!(json_u64(json, "k_max"), 5, "{algo}");
         // The report records the *effective* thread count: the parallel
-        // engine honors --threads 2, every serial engine runs (and
-        // reports) 1.
-        let expected_threads = if kind == AlgorithmKind::Parallel {
+        // and out-of-core engines honor --threads 2, every serial engine
+        // runs (and reports) 1.
+        let expected_threads = if matches!(kind, AlgorithmKind::Parallel | AlgorithmKind::OutOfCore)
+        {
             2
         } else {
             1
@@ -130,6 +131,28 @@ fn decompose_report_json_appends_engine_report() {
             expected_threads,
             "{algo}: {json}"
         );
+        // Spill-pipeline metrics: the out-of-core engine reports byte
+        // counters and the drain-overlap time; every other engine has no
+        // spill pipeline and reports null.
+        for key in ["spill_bytes_written", "spill_bytes_read"] {
+            assert!(json.contains(&format!("\"{key}\":")), "{algo}: {json}");
+        }
+        if kind == AlgorithmKind::OutOfCore {
+            let _ = json_u64(json, "spill_bytes_written");
+            let _ = json_u64(json, "spill_bytes_read");
+            let overlap = json_f64(json, "spill_drain_overlap_ms");
+            assert!(overlap >= 0.0, "{algo}: {json}");
+        } else {
+            assert!(
+                json.contains("\"spill_bytes_written\":null"),
+                "{algo}: {json}"
+            );
+            assert!(json.contains("\"spill_bytes_read\":null"), "{algo}: {json}");
+            assert!(
+                json.contains("\"spill_drain_overlap_ms\":null"),
+                "{algo}: {json}"
+            );
+        }
         // External engines do real disk I/O and report it; in-memory ones
         // never touch disk.
         let blocks = json_u64(json, "total_blocks");

@@ -163,6 +163,51 @@ fn parallel_engine_matches_serial_across_thread_counts() {
     }
 }
 
+/// The out-of-core engine's shard-parallel passes are exact and
+/// deterministic at every worker width: `--algo outofcore --threads N`
+/// produces byte-identical trussness for N in {1, 2, 4, 8} and matches
+/// the in-memory reference. Trussness is a unique function of the graph,
+/// so determinism here is a corollary of correctness — but the ladder
+/// still catches lost or double-applied cross-shard decrements, which
+/// manifest as thread-count-dependent output. Widths beyond the machine
+/// (the pool is unclamped inside the engine) are included deliberately.
+#[test]
+fn outofcore_engine_matches_serial_across_thread_counts() {
+    let engines = registry();
+    for (name, g) in suite() {
+        let exact = run(
+            &engines,
+            AlgorithmKind::InmemPlus,
+            &g,
+            &config_with_budget(1 << 20),
+            &name,
+        );
+        let mut previous: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut config = config_with_budget(1 << 20);
+            config.threads = threads;
+            let engine = engines.get(AlgorithmKind::OutOfCore).expect("registered");
+            let (d, report) = engine
+                .run(EngineInput::Graph(&g), &config)
+                .unwrap_or_else(|e| panic!("{name}@{threads}: {e}"));
+            assert_eq!(report.threads_used, threads, "{name}@{threads}");
+            assert_eq!(
+                d.trussness(),
+                exact.trussness(),
+                "{name}: outofcore@{threads} vs inmem+"
+            );
+            if let Some(prev) = &previous {
+                assert_eq!(
+                    d.trussness(),
+                    prev.as_slice(),
+                    "{name}: outofcore@{threads} not byte-identical to previous width"
+                );
+            }
+            previous = Some(d.trussness().to_vec());
+        }
+    }
+}
+
 /// The parallel peel is *deterministic*: bit-identical trussness across
 /// repeated runs and across thread counts far beyond the machine width.
 /// Unclamped pools force genuinely concurrent workers — a regular pool on

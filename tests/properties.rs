@@ -4,9 +4,11 @@
 use proptest::prelude::*;
 use truss_decomposition::core::core_decomposition::core_decompose;
 use truss_decomposition::core::decompose::{truss_decompose, truss_decompose_naive};
+use truss_decomposition::core::outofcore::spill::SpillDrain;
 use truss_decomposition::core::outofcore::state::StateFile;
 use truss_decomposition::core::outofcore::support::sharded_supports;
 use truss_decomposition::core::outofcore::{outofcore_decompose_in, OutOfCoreConfig, ShardPlan};
+use truss_decomposition::core::pool::ThreadPool;
 use truss_decomposition::core::truss::{is_k_truss, peel_to_k_truss, truss_subgraph_edges};
 use truss_decomposition::graph::generators::{rmat, RmatConfig};
 use truss_decomposition::graph::{CsrGraph, Edge};
@@ -220,18 +222,25 @@ proptest! {
     }
 }
 
-/// Runs the windowed, sharded support-init pass and returns the per-edge
-/// supports it left in the spilled state file. A deliberately tiny window
-/// budget and spill-buffer cap force evictions and disk traffic even on
-/// proptest-sized graphs.
-fn outofcore_supports(g: &CsrGraph, shards: usize, window_budget: usize) -> Vec<u32> {
+/// Runs the windowed, sharded support-init pass on `threads` workers and
+/// returns the per-edge supports it left in the spilled state file. A
+/// deliberately tiny window budget and spill-buffer cap force evictions
+/// and disk traffic even on proptest-sized graphs.
+fn outofcore_supports(
+    g: &CsrGraph,
+    shards: usize,
+    window_budget: usize,
+    threads: usize,
+) -> Vec<u32> {
     let scratch = ScratchDir::new().unwrap();
     let tracker = IoTracker::new();
     let plan = ShardPlan::new(g, shards);
     let mut window = Window::new(window_budget, g.is_mapped());
     let ranks = truss_decomposition::triangle::list::ranks(g);
-    let mut sup = StateFile::create(&scratch, "sup", g.num_edges(), tracker.clone()).unwrap();
+    let sup = StateFile::create(&scratch, "sup", g.num_edges(), tracker.clone()).unwrap();
     let mut min_sup = vec![u32::MAX; plan.num_shards()];
+    let pool = ThreadPool::unclamped(threads);
+    let drain = SpillDrain::spawn(tracker.clone());
     sharded_supports(
         g,
         &plan,
@@ -240,8 +249,10 @@ fn outofcore_supports(g: &CsrGraph, shards: usize, window_budget: usize) -> Vec<
         &scratch,
         &tracker,
         16,
-        &mut sup,
+        &sup,
         &mut min_sup,
+        &pool,
+        &drain,
     )
     .unwrap();
     sup.read_all().unwrap()
@@ -258,8 +269,49 @@ proptest! {
     fn outofcore_supports_match_inmemory(g in arb_graph(48, 400)) {
         let expected = edge_supports(&g);
         for shards in SHARD_COUNTS {
-            let got = outofcore_supports(&g, shards, 4096);
+            let got = outofcore_supports(&g, shards, 4096, 1);
             prop_assert_eq!(&got, &expected, "shards = {}", shards);
+        }
+    }
+
+    /// The shard-parallel support pass is exact at every worker width:
+    /// per-worker spill-bucket sets and window sub-accountants commute
+    /// with the serial result regardless of which worker claims which
+    /// shard from the cursor.
+    #[test]
+    fn parallel_supports_match_serial(g in arb_graph(48, 400)) {
+        let expected = edge_supports(&g);
+        for threads in [2usize, 4] {
+            let got = outofcore_supports(&g, 5, 4096, threads);
+            prop_assert_eq!(&got, &expected, "threads = {}", threads);
+        }
+    }
+
+    /// `Window::partition` never hands out more aggregate budget than the
+    /// parent enforces: `Σ sub-budgets + pinned ≤ budget`, except where
+    /// the documented one-page floor per sub-window already exceeds the
+    /// parent's (unenforceably small) share.
+    #[test]
+    fn window_partition_respects_global_budget(
+        budget in 1usize..1 << 24,
+        parts in 1usize..16,
+    ) {
+        const PAGE: usize = 4096;
+        let parent = Window::new(budget, false);
+        let subs = parent.partition(parts);
+        prop_assert_eq!(subs.len(), parts);
+        let total: usize = subs.iter().map(Window::budget).sum();
+        let enforced = parent.budget(); // `new` floors the parent at one page too
+        if enforced / parts >= PAGE {
+            prop_assert!(
+                total <= enforced,
+                "sum of sub-budgets {} exceeds parent budget {}",
+                total, enforced
+            );
+        } else {
+            // Below a page per worker the floor takes over; the overshoot
+            // is bounded by one page per sub-window.
+            prop_assert!(total <= parts * PAGE);
         }
     }
 
@@ -287,7 +339,7 @@ proptest! {
         let expected_sup = edge_supports(&g);
         let scratch = ScratchDir::new().unwrap();
         for shards in SHARD_COUNTS {
-            let got = outofcore_supports(&g, shards, 4096);
+            let got = outofcore_supports(&g, shards, 4096, 1);
             prop_assert_eq!(&got, &expected_sup, "supports, shards = {}", shards);
             let cfg = OutOfCoreConfig::with_shards(IoConfig::with_budget(1), shards);
             let (d, _) = outofcore_decompose_in(&g, &cfg, &scratch).unwrap();
