@@ -1,0 +1,48 @@
+//! Sustained-ingestion bench: acknowledged updates/sec through the
+//! WAL-backed daemon vs snapshot-per-batch rotation, plus the
+//! recovery-time-vs-log-length ladder, writing the machine-readable
+//! `BENCH_10.json` snapshot (to `TRUSS_BENCH_OUT`, default
+//! `BENCH_10.json` in the current directory). Scale with `TRUSS_SCALE=`,
+//! override the stream with `TRUSS_INGEST_BATCHES=` / \
+//! `TRUSS_INGEST_WRITERS=`.
+//!
+//! Exits non-zero if any update goes unacknowledged, any recovery rung
+//! replays short (both correctness properties, no escape), or WAL
+//! throughput fails to beat rotation (`TRUSS_GATE=warn` downgrades that
+//! last gate to a warning — it is a timing comparison, and tiny scales
+//! or loaded CI machines can blur it).
+
+use truss_bench::datasets::BenchScale;
+use truss_bench::ingest;
+
+fn main() {
+    let scale = BenchScale::Default;
+    let (modes, ladder) = ingest::ingest_rows(scale);
+    ingest::table_ingest(&modes).print("sustained ingestion: durable acks/sec, WAL vs rotation");
+    ingest::table_recovery(&ladder).print("recovery time vs log length");
+    let out = std::env::var("TRUSS_BENCH_OUT").unwrap_or_else(|_| "BENCH_10.json".to_string());
+    std::fs::write(&out, ingest::ingest_json(&modes, &ladder, scale)).expect("write snapshot");
+    eprintln!("wrote {out}");
+
+    if !ingest::ingest_clean(&modes, &ladder) {
+        eprintln!("ingest: lost acknowledgements or short replays above — failing");
+        std::process::exit(1);
+    }
+    match ingest::wal_speedup(&modes) {
+        Some(s) if s > 1.0 => {
+            eprintln!("ingest: WAL beats rotation by {s:.2}x");
+        }
+        s => {
+            let msg = format!(
+                "ingest: WAL did not beat rotation ({})",
+                s.map_or("no data".to_string(), |s| format!("{s:.2}x"))
+            );
+            if std::env::var("TRUSS_GATE").as_deref() == Ok("warn") {
+                eprintln!("{msg} (TRUSS_GATE=warn, not failing)");
+            } else {
+                eprintln!("{msg} — failing");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Sustained-ingestion bench: acknowledged updates per second through
+//! the WAL-backed daemon vs the snapshot-per-batch rotation path, plus a
+//! recovery-time ladder (startup replay cost vs log length).
+//!
+//! Both modes run the identical concurrent update stream against an
+//! in-process daemon; the only difference is what durability costs per
+//! acknowledgement — a log append + (group-committed) fsync in WAL mode
+//! against a full v2 snapshot rewrite + fsync + rename + directory fsync
+//! per batch in rotation mode. That ratio is the whole point of the
+//! delta log: durable-ack cost proportional to the batch, not the graph.
+//!
+//! `repro_ingest` writes the machine-readable `BENCH_10.json` and gates
+//! on WAL throughput beating rotation (escape: `TRUSS_GATE=warn`).
+
+use crate::datasets::{bench_graph, scale_factor, BenchScale};
+use crate::table::TableWriter;
+use std::path::Path;
+use std::time::Instant;
+use truss_core::index::TrussIndex;
+use truss_graph::generators::datasets::dataset_by_name;
+use truss_graph::{Edge, EdgeDelta};
+use truss_serve::proto::GENERATION_ANY;
+use truss_serve::server::{index_checksum, WalConfig};
+use truss_serve::{Client, Request, ServeConfig, Server};
+use truss_storage::WalWriter;
+
+/// One ingestion mode's measurements.
+pub struct IngestRow {
+    /// `"wal"` or `"rotate"`.
+    pub mode: &'static str,
+    /// Concurrent writer connections.
+    pub writers: usize,
+    /// Update batches acknowledged (all of them, or the run failed).
+    pub acked: u64,
+    /// Wall-clock seconds for the stream.
+    pub wall_s: f64,
+    /// Acknowledged updates per second.
+    pub acked_per_s: f64,
+    /// Bytes appended to the delta log (0 in rotation mode).
+    pub wal_bytes_appended: u64,
+    /// Log fsyncs issued (0 in rotation mode).
+    pub wal_fsyncs: u64,
+    /// Group-commit batches: several acks amortizing one fsync.
+    pub group_commit_batches: u64,
+}
+
+/// One recovery-ladder rung: startup replay cost over a log of `records`
+/// delta records.
+pub struct RecoveryRow {
+    /// Records in the log when the daemon started.
+    pub records: u64,
+    /// Wall-clock seconds for `Server::open_with` (load + scan + replay).
+    pub wall_s: f64,
+    /// Records the daemon reports having replayed (must equal `records`).
+    pub replayed: u64,
+}
+
+/// Update batches per mode (`TRUSS_INGEST_BATCHES`, default 160).
+fn batches() -> usize {
+    std::env::var("TRUSS_INGEST_BATCHES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(160)
+}
+
+/// Concurrent writer connections (`TRUSS_INGEST_WRITERS`, default 4) —
+/// more than one, so WAL group commit has batches to merge.
+fn writers() -> usize {
+    std::env::var("TRUSS_INGEST_WRITERS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(4)
+}
+
+/// Writer `w`'s alternating delta pair: a 5-clique on its own vertex
+/// range flipped in and out, so the served graph stays bounded and the
+/// streams of different writers never touch the same edge.
+fn flip_deltas(base_vertices: u32, w: usize) -> (EdgeDelta, EdgeDelta) {
+    let lo = base_vertices + 8 * w as u32;
+    let mut clique = Vec::new();
+    for a in lo..lo + 5 {
+        for b in a + 1..lo + 5 {
+            clique.push(Edge::new(a, b));
+        }
+    }
+    (
+        EdgeDelta {
+            insert: clique.clone(),
+            remove: Vec::new(),
+        },
+        EdgeDelta {
+            insert: Vec::new(),
+            remove: clique,
+        },
+    )
+}
+
+/// Streams `total` update batches from `writers` concurrent connections
+/// and returns how many were acknowledged.
+fn stream(addr: &str, writers: usize, total: usize, base_vertices: u32) -> u64 {
+    let mut threads = Vec::new();
+    for w in 0..writers {
+        let addr = addr.to_string();
+        let share = total / writers + usize::from(w < total % writers);
+        let (add, del) = flip_deltas(base_vertices, w);
+        threads.push(std::thread::spawn(move || {
+            let mut acked = 0u64;
+            let Ok(mut client) = Client::connect(&addr) else {
+                return acked;
+            };
+            for i in 0..share {
+                let delta = if i % 2 == 0 { &add } else { &del };
+                match client.request(&Request::Update {
+                    base_generation: GENERATION_ANY,
+                    delta: delta.clone(),
+                }) {
+                    Ok(reply) if reply.body.is_ok() => acked += 1,
+                    other => {
+                        eprintln!("ingest: update failed: {other:?}");
+                        break;
+                    }
+                }
+            }
+            acked
+        }));
+    }
+    threads.into_iter().map(|t| t.join().unwrap()).sum()
+}
+
+/// Runs one mode: an in-process daemon over a freshly written snapshot
+/// in `dir`, durable per the mode, hammered by the writer pool.
+fn run_mode(index: &TrussIndex, dir: &Path, mode: &'static str) -> IngestRow {
+    let snapshot = dir.join(format!("ingest-{mode}.t2"));
+    index.save(&snapshot).unwrap();
+    let checksum = index_checksum(index).unwrap();
+    let writers = writers();
+    let total = batches();
+    let wal = (mode == "wal").then(|| WalConfig::new(dir.join(format!("ingest-{mode}.log"))));
+    let handle = Server::start(
+        index.clone(),
+        checksum,
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: writers + 1,
+            snapshot_path: Some(snapshot),
+            wal,
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    let start = Instant::now();
+    let acked = stream(&addr, writers, total, index.num_vertices() as u32);
+    let wall = start.elapsed().as_secs_f64();
+    let status = handle.status();
+    handle.shutdown();
+
+    IngestRow {
+        mode,
+        writers,
+        acked,
+        wall_s: wall,
+        acked_per_s: acked as f64 / wall,
+        wal_bytes_appended: status.wal_bytes_appended,
+        wal_fsyncs: status.wal_fsyncs,
+        group_commit_batches: status.group_commit_batches,
+    }
+}
+
+/// Builds a snapshot + a log of `records` single-edge deltas, then times
+/// a cold `Server::open_with` over them — the recovery path end to end
+/// (load, scan, torn-tail check, replay, checksum).
+fn run_recovery_rung(index: &TrussIndex, dir: &Path, records: u64) -> RecoveryRow {
+    let snapshot = dir.join(format!("recover-{records}.t2"));
+    let wal = dir.join(format!("recover-{records}.log"));
+    index.save(&snapshot).unwrap();
+    let checksum = index_checksum(index).unwrap();
+    let mut writer = WalWriter::create(&wal, 0, checksum).unwrap();
+    let base = index.num_vertices() as u32;
+    for i in 0..records {
+        let delta = EdgeDelta {
+            insert: vec![Edge::new(base + 2 * i as u32, base + 2 * i as u32 + 1)],
+            remove: Vec::new(),
+        };
+        writer.append_delta(&delta).unwrap();
+    }
+    writer.sync().unwrap();
+    drop(writer);
+
+    let start = Instant::now();
+    let handle = Server::open_with(
+        &snapshot,
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: 1,
+            snapshot_path: None,
+            wal: Some(WalConfig::new(wal)),
+        },
+    )
+    .expect("recovering server");
+    let wall = start.elapsed().as_secs_f64();
+    let status = handle.status();
+    handle.shutdown();
+    RecoveryRow {
+        records,
+        wall_s: wall,
+        replayed: status.recovery_records_replayed,
+    }
+}
+
+/// Runs both modes and the recovery ladder over the `p2p` analogue.
+pub fn ingest_rows(scale: BenchScale) -> (Vec<IngestRow>, Vec<RecoveryRow>) {
+    let g = bench_graph(dataset_by_name("p2p").expect("p2p dataset"), scale);
+    let index = TrussIndex::from_decompose(g);
+    let dir = std::env::temp_dir().join(format!("truss-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let modes = vec![
+        run_mode(&index, &dir, "wal"),
+        run_mode(&index, &dir, "rotate"),
+    ];
+    let ladder = [16u64, 64, 256]
+        .iter()
+        .map(|&n| run_recovery_rung(&index, &dir, n))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (modes, ladder)
+}
+
+/// Renders the mode comparison.
+pub fn table_ingest(rows: &[IngestRow]) -> TableWriter {
+    let mut t = TableWriter::new(vec![
+        "mode",
+        "writers",
+        "acked",
+        "wall_s",
+        "acked_per_s",
+        "wal_bytes",
+        "wal_fsyncs",
+        "group_commits",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.mode.to_string(),
+            r.writers.to_string(),
+            r.acked.to_string(),
+            format!("{:.3}", r.wall_s),
+            format!("{:.0}", r.acked_per_s),
+            r.wal_bytes_appended.to_string(),
+            r.wal_fsyncs.to_string(),
+            r.group_commit_batches.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the recovery ladder.
+pub fn table_recovery(rows: &[RecoveryRow]) -> TableWriter {
+    let mut t = TableWriter::new(vec!["log_records", "recovery_s", "replayed"]);
+    for r in rows {
+        t.row(vec![
+            r.records.to_string(),
+            format!("{:.4}", r.wall_s),
+            r.replayed.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable `BENCH_10.json` snapshot.
+pub fn ingest_json(modes: &[IngestRow], ladder: &[RecoveryRow], scale: BenchScale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"repro_ingest\",\n  \"scale_factor\": {},\n  \"dataset\": \"p2p\",\n  \"modes\": [\n",
+        scale_factor(scale)
+    ));
+    for (i, r) in modes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"writers\": {}, \"acked\": {}, \"wall_s\": {:.6}, \
+             \"acked_per_s\": {:.1}, \"wal_bytes_appended\": {}, \"wal_fsyncs\": {}, \
+             \"group_commit_batches\": {}}}{}\n",
+            r.mode,
+            r.writers,
+            r.acked,
+            r.wall_s,
+            r.acked_per_s,
+            r.wal_bytes_appended,
+            r.wal_fsyncs,
+            r.group_commit_batches,
+            if i + 1 == modes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in ladder.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"log_records\": {}, \"recovery_s\": {:.6}, \"replayed\": {}}}{}\n",
+            r.records,
+            r.wall_s,
+            r.replayed,
+            if i + 1 == ladder.len() { "" } else { "," }
+        ));
+    }
+    let speedup = wal_speedup(modes).unwrap_or(0.0);
+    out.push_str(&format!("  ],\n  \"wal_speedup\": {speedup:.3}\n}}\n"));
+    out
+}
+
+/// WAL throughput over rotation throughput, when both modes ran clean.
+pub fn wal_speedup(modes: &[IngestRow]) -> Option<f64> {
+    let wal = modes.iter().find(|r| r.mode == "wal")?;
+    let rot = modes.iter().find(|r| r.mode == "rotate")?;
+    (rot.acked_per_s > 0.0).then(|| wal.acked_per_s / rot.acked_per_s)
+}
+
+/// True when every batch of every mode was acknowledged and every
+/// recovery rung replayed its full log.
+pub fn ingest_clean(modes: &[IngestRow], ladder: &[RecoveryRow]) -> bool {
+    modes.iter().all(|r| r.acked == batches() as u64)
+        && ladder.iter().all(|r| r.replayed == r.records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ingest_and_recovery_are_clean() {
+        std::env::set_var("TRUSS_INGEST_BATCHES", "6");
+        std::env::set_var("TRUSS_INGEST_WRITERS", "2");
+        let g = bench_graph(dataset_by_name("p2p").unwrap(), BenchScale::Tiny);
+        let index = TrussIndex::from_decompose(g);
+        let dir = std::env::temp_dir().join(format!("truss-ingest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let wal = run_mode(&index, &dir, "wal");
+        assert_eq!(wal.acked, 6);
+        assert!(wal.wal_bytes_appended > 0);
+        assert!(wal.wal_fsyncs >= 1);
+        assert!(wal.group_commit_batches >= 1);
+
+        let rot = run_mode(&index, &dir, "rotate");
+        assert_eq!(rot.acked, 6);
+        assert_eq!(rot.wal_fsyncs, 0, "rotation mode has no log");
+
+        let rung = run_recovery_rung(&index, &dir, 5);
+        assert_eq!(rung.replayed, 5);
+
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::remove_var("TRUSS_INGEST_BATCHES");
+        std::env::remove_var("TRUSS_INGEST_WRITERS");
+    }
+}

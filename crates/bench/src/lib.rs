@@ -4,6 +4,7 @@
 
 pub mod datasets;
 pub mod hotpath;
+pub mod ingest;
 pub mod outofcore;
 pub mod serve;
 pub mod table;

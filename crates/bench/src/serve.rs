@@ -138,6 +138,7 @@ fn run_rung(index: &TrussIndex, checksum: u64, clients: usize) -> ServeRow {
         ServeConfig {
             threads: clients + 1,
             snapshot_path: None,
+            wal: None,
         },
     )
     .expect("start server");

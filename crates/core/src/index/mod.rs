@@ -321,12 +321,22 @@ impl TrussIndex {
     /// section snapshot including the level-bucket CSR, so a later open
     /// rebuilds nothing.
     pub fn save_as(&self, path: &Path, format: IndexFormat) -> Result<(), StorageError> {
-        let file = File::create(path)?;
+        self.write_as(File::create(path)?, format)
+    }
+
+    /// Streams the index into `w` in an explicit format — the writer-based
+    /// twin of [`TrussIndex::save_as`], for callers that own the file
+    /// lifecycle themselves (atomic replace, fsync discipline).
+    pub fn write_as<W: std::io::Write>(
+        &self,
+        w: W,
+        format: IndexFormat,
+    ) -> Result<(), StorageError> {
         match format {
             IndexFormat::V1 => {
-                index_file::write_index_file(&self.graph, self.decomp.trussness(), file)
+                index_file::write_index_file(&self.graph, self.decomp.trussness(), w)
             }
-            IndexFormat::V2 => self.write_snapshot(file).map(|_| ()),
+            IndexFormat::V2 => self.write_snapshot(w).map(|_| ()),
         }
     }
 

@@ -12,7 +12,11 @@
 //!   and `--remote` CLI paths (their stdout is byte-identical).
 //! * [`server`] — N reader threads over an `Arc`-swapped generation,
 //!   one writer applying [`truss_graph::EdgeDelta`] batches through the
-//!   incremental re-peel, atomic write-new + rename snapshot rotation.
+//!   incremental re-peel; durability is either atomic write-new +
+//!   rename snapshot rotation per batch, or (with a
+//!   [`server::WalConfig`]) a `TRUSSLOG` delta log — group-committed
+//!   append+fsync before each ack, startup replay, and size-triggered
+//!   log+snapshot compaction (see `truss_storage::wal`).
 //! * [`client`] — a blocking request/reply TCP client.
 //! * [`signal`] — SIGINT/SIGTERM latch for graceful daemon shutdown.
 //!
@@ -31,4 +35,4 @@ pub use answer::answer;
 pub use client::Client;
 pub use proto::{ErrorCode, Reply, Request, Response, ServeError};
 pub use render::{render, Rendered};
-pub use server::{index_checksum, ServeConfig, Server, ServerHandle};
+pub use server::{index_checksum, ServeConfig, Server, ServerHandle, WalConfig};

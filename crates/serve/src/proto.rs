@@ -25,7 +25,9 @@ use truss_core::spectrum::TrussSpectrum;
 use truss_graph::{Edge, EdgeDelta};
 
 /// Protocol version carried by every request and response body.
-pub const PROTO_VERSION: u8 = 1;
+/// Version 2 widened [`StatusSummary`] with the durability counters
+/// (WAL appends/fsyncs, group commit, compaction, recovery stats).
+pub const PROTO_VERSION: u8 = 2;
 
 /// First four bytes of every request body.
 pub const REQUEST_MAGIC: [u8; 4] = *b"TRSQ";
@@ -227,8 +229,9 @@ pub struct UpdateSummary {
     pub rotated: bool,
 }
 
-/// Server identity and shape, for `--query status` and smoke tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Server identity, shape, and durability counters, for
+/// `--query status` and smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatusSummary {
     /// Vertices of the served graph.
     pub num_vertices: u64,
@@ -238,6 +241,57 @@ pub struct StatusSummary {
     pub k_max: u32,
     /// Reader threads serving connections.
     pub threads: u32,
+    /// True when updates are persisted through the delta log (`--wal`).
+    pub wal_enabled: bool,
+    /// True once a WAL I/O failure poisoned the writer: reads still
+    /// serve, updates are rejected until restart.
+    pub wal_poisoned: bool,
+    /// Delta/compact records appended this session.
+    pub wal_records: u64,
+    /// Log bytes appended this session (frames, not payloads).
+    pub wal_bytes_appended: u64,
+    /// `fsync` calls on the log this session.
+    pub wal_fsyncs: u64,
+    /// Commit fsyncs that acknowledged at least one update (each covers
+    /// a whole batch — the group-commit counter).
+    pub group_commit_batches: u64,
+    /// Log+snapshot compactions completed this session.
+    pub compactions: u64,
+    /// Delta records replayed from the log at startup.
+    pub recovery_records_replayed: u64,
+    /// Torn-tail bytes truncated from the log at startup.
+    pub recovery_bytes_truncated: u64,
+}
+
+impl StatusSummary {
+    /// One JSON object (one line, no trailing newline) — the shape the
+    /// `truss query --query status --report json` path emits and the
+    /// CLI JSON tests assert on.
+    pub fn to_json(&self, generation: u64, checksum: u64) -> String {
+        format!(
+            "{{\"num_vertices\":{},\"num_edges\":{},\"k_max\":{},\"threads\":{},\
+             \"generation\":{},\"checksum\":\"{:016x}\",\
+             \"wal_enabled\":{},\"wal_poisoned\":{},\"wal_records\":{},\
+             \"wal_bytes_appended\":{},\"wal_fsyncs\":{},\"group_commit_batches\":{},\
+             \"compactions\":{},\"recovery_records_replayed\":{},\
+             \"recovery_bytes_truncated\":{}}}",
+            self.num_vertices,
+            self.num_edges,
+            self.k_max,
+            self.threads,
+            generation,
+            checksum,
+            self.wal_enabled,
+            self.wal_poisoned,
+            self.wal_records,
+            self.wal_bytes_appended,
+            self.wal_fsyncs,
+            self.group_commit_batches,
+            self.compactions,
+            self.recovery_records_replayed,
+            self.recovery_bytes_truncated,
+        )
+    }
 }
 
 /// A successful response payload.
@@ -439,6 +493,15 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                     e.u64(s.num_edges);
                     e.u32(s.k_max);
                     e.u32(s.threads);
+                    e.u8(s.wal_enabled as u8);
+                    e.u8(s.wal_poisoned as u8);
+                    e.u64(s.wal_records);
+                    e.u64(s.wal_bytes_appended);
+                    e.u64(s.wal_fsyncs);
+                    e.u64(s.group_commit_batches);
+                    e.u64(s.compactions);
+                    e.u64(s.recovery_records_replayed);
+                    e.u64(s.recovery_bytes_truncated);
                 }
                 Response::ShuttingDown => {}
             }
@@ -702,6 +765,15 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, ServeError> {
             num_edges: d.u64()?,
             k_max: d.u32()?,
             threads: d.u32()?,
+            wal_enabled: d.u8()? != 0,
+            wal_poisoned: d.u8()? != 0,
+            wal_records: d.u64()?,
+            wal_bytes_appended: d.u64()?,
+            wal_fsyncs: d.u64()?,
+            group_commit_batches: d.u64()?,
+            compactions: d.u64()?,
+            recovery_records_replayed: d.u64()?,
+            recovery_bytes_truncated: d.u64()?,
         }),
         8 => Response::ShuttingDown,
         other => {
@@ -835,6 +907,15 @@ mod tests {
             num_edges: 400,
             k_max: 9,
             threads: 16,
+            wal_enabled: true,
+            wal_poisoned: false,
+            wal_records: 12,
+            wal_bytes_appended: 900,
+            wal_fsyncs: 5,
+            group_commit_batches: 4,
+            compactions: 1,
+            recovery_records_replayed: 3,
+            recovery_bytes_truncated: 17,
         })));
         round_trip_reply(ok(Response::Spectrum(TrussSpectrum {
             class_sizes: vec![(2, 1), (3, 9)],

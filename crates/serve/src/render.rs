@@ -83,6 +83,30 @@ pub fn render(resp: &Response) -> Rendered {
             let _ = writeln!(r.stdout, "edges     {}", s.num_edges);
             let _ = writeln!(r.stdout, "k_max     {}", s.k_max);
             let _ = writeln!(r.stdout, "threads   {}", s.threads);
+            // The durability block only exists when the daemon runs with
+            // a delta log; status output of non-WAL servers is unchanged.
+            if s.wal_enabled {
+                let _ = writeln!(
+                    r.stdout,
+                    "wal       {}",
+                    if s.wal_poisoned { "poisoned" } else { "on" }
+                );
+                let _ = writeln!(r.stdout, "wal_records          {}", s.wal_records);
+                let _ = writeln!(r.stdout, "wal_bytes_appended   {}", s.wal_bytes_appended);
+                let _ = writeln!(r.stdout, "wal_fsyncs           {}", s.wal_fsyncs);
+                let _ = writeln!(r.stdout, "group_commit_batches {}", s.group_commit_batches);
+                let _ = writeln!(r.stdout, "compactions          {}", s.compactions);
+                let _ = writeln!(
+                    r.stdout,
+                    "recovery_records_replayed {}",
+                    s.recovery_records_replayed
+                );
+                let _ = writeln!(
+                    r.stdout,
+                    "recovery_bytes_truncated  {}",
+                    s.recovery_bytes_truncated
+                );
+            }
         }
         Response::ShuttingDown => {
             let _ = writeln!(r.diag, "server is shutting down");

@@ -54,7 +54,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use truss_core::index::TrussIndex;
 use truss_graph::EdgeDelta;
-use truss_storage::LoadMode;
+use truss_storage::wal::{plan_recovery, scan_wal, truncate_torn_tail, WalWriter};
+use truss_storage::{atomic_replace, fault, fsync_dir, LoadMode};
 
 /// How long blocked readers/writer sleep between shutdown-flag checks.
 const POLL: Duration = Duration::from_millis(50);
@@ -69,6 +70,30 @@ pub struct Generation {
     pub checksum: u64,
 }
 
+/// Durable delta-log configuration (`truss serve --wal`).
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// The `TRUSSLOG` file path. Created if missing; recovered
+    /// (torn tail truncated, surviving deltas replayed) if present.
+    pub path: PathBuf,
+    /// Compact once the log grows past this many bytes: fold log +
+    /// snapshot into a fresh v2 file and reset the log.
+    pub compact_bytes: u64,
+}
+
+impl WalConfig {
+    /// Default compaction threshold: 4 MiB of log.
+    pub const DEFAULT_COMPACT_BYTES: u64 = 4 << 20;
+
+    /// A log at `path` with the default compaction threshold.
+    pub fn new(path: PathBuf) -> Self {
+        WalConfig {
+            path,
+            compact_bytes: Self::DEFAULT_COMPACT_BYTES,
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -76,10 +101,16 @@ pub struct ServeConfig {
     /// also the number of concurrently served clients; size it to the
     /// expected client count.
     pub threads: usize,
-    /// Where applied updates are persisted (write-new + rename). `None`
-    /// keeps updates in memory only — generations still advance and
-    /// carry the checksum the rotation *would* have written.
+    /// Where applied updates are persisted. Without a WAL every batch
+    /// rewrites this snapshot (write-new + rename); with a WAL the
+    /// snapshot is only rewritten by compaction. `None` keeps updates in
+    /// memory only — generations still advance and carry the checksum
+    /// the rotation *would* have written.
     pub snapshot_path: Option<PathBuf>,
+    /// Durable delta log: updates are acknowledged only after their log
+    /// record is fsync'd (group-committed under load). Requires
+    /// `snapshot_path` (compaction needs a snapshot to fold into).
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -87,8 +118,25 @@ impl Default for ServeConfig {
         ServeConfig {
             threads: 4,
             snapshot_path: None,
+            wal: None,
         }
     }
+}
+
+/// Durability counters the writer publishes and the `status` opcode
+/// reads. Recovery fields are set once at startup; the rest track this
+/// session's WAL activity.
+#[derive(Default)]
+struct Durability {
+    enabled: bool,
+    recovery_records_replayed: u64,
+    recovery_bytes_truncated: u64,
+    poisoned: AtomicBool,
+    records: AtomicU64,
+    bytes_appended: AtomicU64,
+    fsyncs: AtomicU64,
+    group_commits: AtomicU64,
+    compactions: AtomicU64,
 }
 
 struct Shared {
@@ -97,6 +145,7 @@ struct Shared {
     threads: u32,
     /// Requests answered (all kinds), for diagnostics.
     served: AtomicU64,
+    durability: Durability,
 }
 
 impl Shared {
@@ -106,6 +155,25 @@ impl Shared {
 
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn status(&self, gen: &Generation) -> StatusSummary {
+        let d = &self.durability;
+        StatusSummary {
+            num_vertices: gen.index.num_vertices() as u64,
+            num_edges: gen.index.num_edges() as u64,
+            k_max: gen.index.max_k(),
+            threads: self.threads,
+            wal_enabled: d.enabled,
+            wal_poisoned: d.poisoned.load(Ordering::Relaxed),
+            wal_records: d.records.load(Ordering::Relaxed),
+            wal_bytes_appended: d.bytes_appended.load(Ordering::Relaxed),
+            wal_fsyncs: d.fsyncs.load(Ordering::Relaxed),
+            group_commit_batches: d.group_commits.load(Ordering::Relaxed),
+            compactions: d.compactions.load(Ordering::Relaxed),
+            recovery_records_replayed: d.recovery_records_replayed,
+            recovery_bytes_truncated: d.recovery_bytes_truncated,
+        }
     }
 }
 
@@ -140,6 +208,13 @@ impl ServerHandle {
     /// Requests answered so far.
     pub fn served(&self) -> u64 {
         self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// The same summary the `status` opcode answers with (durability
+    /// counters included) — for in-process tests and benches.
+    pub fn status(&self) -> StatusSummary {
+        let gen = self.shared.current();
+        self.shared.status(&gen)
     }
 
     /// Signals shutdown without waiting.
@@ -177,11 +252,61 @@ impl Server {
     /// came from). Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
     /// port) and returns once all threads are running.
     pub fn start(
-        index: TrussIndex,
+        mut index: TrussIndex,
         checksum: u64,
         bind: &str,
         config: ServeConfig,
     ) -> std::io::Result<ServerHandle> {
+        // WAL setup happens before the first byte is served: create or
+        // recover the log, replay the surviving suffix over the index,
+        // finish any interrupted compaction.
+        let mut durability = Durability::default();
+        let mut generation = 0u64;
+        let mut serve_checksum = checksum;
+        let wal_writer = match &config.wal {
+            None => None,
+            Some(wal_cfg) => {
+                if config.snapshot_path.is_none() {
+                    return Err(std::io::Error::other(
+                        "a WAL requires a snapshot path: compaction folds the log into it",
+                    ));
+                }
+                durability.enabled = true;
+                let writer = if wal_cfg.path.exists() {
+                    let scan = scan_wal(&wal_cfg.path).map_err(wal_io)?;
+                    let recovery = plan_recovery(&scan, checksum).map_err(wal_io)?;
+                    truncate_torn_tail(&wal_cfg.path, &scan)?;
+                    for (_, delta) in &recovery.replay {
+                        index.apply(delta);
+                    }
+                    durability.recovery_records_replayed = recovery.replay.len() as u64;
+                    durability.recovery_bytes_truncated = recovery.bytes_truncated;
+                    generation = recovery.generation;
+                    if !recovery.replay.is_empty() {
+                        serve_checksum = index_checksum(&index).map_err(storage_io)?;
+                    }
+                    let mut writer =
+                        WalWriter::open_after_recovery(&wal_cfg.path, &scan, recovery.generation)
+                            .map_err(wal_io)?;
+                    if recovery.reset_needed {
+                        // The disk snapshot is a compacted one but the
+                        // old log still hangs off the previous base:
+                        // finish the interrupted compaction by
+                        // rebasing the log onto the disk snapshot,
+                        // re-carrying the replayed suffix.
+                        let base = recovery.generation - recovery.replay.len() as u64;
+                        writer
+                            .reset_with(base, checksum, &recovery.replay)
+                            .map_err(wal_io)?;
+                    }
+                    writer
+                } else {
+                    WalWriter::create(&wal_cfg.path, 0, checksum).map_err(wal_io)?
+                };
+                Some(writer)
+            }
+        };
+
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -189,23 +314,34 @@ impl Server {
         let shared = Arc::new(Shared {
             current: RwLock::new(Arc::new(Generation {
                 index: Arc::new(index),
-                number: 0,
-                checksum,
+                number: generation,
+                checksum: serve_checksum,
             })),
             shutdown: AtomicBool::new(false),
             threads: threads as u32,
             served: AtomicU64::new(0),
+            durability,
         });
 
         let (writer_tx, writer_rx) = mpsc::channel::<WriteJob>();
         let mut handles = Vec::with_capacity(threads + 1);
         {
             let shared = Arc::clone(&shared);
-            let snapshot_path = config.snapshot_path.clone();
+            let ctx = WriterCtx {
+                snapshot_path: config.snapshot_path.clone(),
+                wal: wal_writer.map(|writer| WalState {
+                    writer,
+                    compact_bytes: config
+                        .wal
+                        .as_ref()
+                        .map(|w| w.compact_bytes)
+                        .unwrap_or(WalConfig::DEFAULT_COMPACT_BYTES),
+                }),
+            };
             handles.push(
                 std::thread::Builder::new()
                     .name("truss-serve-writer".into())
-                    .spawn(move || writer_loop(writer_rx, shared, snapshot_path))?,
+                    .spawn(move || writer_loop(writer_rx, shared, ctx))?,
             );
         }
         for i in 0..threads {
@@ -229,6 +365,24 @@ impl Server {
     /// map in O(1)), takes the container checksum as generation 0's
     /// identity, and rotates updated generations over the same path.
     pub fn open(path: &Path, bind: &str, threads: usize) -> Result<ServerHandle, String> {
+        let config = ServeConfig {
+            threads,
+            snapshot_path: Some(path.to_path_buf()),
+            wal: None,
+        };
+        Server::open_with(path, bind, config)
+    }
+
+    /// [`Server::open`] with full configuration — the `--wal` entry
+    /// point. With a WAL configured, startup recovers the log against
+    /// the snapshot (truncating a torn tail, replaying acknowledged
+    /// deltas, finishing an interrupted compaction) and the served
+    /// generation picks up where the crashed process left off.
+    pub fn open_with(
+        path: &Path,
+        bind: &str,
+        mut config: ServeConfig,
+    ) -> Result<ServerHandle, String> {
         let (index, _) = TrussIndex::load_with(path, LoadMode::Auto)
             .map_err(|e| format!("{}: {e}", path.display()))?;
         // A v1 file has no container checksum; either way the identity
@@ -236,12 +390,19 @@ impl Server {
         let checksum = truss_storage::snapshot_checksum(path)
             .or_else(|_| index_checksum(&index))
             .map_err(|e| e.to_string())?;
-        let config = ServeConfig {
-            threads,
-            snapshot_path: Some(path.to_path_buf()),
-        };
+        if config.snapshot_path.is_none() {
+            config.snapshot_path = Some(path.to_path_buf());
+        }
         Server::start(index, checksum, bind, config).map_err(|e| e.to_string())
     }
+}
+
+fn wal_io(e: truss_storage::WalError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+fn storage_io(e: truss_storage::StorageError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
 }
 
 /// The v2 container checksum `index` *would* be persisted with — a
@@ -253,57 +414,44 @@ pub fn index_checksum(index: &TrussIndex) -> Result<u64, truss_storage::StorageE
 // ---------------------------------------------------------------------------
 // Writer
 
-/// Crash-injection hook for the rotation fault test: aborts the process
-/// at the named point. Values: `before-rename`, `after-rename`.
-fn crash_point(at: &str) {
-    if std::env::var("TRUSS_SERVE_CRASH").as_deref() == Ok(at) {
-        eprintln!("TRUSS_SERVE_CRASH={at}: aborting");
-        std::process::abort();
-    }
-}
-
-/// Persists `index` at `path` atomically: write a sibling temp file,
-/// fsync it, rename over the target. Readers mapping the old generation
-/// keep their pages; a crash anywhere leaves either the old or the new
-/// snapshot at `path`, never a torn one.
+/// Persists `index` at `path` durably through the shared
+/// [`atomic_replace`] discipline: sibling temp, fsync, rename, parent
+/// directory fsync. Readers mapping the old generation keep their
+/// pages; a crash anywhere leaves either the old or the new snapshot at
+/// `path`, never a torn one. Failpoint sites: `rotate-*`.
 fn rotate(index: &TrussIndex, path: &Path) -> Result<u64, String> {
-    let tmp = {
-        let mut os = path.as_os_str().to_owned();
-        os.push(format!(".rotate{}", std::process::id()));
-        PathBuf::from(os)
-    };
-    let write = || -> Result<u64, String> {
-        let file = std::fs::File::create(&tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
-        let mut w = std::io::BufWriter::new(file);
-        let checksum = index
-            .write_snapshot(&mut w)
-            .map_err(|e| format!("{}: {e}", tmp.display()))?;
-        let file = w
-            .into_inner()
-            .map_err(|e| format!("{}: {e}", tmp.display()))?;
-        file.sync_all()
-            .map_err(|e| format!("{}: {e}", tmp.display()))?;
-        crash_point("before-rename");
-        std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
-        crash_point("after-rename");
-        Ok(checksum)
-    };
-    let out = write();
-    if out.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    out
+    atomic_replace(path, "rotate", |w| {
+        index
+            .write_snapshot(w)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    })
+    .map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn writer_loop(rx: mpsc::Receiver<WriteJob>, shared: Arc<Shared>, path: Option<PathBuf>) {
+/// The writer thread's private state.
+struct WriterCtx {
+    snapshot_path: Option<PathBuf>,
+    wal: Option<WalState>,
+}
+
+struct WalState {
+    writer: WalWriter,
+    compact_bytes: u64,
+}
+
+fn writer_loop(rx: mpsc::Receiver<WriteJob>, shared: Arc<Shared>, mut ctx: WriterCtx) {
     loop {
         let job = match rx.recv_timeout(POLL) {
             Ok(job) => job,
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutting_down() {
                     // Drain whatever is still queued, then exit.
+                    let mut tail = Vec::new();
                     while let Ok(job) = rx.try_recv() {
-                        apply_job(job, &shared, path.as_deref());
+                        tail.push(job);
+                    }
+                    if !tail.is_empty() {
+                        dispatch(tail, &shared, &mut ctx);
                     }
                     return;
                 }
@@ -311,7 +459,24 @@ fn writer_loop(rx: mpsc::Receiver<WriteJob>, shared: Arc<Shared>, path: Option<P
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        apply_job(job, &shared, path.as_deref());
+        // Group commit: everything already queued behind this job rides
+        // the same fsync.
+        let mut batch = vec![job];
+        while let Ok(next) = rx.try_recv() {
+            batch.push(next);
+        }
+        dispatch(batch, &shared, &mut ctx);
+    }
+}
+
+fn dispatch(batch: Vec<WriteJob>, shared: &Shared, ctx: &mut WriterCtx) {
+    match &mut ctx.wal {
+        Some(wal) => commit_batch(batch, shared, wal, ctx.snapshot_path.as_deref()),
+        None => {
+            for job in batch {
+                apply_job(job, shared, ctx.snapshot_path.as_deref());
+            }
+        }
     }
 }
 
@@ -370,6 +535,216 @@ fn apply_job(job: WriteJob, shared: &Shared, path: Option<&Path>) {
         rotated,
     };
     let _ = job.reply.send(Ok((summary, number, checksum)));
+}
+
+/// Mirrors the writer's WAL counters into the shared status block.
+fn publish_wal_stats(shared: &Shared, wal: &WalState) {
+    let s = wal.writer.stats();
+    let d = &shared.durability;
+    d.records.store(s.records_appended, Ordering::Relaxed);
+    d.bytes_appended.store(s.bytes_appended, Ordering::Relaxed);
+    d.fsyncs.store(s.fsyncs, Ordering::Relaxed);
+    if wal.writer.is_poisoned() {
+        d.poisoned.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One acknowledged generation waiting on the batch's commit fsync.
+struct PendingAck {
+    reply: Sender<Result<(UpdateSummary, u64, u64), ServeError>>,
+    summary: UpdateSummary,
+    number: u64,
+    checksum: u64,
+}
+
+/// The WAL write path: per job append-to-log + apply-to-clone, then ONE
+/// fsync for the whole batch, then ack every job — the group commit.
+/// Nothing is acknowledged before its log record is durable, and the
+/// new generation is published only after the fsync, so a reader can
+/// never observe state that a crash could lose.
+fn commit_batch(
+    batch: Vec<WriteJob>,
+    shared: &Shared,
+    wal: &mut WalState,
+    snapshot_path: Option<&Path>,
+) {
+    let cur = shared.current();
+    let mut work: Option<TrussIndex> = None;
+    let mut number = cur.number;
+    let mut pending: Vec<PendingAck> = Vec::new();
+
+    for job in batch {
+        if wal.writer.is_poisoned() {
+            let _ = job.reply.send(Err(ServeError::new(
+                ErrorCode::Internal,
+                "delta log poisoned by an earlier i/o failure; updates are rejected \
+                 until restart (reads still serve)",
+            )));
+            continue;
+        }
+        if job.base_generation != crate::proto::GENERATION_ANY && job.base_generation != number {
+            let _ = job.reply.send(Err(ServeError::new(
+                ErrorCode::StaleGeneration,
+                format!(
+                    "update based on generation {}, but {} is current",
+                    job.base_generation, number
+                ),
+            )));
+            continue;
+        }
+        // Log first: the record is the thing that gets acknowledged.
+        if let Err(e) = wal.writer.append_delta(&job.delta) {
+            let _ = job.reply.send(Err(ServeError::new(
+                ErrorCode::Internal,
+                format!("delta log append failed: {e}"),
+            )));
+            continue; // writer is now poisoned; remaining jobs fail fast
+        }
+        let index = work.get_or_insert_with(|| (*cur.index).clone());
+        let stats = index.apply(&job.delta);
+        // Sink writes cannot fail; this is a pure hash pass.
+        let checksum =
+            index_checksum(index).expect("checksum of an in-memory byte image cannot fail");
+        number += 1;
+        pending.push(PendingAck {
+            reply: job.reply,
+            summary: UpdateSummary {
+                inserted: stats.inserted as u64,
+                removed: stats.removed as u64,
+                skipped: stats.skipped as u64,
+                seeded: stats.seeded as u64,
+                settled: stats.settled as u64,
+                lowered: stats.lowered as u64,
+                rotated: false,
+            },
+            number,
+            checksum,
+        });
+    }
+
+    if pending.is_empty() {
+        if wal.writer.is_poisoned() {
+            publish_wal_stats(shared, wal);
+        }
+        return;
+    }
+
+    // One fsync covers every record appended above.
+    if let Err(e) = wal.writer.sync() {
+        // fsyncgate semantics: the kernel may already have dropped the
+        // dirty pages, so nothing appended in this batch can be trusted
+        // durable. Don't publish, fail every job, stop taking writes.
+        publish_wal_stats(shared, wal);
+        for p in pending {
+            let _ = p.reply.send(Err(ServeError::new(
+                ErrorCode::Internal,
+                format!("delta log fsync failed, update not durable: {e}"),
+            )));
+        }
+        return;
+    }
+    shared
+        .durability
+        .group_commits
+        .fetch_add(1, Ordering::Relaxed);
+    publish_wal_stats(shared, wal);
+
+    // Publish once: the batch's final generation. Intermediate numbers
+    // exist only in their replies (they were never served).
+    let last = pending.last().expect("pending is non-empty");
+    let (number, checksum) = (last.number, last.checksum);
+    *shared.current.write().expect("generation lock") = Arc::new(Generation {
+        index: Arc::new(work.take().expect("pending implies an applied index")),
+        number,
+        checksum,
+    });
+    for p in pending {
+        let _ = p.reply.send(Ok((p.summary, p.number, p.checksum)));
+    }
+
+    // Compact when the log has outgrown its threshold. Failure is not
+    // fatal (the log keeps absorbing updates; the next batch retries)
+    // unless it poisoned the writer.
+    if let Some(path) = snapshot_path {
+        let log_len = wal.writer.log_len().unwrap_or(0);
+        if log_len >= wal.compact_bytes {
+            let gen = shared.current();
+            match compact(&gen, wal, path) {
+                Ok(()) => {
+                    shared
+                        .durability
+                        .compactions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => eprintln!("compaction failed (serving continues): {e}"),
+            }
+            publish_wal_stats(shared, wal);
+        }
+    }
+}
+
+/// Folds log + snapshot into a fresh v2 file capturing `gen`. The
+/// sequence is crash-safe at every arrow (kill-matrix-verified):
+///
+/// 1. write the compacted snapshot to a sibling temp file + fsync,
+///    noting its container checksum `C_new`,
+/// 2. append a `Compact{C_new}` intent record to the log + fsync —
+///    after this, recovery can identify the new snapshot whether or not
+///    the rename below ever happens,
+/// 3. rename temp → snapshot path,
+/// 4. fsync the parent directory (the rename is now durable),
+/// 5. reset the log to base `(gen, C_new)` (atomic replace).
+///
+/// A crash before 2 leaves the base snapshot + full log (replay all); a
+/// crash between 2 and 3 likewise (the intent matches nothing on disk
+/// and is ignored); a crash between 3 and 5 leaves the new snapshot +
+/// old log, which recovery finishes via the intent record.
+fn compact(gen: &Generation, wal: &mut WalState, path: &Path) -> Result<(), String> {
+    let tmp = {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "snapshot".to_string());
+        path.with_file_name(format!(".{name}.compact{}", std::process::id()))
+    };
+    let mut run = |tmp: &Path| -> Result<(), String> {
+        let fail = |what: &str, e: &dyn std::fmt::Display| format!("{what}: {e}");
+        fault::hit("compact-temp-write").map_err(|e| fail("temp write", &e))?;
+        let file = std::fs::File::create(tmp).map_err(|e| fail("temp create", &e))?;
+        let mut w = std::io::BufWriter::new(file);
+        let checksum = gen
+            .index
+            .write_snapshot(&mut w)
+            .map_err(|e| fail("temp write", &e))?;
+        use std::io::Write as _;
+        w.flush().map_err(|e| fail("temp flush", &e))?;
+        let file = w.into_inner().map_err(|e| fail("temp flush", &e))?;
+        fault::hit("compact-fsync").map_err(|e| fail("temp fsync", &e))?;
+        file.sync_all().map_err(|e| fail("temp fsync", &e))?;
+        drop(file);
+        wal.writer
+            .append_compact(gen.number, checksum)
+            .map_err(|e| fail("intent append", &e))?;
+        wal.writer.sync().map_err(|e| fail("intent fsync", &e))?;
+        fault::hit("compact-before-rename").map_err(|e| fail("rename", &e))?;
+        std::fs::rename(tmp, path).map_err(|e| fail("rename", &e))?;
+        fault::hit("compact-after-rename").map_err(|e| fail("rename", &e))?;
+        fault::hit("compact-before-dirsync").map_err(|e| fail("dir fsync", &e))?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent).map_err(|e| fail("dir fsync", &e))?;
+        } else {
+            fsync_dir(Path::new(".")).map_err(|e| fail("dir fsync", &e))?;
+        }
+        wal.writer
+            .reset(gen.number, checksum)
+            .map_err(|e| fail("log reset", &e))?;
+        Ok(())
+    };
+    let out = run(&tmp);
+    if out.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -472,15 +847,7 @@ fn handle_request(body: &[u8], shared: &Shared, writer_tx: &Sender<WriteJob>) ->
         );
     }
     match req {
-        Request::Status => (
-            reply_with(Ok(Response::Status(StatusSummary {
-                num_vertices: gen.index.num_vertices() as u64,
-                num_edges: gen.index.num_edges() as u64,
-                k_max: gen.index.max_k(),
-                threads: shared.threads,
-            }))),
-            false,
-        ),
+        Request::Status => (reply_with(Ok(Response::Status(shared.status(&gen)))), false),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             (reply_with(Ok(Response::ShuttingDown)), true)

@@ -139,6 +139,15 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     num_edges: big_b,
                     k_max: small,
                     threads: small + 1,
+                    wal_enabled: big_a % 2 == 0,
+                    wal_poisoned: big_b % 3 == 0,
+                    wal_records: big_a % 97,
+                    wal_bytes_appended: big_b % 89,
+                    wal_fsyncs: big_a % 83,
+                    group_commit_batches: big_b % 79,
+                    compactions: big_a % 73,
+                    recovery_records_replayed: big_b % 71,
+                    recovery_bytes_truncated: big_a % 67,
                 }),
                 _ => Response::ShuttingDown,
             },

@@ -1,0 +1,300 @@
+//! Reusable fault injection for the durability layer.
+//!
+//! Every fsync-disciplined write path in the workspace (WAL appends,
+//! snapshot rotation, log compaction, atomic index saves) passes through
+//! named *failpoints*. In production they cost one relaxed atomic load;
+//! under test they crash the process, fail with `EIO`, or manufacture a
+//! torn (short) write at exactly the adversarial instant — which is how
+//! every durability claim in this repo is proven: kill the process at
+//! the site, restart, and check the recovered state.
+//!
+//! ## Configuration
+//!
+//! The environment variable `TRUSS_FAILPOINTS` holds a comma-separated
+//! list of `site=action` pairs:
+//!
+//! ```text
+//! TRUSS_FAILPOINTS="wal-fsync=crash,compact-before-rename=crash@3"
+//! ```
+//!
+//! Actions:
+//!
+//! * `crash` — abort the process (SIGABRT; no destructors, no flushes —
+//!   the closest portable stand-in for power loss),
+//! * `eio` — return `std::io::Error` of kind `Other` ("injected EIO"),
+//! * `short:K` — for write sites driven through [`short_write_len`]:
+//!   write only the first `K` bytes of the buffer, then abort. This is
+//!   what a torn tail looks like after a crash mid-append.
+//!
+//! An optional `@N` suffix arms the failpoint on its N-th hit (default
+//! 1), so a test can let two compactions succeed and kill the third.
+//!
+//! Processes are the isolation unit: the registry is parsed from the
+//! environment once per process, which is exactly right for the
+//! child-process kill-matrix tests. In-process unit tests use the
+//! [`scoped`] API, which serializes itself behind a global lock so
+//! concurrent tests cannot see each other's failpoints.
+//!
+//! The catalog of sites wired up in this workspace is documented in
+//! `docs/ARCHITECTURE.md` (durability section).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Abort the process on the spot.
+    Crash,
+    /// Fail the operation with an injected I/O error.
+    Eio,
+    /// Write only the first `K` bytes, then abort (torn write).
+    Short(usize),
+}
+
+#[derive(Debug)]
+struct Failpoint {
+    action: FailAction,
+    /// Fires on the `arm_at`-th hit.
+    arm_at: u64,
+    hits: u64,
+}
+
+struct Registry {
+    points: Mutex<HashMap<String, Failpoint>>,
+}
+
+/// Fast path: false until at least one failpoint is registered, so
+/// production hits cost one relaxed load and no lock.
+static ANY: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut points = HashMap::new();
+        if let Ok(spec) = std::env::var("TRUSS_FAILPOINTS") {
+            for (site, fp) in parse_spec(&spec) {
+                points.insert(site, fp);
+            }
+        }
+        if !points.is_empty() {
+            ANY.store(true, Ordering::Relaxed);
+        }
+        Registry {
+            points: Mutex::new(points),
+        }
+    })
+}
+
+/// Parses a `site=action[@N]` list; malformed entries are ignored (a
+/// test-only surface must never take the process down on a typo — the
+/// kill-matrix asserts on observed behavior either way).
+fn parse_spec(spec: &str) -> Vec<(String, Failpoint)> {
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let Some((site, action)) = entry.split_once('=') else {
+            continue;
+        };
+        let (action, arm_at) = match action.split_once('@') {
+            Some((a, n)) => (a, n.parse().unwrap_or(1).max(1)),
+            None => (action, 1),
+        };
+        let action = if action == "crash" {
+            FailAction::Crash
+        } else if action == "eio" {
+            FailAction::Eio
+        } else if let Some(k) = action.strip_prefix("short:") {
+            match k.parse() {
+                Ok(k) => FailAction::Short(k),
+                Err(_) => continue,
+            }
+        } else {
+            continue;
+        };
+        out.push((
+            site.to_string(),
+            Failpoint {
+                action,
+                arm_at,
+                hits: 0,
+            },
+        ));
+    }
+    out
+}
+
+fn lock() -> MutexGuard<'static, HashMap<String, Failpoint>> {
+    // A panic while holding the lock only happens in tests; the poisoned
+    // state is still the state we want to read.
+    match registry().points.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Records a hit on `site` and returns the action to take if the
+/// failpoint fired. `Crash` is executed here (the process aborts);
+/// `Eio`/`Short` are returned for the caller to realize, since only the
+/// caller knows the buffer.
+fn fire(site: &str) -> Option<FailAction> {
+    // Force the one-time env parse before consulting the fast-path flag;
+    // after init this is a single atomic load inside the OnceLock.
+    registry();
+    if !ANY.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut points = lock();
+    let fp = points.get_mut(site)?;
+    fp.hits += 1;
+    if fp.hits != fp.arm_at {
+        return None;
+    }
+    if fp.action == FailAction::Crash {
+        drop(points);
+        eprintln!("failpoint {site}: crashing");
+        std::process::abort();
+    }
+    Some(fp.action)
+}
+
+/// The injected error every `eio` failpoint produces.
+pub fn injected_eio(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected EIO at failpoint {site}"))
+}
+
+/// Checks `site`: aborts on `crash`, returns the injected error on
+/// `eio`, and is a no-op otherwise. `short:` actions at a plain site
+/// degrade to `eio` (there is no buffer to tear here).
+pub fn hit(site: &str) -> std::io::Result<()> {
+    match fire(site) {
+        None => Ok(()),
+        Some(FailAction::Crash) => unreachable!("crash aborts in fire()"),
+        Some(FailAction::Eio) | Some(FailAction::Short(_)) => Err(injected_eio(site)),
+    }
+}
+
+/// A write-site check: given the full buffer length, returns how many
+/// bytes the caller must write before aborting (the `short:K` action),
+/// `Err` for `eio`, or `Ok(None)` to proceed normally. The caller
+/// contract for `Ok(Some(k))` is: write the first `k` bytes as best you
+/// can, then call [`abort_after_short`].
+pub fn short_write_len(site: &str, full: usize) -> std::io::Result<Option<usize>> {
+    match fire(site) {
+        None => Ok(None),
+        Some(FailAction::Crash) => unreachable!("crash aborts in fire()"),
+        Some(FailAction::Eio) => Err(injected_eio(site)),
+        Some(FailAction::Short(k)) => Ok(Some(k.min(full))),
+    }
+}
+
+/// Second half of the `short:K` contract: abort now that the torn
+/// prefix is on its way to the file.
+pub fn abort_after_short(site: &str) -> ! {
+    eprintln!("failpoint {site}: aborting after short write");
+    std::process::abort()
+}
+
+// ---------------------------------------------------------------------------
+// In-process test support
+
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII scope for in-process tests: arms `spec` (the `TRUSS_FAILPOINTS`
+/// syntax) for the lifetime of the guard, and serializes all scoped
+/// users behind one global lock so parallel tests cannot interleave.
+/// `crash` actions are pointless in-process (they abort the test
+/// runner); scoped users arm `eio`/`short:` sites.
+pub struct FailpointScope {
+    _guard: MutexGuard<'static, ()>,
+    sites: Vec<String>,
+}
+
+/// Arms `spec` until the returned guard drops.
+pub fn scoped(spec: &str) -> FailpointScope {
+    let guard = match SCOPE_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let parsed = parse_spec(spec);
+    let mut sites = Vec::new();
+    {
+        let mut points = lock();
+        for (site, fp) in parsed {
+            sites.push(site.clone());
+            points.insert(site, fp);
+        }
+    }
+    ANY.store(true, Ordering::Relaxed);
+    FailpointScope {
+        _guard: guard,
+        sites,
+    }
+}
+
+impl Drop for FailpointScope {
+    fn drop(&mut self) {
+        let mut points = lock();
+        for site in &self.sites {
+            points.remove(site);
+        }
+        if points.is_empty() {
+            ANY.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_free() {
+        assert!(hit("nothing-here").is_ok());
+        assert_eq!(short_write_len("nothing-here", 10).unwrap(), None);
+    }
+
+    #[test]
+    fn eio_fires_once_at_the_armed_hit() {
+        let _scope = scoped("t-eio=eio@2");
+        assert!(hit("t-eio").is_ok(), "first hit is below the arm count");
+        let err = hit("t-eio").unwrap_err();
+        assert!(err.to_string().contains("injected EIO"), "{err}");
+        assert!(hit("t-eio").is_ok(), "a failpoint fires exactly once");
+    }
+
+    #[test]
+    fn short_write_reports_the_torn_prefix() {
+        let _scope = scoped("t-short=short:3");
+        assert_eq!(short_write_len("t-short", 10).unwrap(), Some(3));
+        // Clamped to the buffer when K exceeds it.
+        let _scope2 = {
+            drop(_scope);
+            scoped("t-short2=short:99")
+        };
+        assert_eq!(short_write_len("t-short2", 4).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn malformed_entries_are_ignored() {
+        let parsed = parse_spec("a=crash, ,b,c=flavor,d=short:x,e=eio@0,f=short:7@4");
+        let sites: Vec<&str> = parsed.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(sites, ["a", "e", "f"]);
+        assert_eq!(parsed[1].1.arm_at, 1, "@0 clamps to 1");
+        assert_eq!(parsed[2].1.action, FailAction::Short(7));
+        assert_eq!(parsed[2].1.arm_at, 4);
+    }
+
+    #[test]
+    fn scope_cleans_up() {
+        {
+            let _scope = scoped("t-clean=eio");
+            assert!(hit("t-clean").is_err());
+        }
+        assert!(hit("t-clean").is_ok());
+    }
+}

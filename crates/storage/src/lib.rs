@@ -25,7 +25,9 @@
 //!   per-edge parsing or CSR rebuild (`docs/FORMATS.md` has the byte
 //!   layouts).
 
+pub mod atomic;
 pub mod ext_sort;
+pub mod fault;
 pub mod index_file;
 pub mod io_model;
 pub mod mmap;
@@ -33,8 +35,10 @@ pub mod partition;
 pub mod record;
 pub mod scratch;
 pub mod snapshot;
+pub mod wal;
 pub mod window;
 
+pub use atomic::{atomic_replace, fsync_dir};
 pub use index_file::{read_index_file, write_index_file, INDEX_MAGIC, INDEX_VERSION};
 pub use io_model::{IoConfig, IoStats, IoTracker};
 pub use mmap::{evict_page_cache, LoadMode, Region};
@@ -45,6 +49,10 @@ pub use snapshot::{
     load_graph_auto, open_graph_snapshot, open_index_snapshot, snapshot_checksum, sniff_file,
     write_graph_snapshot, write_index_snapshot, FileKind, IndexSnapshot, IndexSnapshotParts,
     GRAPH_MAGIC_V2, SNAPSHOT_VERSION,
+};
+pub use wal::{
+    plan_recovery, scan_wal, truncate_torn_tail, HashingWriter, Recovery, WalError, WalHeader,
+    WalPayload, WalRecord, WalScan, WalStats, WalWriter,
 };
 pub use window::{Window, WindowStats, PAGE_BYTES};
 

@@ -8,9 +8,12 @@
 //! truss index query [--query spectrum|ktruss|communities|edge]
 //!                   [--k K] [--u A --v B] <index>
 //! truss index update --delta FILE [--out INDEX] <index>
-//! truss serve [--host H] [--port P] [--threads N] <index>
+//! truss serve [--host H] [--port P] [--threads N]
+//!             [--wal LOG [--compact-bytes N]] <index>
 //! truss query [--remote HOST:PORT] [--query KIND] [--k K] [--u A --v B]
-//!             [--delta FILE] [--base GEN] [<index>]
+//!             [--delta FILE] [--base GEN] [--report json] [<index>]
+//! truss log inspect <log>
+//! truss log truncate <log>
 //! truss convert [--to v1|v2] <input> <output>
 //! truss ktruss --k K <input.snap>
 //! truss topt --t T [--memory BYTES] <input.snap>
@@ -51,6 +54,15 @@
 //! evaluate and render through the same `truss_serve::{answer, render}`
 //! functions, so their stdout is byte-identical for the same query on
 //! the same snapshot; `index query` delegates there too.
+//!
+//! With `--wal LOG` the daemon runs in durable mode: every update is
+//! appended to the `TRUSSLOG` delta log and fsync'd *before* it is
+//! acknowledged, a background compaction folds log + snapshot into a
+//! fresh v2 snapshot once the log passes `--compact-bytes`, and a
+//! restart replays whatever the log holds past the snapshot on disk.
+//! `truss log inspect` prints a log's header and records (diagnosing a
+//! torn tail without touching the file); `truss log truncate` drops a
+//! torn tail so the log is clean again. Both refuse mid-file corruption.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -108,11 +120,15 @@ usage:
   truss index query [--query spectrum|ktruss|communities|edge]
                     [--k K] [--u A --v B] <index>
   truss index update --delta FILE [--out INDEX] [--format v1|v2] <index>
-  truss serve [--host H] [--port P] [--threads N] <index>
+  truss serve [--host H] [--port P] [--threads N]
+              [--wal LOG [--compact-bytes N]] <index>
   truss query [--remote HOST:PORT]
               [--query spectrum|ktruss|communities|edge|community-of|
                        update|status|shutdown]
-              [--k K] [--u A --v B] [--delta FILE] [--base GEN] [<index>]
+              [--k K] [--u A --v B] [--delta FILE] [--base GEN]
+              [--report json] [<index>]
+  truss log inspect <log>
+  truss log truncate <log>
   truss convert [--to v1|v2] <input> <output>
   truss ktruss --k K <input>
   truss topt --t T [--memory BYTES] <input>
@@ -128,9 +144,15 @@ inputs: auto-detected by magic — TRUSSGR1 binaries, TRUSSGR2 zero-copy
 delta files: one op per line (`+ u v` insert, `- u v` remove, `#` comments)
 serve: every reply carries (generation, checksum) identity; SIGTERM/ctrl-c
   drains in-flight requests and exits 0
+  --wal LOG appends every update to a durable TRUSSLOG delta log (fsync
+  before ack, group commit) and replays it on restart; --compact-bytes N
+  folds log+snapshot into a fresh snapshot once the log passes N bytes
 query: reads a local <index> file, or with --remote asks a running daemon
   (update/status/shutdown are remote-only; --base pins an update's
-  expected generation, default: any)",
+  expected generation, default: any; --report json prints `--query
+  status` as one JSON line instead of text)
+log: inspect prints a TRUSSLOG's header, records, and torn-tail bytes;
+  truncate drops a torn tail in place (both refuse mid-file corruption)",
         algos = algo_list(&registry())
     )
 }
@@ -194,6 +216,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "index" => cmd_index(rest),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
+        "log" => cmd_log(rest),
         "convert" => cmd_convert(&args),
         "ktruss" => cmd_ktruss(&args),
         "topt" => cmd_topt(&args),
@@ -328,20 +351,19 @@ fn cmd_decompose(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Saves atomically: write a sibling temp file, then rename it over the
-/// target — a failed or interrupted write never destroys an existing
-/// index (`index update` defaults to saving in place), and live mmap
-/// readers of the old file keep their pages (MAP_PRIVATE survives the
-/// replace).
+/// Saves atomically through [`storage::atomic_replace`]: write a sibling
+/// temp file, fsync it, rename it over the target, fsync the parent
+/// directory — a failed or interrupted write never destroys an existing
+/// index (`index update` defaults to saving in place), a crash right
+/// after the rename cannot lose the new bytes, and live mmap readers of
+/// the old file keep their pages (MAP_PRIVATE survives the replace).
 fn save_index_atomic(index: &TrussIndex, out: &str, format: IndexFormat) -> Result<(), String> {
-    let tmp = format!("{out}.tmp{}", std::process::id());
-    index
-        .save_as(Path::new(&tmp), format)
-        .map_err(|e| format!("{tmp}: {e}"))?;
-    std::fs::rename(&tmp, out).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        format!("{out}: {e}")
+    storage::atomic_replace(Path::new(out), "index-save", |w| {
+        index
+            .write_as(w, format)
+            .map_err(|e| std::io::Error::other(e.to_string()))
     })
+    .map_err(|e| format!("{out}: {e}"))
 }
 
 /// Parses `--format` (or, for `convert`, `--to`) into an index/graph
@@ -470,14 +492,44 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let wal = match args.get("wal") {
+        Some(path) => {
+            let mut wal = serve::server::WalConfig::new(PathBuf::from(path));
+            if let Some(bytes) = args.get_parsed::<u64>("compact-bytes")? {
+                if bytes == 0 {
+                    return Err("--compact-bytes must be at least 1".into());
+                }
+                wal.compact_bytes = bytes;
+            }
+            Some(wal)
+        }
+        None => {
+            if args.get("compact-bytes").is_some() {
+                return Err("--compact-bytes needs --wal LOG".into());
+            }
+            None
+        }
+    };
     serve::signal::install();
-    let handle = Server::open(Path::new(input), &format!("{host}:{port}"), threads)?;
+    let config = serve::ServeConfig {
+        threads,
+        snapshot_path: None,
+        wal,
+    };
+    let handle = Server::open_with(Path::new(input), &format!("{host}:{port}"), config)?;
     let (generation, checksum) = handle.generation();
     eprintln!(
         "serving {input} on {} with {threads} reader thread(s), \
          generation {generation}, checksum {checksum:016x}",
         handle.addr()
     );
+    let status = handle.status();
+    if status.wal_enabled {
+        eprintln!(
+            "wal: {} record(s) replayed, {} torn byte(s) truncated",
+            status.recovery_records_replayed, status.recovery_bytes_truncated
+        );
+    }
     // The daemon's threads do all the work; this loop only watches for
     // SIGTERM/ctrl-c (or a remote shutdown having drained everything).
     while !serve::signal::terminated() && !handle.is_finished() {
@@ -491,6 +543,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 fn cmd_query(args: &Args) -> Result<(), String> {
     let what = args.get("query").unwrap_or("spectrum");
+    let json_report = match args.get("report") {
+        None => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --report format {other:?} (expected json)")),
+    };
+    if json_report && what != "status" {
+        return Err("--report json only applies to --query status".into());
+    }
     let req = build_request(args, what)?;
     match args.get("remote") {
         Some(addr) => {
@@ -504,6 +564,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 reply.generation, reply.checksum
             );
             match reply.body {
+                Ok(serve::Response::Status(s)) if json_report => {
+                    println!("{}", s.to_json(reply.generation, reply.checksum));
+                    Ok(())
+                }
                 Ok(resp) => print_rendered(&render(&resp)),
                 Err(e) => Err(format!("server: {} [{:?}]", e.message, e.code)),
             }
@@ -520,6 +584,79 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             print_rendered(&render(&resp))
         }
     }
+}
+
+fn cmd_log(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("log expects a subcommand: inspect or truncate".into());
+    };
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "inspect" => cmd_log_inspect(&args),
+        "truncate" => cmd_log_truncate(&args),
+        other => Err(format!(
+            "unknown log subcommand {other:?} (expected inspect or truncate)"
+        )),
+    }
+}
+
+/// Scans a TRUSSLOG, mapping mid-file corruption to a hard error (the
+/// same typed refusal the daemon gives) while a torn tail scans fine.
+fn scan_log(path: &str) -> Result<storage::WalScan, String> {
+    storage::scan_wal(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_log_inspect(args: &Args) -> Result<(), String> {
+    let path = args.input()?;
+    let scan = scan_log(path)?;
+    println!("base_generation {}", scan.header.base_generation);
+    println!("base_checksum   {:016x}", scan.header.base_checksum);
+    println!("records         {}", scan.records.len());
+    for r in &scan.records {
+        match &r.payload {
+            storage::WalPayload::Delta(d) => println!(
+                "  seq {:<6} offset {:<10} delta +{} -{}",
+                r.seq,
+                r.offset,
+                d.insert.len(),
+                d.remove.len()
+            ),
+            storage::WalPayload::Compact { checksum } => println!(
+                "  seq {:<6} offset {:<10} compact checksum {:016x}",
+                r.seq, r.offset, checksum
+            ),
+        }
+    }
+    println!("valid_len       {}", scan.valid_len);
+    println!("file_len        {}", scan.file_len);
+    println!("torn_bytes      {}", scan.torn_bytes());
+    if scan.torn_bytes() > 0 {
+        eprintln!(
+            "torn tail: {} byte(s) past the last valid record \
+             (`truss log truncate` drops them)",
+            scan.torn_bytes()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_log_truncate(args: &Args) -> Result<(), String> {
+    let path = args.input()?;
+    let scan = scan_log(path)?;
+    let torn = scan.torn_bytes();
+    if torn == 0 {
+        eprintln!(
+            "{path}: clean ({} record(s)), nothing to truncate",
+            scan.records.len()
+        );
+        return Ok(());
+    }
+    storage::truncate_torn_tail(Path::new(path), &scan).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "{path}: dropped {torn} torn byte(s), {} valid record(s) kept",
+        scan.records.len()
+    );
+    Ok(())
 }
 
 fn cmd_index_update(args: &Args) -> Result<(), String> {
@@ -573,23 +710,20 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
         // auto-detecting graph path.
         FileKind::GraphV1 | FileKind::GraphV2 | FileKind::Other => {
             let g = load_graph(input)?;
-            // Write-to-temp + rename, like the index path: an in-place
-            // convert must not truncate a file the loaded graph may
-            // still be memory-mapping, and a failed write must not
-            // leave a partial output behind.
-            let tmp = format!("{out}.tmp{}", std::process::id());
-            let file = File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
-            let written = match to {
-                IndexFormat::V1 => gio::write_binary(&g, file).map_err(|e| e.to_string()),
-                IndexFormat::V2 => storage::write_graph_snapshot(&g, file)
+            // Atomic replace, like the index path: an in-place convert
+            // must not truncate a file the loaded graph may still be
+            // memory-mapping, a failed write must not leave a partial
+            // output behind, and the rename is made durable by the
+            // parent-directory fsync inside the helper.
+            storage::atomic_replace(Path::new(out.as_str()), "convert", |w| match to {
+                IndexFormat::V1 => {
+                    gio::write_binary(&g, w).map_err(|e| std::io::Error::other(e.to_string()))
+                }
+                IndexFormat::V2 => storage::write_graph_snapshot(&g, w)
                     .map(|_| ())
-                    .map_err(|e| e.to_string()),
-            }
-            .and_then(|()| std::fs::rename(&tmp, out).map_err(|e| format!("{out}: {e}")));
-            if let Err(e) = written {
-                let _ = std::fs::remove_file(&tmp);
-                return Err(e);
-            }
+                    .map_err(|e| std::io::Error::other(e.to_string())),
+            })
+            .map_err(|e| format!("{out}: {e}"))?;
             format!(
                 "graph, {} vertices, {} edges",
                 g.num_vertices(),

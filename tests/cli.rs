@@ -203,6 +203,21 @@ fn decompose_report_json_appends_engine_report() {
                 "{algo}: {json}"
             );
         }
+        // Durability metrics exist in every report for JSON-shape
+        // stability, but only WAL-backed ingestion runs (repro_ingest)
+        // populate them — a decomposition has no delta log.
+        for field in [
+            "wal_bytes_appended",
+            "wal_fsyncs",
+            "group_commit_batches",
+            "recovery_records_replayed",
+            "recovery_bytes_truncated",
+        ] {
+            assert!(
+                json.contains(&format!("\"{field}\":null")),
+                "{algo}: {json}"
+            );
+        }
         // Peel-phase counters are the parallel engine's own telemetry
         // (levels, bulk-synchronous sub-iterations, live-adjacency
         // compactions); every other engine reports null for all three.
@@ -616,6 +631,122 @@ fn errors_are_reported() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+}
+
+/// `--query status --report json` against a WAL daemon emits the full
+/// durability block as one flat JSON line (the shape `repro_ingest` and
+/// the CI recovery-smoke job parse).
+#[test]
+fn status_report_json_carries_durability_metrics() {
+    let dir = std::env::temp_dir().join(format!("truss-cli-status-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = figure2_file();
+    let idx = dir.join("s.tix");
+    assert!(truss_bin()
+        .args([
+            "index",
+            "build",
+            "--out",
+            idx.to_str().unwrap(),
+            input.to_str().unwrap()
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let wal = dir.join("s.log");
+    let mut daemon = truss_bin()
+        .args([
+            "serve",
+            "--port",
+            &port.to_string(),
+            "--threads",
+            "2",
+            "--wal",
+            wal.to_str().unwrap(),
+            idx.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // One durable update so the counters are non-zero.
+    let delta = dir.join("s.delta");
+    std::fs::write(&delta, "+ 4 7\n").unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let out = truss_bin()
+            .args([
+                "query",
+                "--remote",
+                &addr,
+                "--query",
+                "update",
+                "--delta",
+                delta.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        if out.status.success() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never came up: {out:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let out = truss_bin()
+        .args([
+            "query", "--remote", &addr, "--query", "status", "--report", "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert_eq!(json_u64(json, "generation"), 1, "{json}");
+    assert!(json.contains("\"wal_enabled\":true"), "{json}");
+    assert!(json.contains("\"wal_poisoned\":false"), "{json}");
+    assert_eq!(json_u64(json, "wal_records"), 1, "{json}");
+    assert!(json_u64(json, "wal_bytes_appended") > 0, "{json}");
+    assert!(json_u64(json, "wal_fsyncs") >= 1, "{json}");
+    assert!(json_u64(json, "group_commit_batches") >= 1, "{json}");
+    assert_eq!(json_u64(json, "recovery_records_replayed"), 0, "{json}");
+    assert_eq!(json_u64(json, "recovery_bytes_truncated"), 0, "{json}");
+    // The checksum is a fixed-width hex string, not a JSON number (u64
+    // checksums overflow double-precision JSON readers).
+    assert!(json.contains("\"checksum\":\""), "{json}");
+
+    // Local (non-remote) status is refused, and --report json on a
+    // non-status query is refused.
+    let out = truss_bin()
+        .args(["query", "--query", "status", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = truss_bin()
+        .args([
+            "query", "--remote", &addr, "--query", "spectrum", "--report", "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let _ = truss_bin()
+        .args(["query", "--remote", &addr, "--query", "shutdown"])
+        .output();
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Reads the magic + version byte of a file, the way the auto-detecting

@@ -88,6 +88,7 @@ fn sixteen_clients_hammer_while_writer_rotates() {
         ServeConfig {
             threads: CLIENTS + 1,
             snapshot_path: None,
+            wal: None,
         },
     )
     .unwrap();
@@ -227,14 +228,14 @@ fn free_port() -> u16 {
         .port()
 }
 
-fn spawn_serve(index: &Path, port: u16, crash: Option<&str>) -> Child {
+fn spawn_serve(index: &Path, port: u16, failpoints: Option<&str>) -> Child {
     let mut cmd = truss_bin();
     cmd.args(["serve", "--port", &port.to_string(), "--threads", "2"])
         .arg(index)
         .stdout(Stdio::null())
         .stderr(Stdio::null());
-    if let Some(point) = crash {
-        cmd.env("TRUSS_SERVE_CRASH", point);
+    if let Some(spec) = failpoints {
+        cmd.env("TRUSS_FAILPOINTS", spec);
     }
     cmd.spawn().unwrap()
 }
@@ -261,7 +262,7 @@ fn crash_before_rename_preserves_the_old_snapshot() {
     let before = truss_decomposition::storage::snapshot_checksum(&path).unwrap();
 
     let port = free_port();
-    let mut child = spawn_serve(&path, port, Some("before-rename"));
+    let mut child = spawn_serve(&path, port, Some("rotate-before-rename=crash"));
     let mut client = connect_retry(&format!("127.0.0.1:{port}"));
     // The update reaches the abort() before any reply: the transport
     // must fail, not hang.
@@ -310,7 +311,7 @@ fn crash_after_rename_commits_the_new_snapshot() {
     assert_ne!(before, after);
 
     let port = free_port();
-    let mut child = spawn_serve(&path, port, Some("after-rename"));
+    let mut child = spawn_serve(&path, port, Some("rotate-after-rename=crash"));
     let mut client = connect_retry(&format!("127.0.0.1:{port}"));
     let res = client.request(&Request::Update {
         base_generation: GENERATION_ANY,
